@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures,
+*prints* it in the paper's row/series layout, writes it under
+``benchmarks/results/`` for EXPERIMENTS.md, and asserts the paper's
+qualitative *shape* (who wins, roughly by how much, where curves bend) —
+never absolute numbers, which depend on the stand-in scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered table/figure to results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_datasets():
+    """Build all stand-ins once up front so per-bench timings are clean."""
+    from repro.bench import load_all
+    load_all()

@@ -1,0 +1,61 @@
+"""Paper Fig. 12: SPNL wall-clock PT vs worker-thread count.
+
+The paper's curve is U-shaped: PT falls with threads until a sweet spot
+(4 for uk2002, 8 for sk2005), then rises from scheduling/synchronization
+overheads.
+
+**Expected deviation, documented in EXPERIMENTS.md:** under CPython's GIL
+on a single-core container, the descending (speedup) side of the U cannot
+appear — score computation never truly overlaps.  What this bench can and
+does pin down is (a) the threaded executor's correctness at every M,
+(b) bounded overhead growth (the ascending side of the paper's U), and
+(c) quality stability across M — the paper's RCT claim.  The quality-vs-M
+curve itself is asserted in test_ablations.py on the deterministic
+executor.
+"""
+
+import pytest
+
+from repro.bench import fig12_thread_sweep, format_table
+from repro.bench.datasets import load
+from repro.bench.harness import run_partitioner
+from repro.parallel import ThreadedParallelPartitioner
+from repro.partitioning import SPNLPartitioner
+
+THREADS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return fig12_thread_sweep(datasets=("uk2002", "sk2005"),
+                              threads=THREADS, k=32)
+
+
+def test_fig12(benchmark, fig, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit("fig12_threads", format_table(
+        fig.as_rows(), title="Fig. 12 — PT vs threads (SPNL, K=32) "
+                             "[GIL: no speedup side expected]"))
+    for name, values in fig.series.items():
+        # Overhead growth stays bounded: 8 threads must not blow up the
+        # single-worker time by more than ~4x even GIL-bound.
+        assert max(values) < 4.0 * values[0], name
+
+
+def test_fig12_quality_stable_across_threads(benchmark):
+    """ECR may not degrade materially as M grows (the RCT at work)."""
+    graph = load("uk2002")
+
+    def run():
+        ecrs = []
+        for m in THREADS:
+            record = run_partitioner(
+                ThreadedParallelPartitioner(
+                    SPNLPartitioner(32, num_shards="auto"),
+                    parallelism=m),
+                graph)
+            ecrs.append(record.ecr)
+        return ecrs
+
+    ecrs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(ecrs) <= min(ecrs) * 1.4 + 0.02

@@ -1,0 +1,68 @@
+"""Why ECR matters: the same PageRank job over three partitionings.
+
+The paper's motivation (Sec. I): in Pregel-style systems every cut edge
+turns a memory write into a network message.  This example partitions
+one graph three ways, runs the identical PageRank job on the BSP
+runtime, and compares the resulting communication profiles — the answer
+is byte-identical, the network bill is not.
+
+Run:  python examples/distributed_pagerank.py
+"""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.graph import GraphStream, community_web_graph
+from repro.offline import MultilevelPartitioner
+from repro.partitioning import HashPartitioner, SPNLPartitioner, evaluate
+from repro.runtime import run_pagerank
+
+K = 16
+ITERATIONS = 10
+
+
+def main() -> None:
+    graph = community_web_graph(15_000, avg_community_size=60, seed=21,
+                                name="pages")
+    print(f"graph: |V|={graph.num_vertices:,} |E|={graph.num_edges:,}, "
+          f"K={K}, {ITERATIONS} PageRank supersteps\n")
+
+    assignments = {
+        "Hash (system default)": HashPartitioner(K).partition(
+            GraphStream(graph)).assignment,
+        "SPNL (one pass)": SPNLPartitioner(K, num_shards="auto").partition(
+            GraphStream(graph)).assignment,
+        "METIS-like (offline)": MultilevelPartitioner(K).partition(
+            graph).assignment,
+    }
+
+    rows = []
+    ranks = {}
+    for name, assignment in assignments.items():
+        run = run_pagerank(graph, assignment, iterations=ITERATIONS)
+        ranks[name] = run.values
+        quality = evaluate(graph, assignment)
+        rows.append({
+            "partitioning": name,
+            "ECR": round(quality.ecr, 4),
+            "remote msgs": run.comm.remote_messages,
+            "local msgs": run.comm.local_messages,
+            "remote %": f"{run.comm.remote_fraction:.1%}",
+            "est. makespan": round(run.comm.estimated_makespan()),
+        })
+    print(format_table(rows, title="one PageRank job, three partitionings"))
+
+    # Same answer regardless of partitioning — Pregel semantics.
+    values = list(ranks.values())
+    assert all(np.allclose(values[0], v) for v in values[1:])
+    print("\n(all three runs produced identical PageRank vectors)")
+
+    hash_makespan = rows[0]["est. makespan"]
+    spnl_makespan = rows[1]["est. makespan"]
+    print(f"SPNL's partitioning makes this job ~"
+          f"{hash_makespan / spnl_makespan:.1f}x cheaper than hash "
+          f"placement.")
+
+
+if __name__ == "__main__":
+    main()

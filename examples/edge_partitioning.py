@@ -1,0 +1,66 @@
+"""The paper's future-work direction, running: SPNL knowledge on
+streaming *edge* partitioning.
+
+GAS systems (PowerGraph family) assign edges and replicate vertices;
+quality is the replication factor (RF).  The paper's conclusion claims
+its knowledge-utilization techniques transfer to this setting — SPNL-E
+implements the transfer (multiplicity Γ counters + Range locality +
+sliding window on top of HDRF), and this example measures it against
+the canonical streaming edge partitioners.
+
+Run:  python examples/edge_partitioning.py
+"""
+
+from repro.bench.report import format_table
+from repro.edgepart import (
+    DBHPartitioner,
+    GreedyEdgePartitioner,
+    HDRFPartitioner,
+    RandomEdgePartitioner,
+    SPNLEdgePartitioner,
+    evaluate_edges,
+    simulate_gas_job,
+)
+from repro.graph import community_web_graph
+
+K = 16
+
+
+def main() -> None:
+    graph = community_web_graph(10_000, avg_community_size=60, seed=77,
+                                name="crawl")
+    print(f"graph: |V|={graph.num_vertices:,} |E|={graph.num_edges:,}, "
+          f"K={K}\n")
+
+    rows = []
+    for partitioner in [
+        RandomEdgePartitioner(K),
+        DBHPartitioner(K),
+        GreedyEdgePartitioner(K),
+        HDRFPartitioner(K),
+        SPNLEdgePartitioner(K),           # the transfer
+        SPNLEdgePartitioner(K, mu=0.0, nu=0.0),  # ablated back to HDRF-ish
+    ]:
+        result = partitioner.partition(graph)
+        report = evaluate_edges(graph, result.assignment)
+        label = result.partitioner
+        if result.stats.get("mu") == 0.0:
+            label += " (knowledge off)"
+        # what the replication factor costs a 10-superstep GAS job
+        gas = simulate_gas_job(graph, result.assignment, supersteps=10)
+        rows.append({
+            "method": label,
+            "replication factor": round(report.replication_factor, 3),
+            "balance": round(report.load_balance, 3),
+            "GAS sync (ms)": round(gas.makespan_seconds * 1000, 1),
+            "PT(s)": round(result.elapsed_seconds, 2),
+        })
+    print(format_table(rows, title="streaming edge partitioning"))
+    rf = {r["method"]: r["replication factor"] for r in rows}
+    print(f"\nSPNL's techniques cut HDRF's replication by "
+          f"{1 - rf['SPNL-E'] / rf['HDRF']:.0%} on this graph — the "
+          f"paper's Sec. VII claim, measured.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Maintaining a partitioning while the graph grows.
+
+The paper's introduction motivates lightweight partitioning with graphs
+that are "frequently updated": this example feeds a crawl in waves into
+a :class:`~repro.partitioning.dynamic.DynamicPartitioner`, watches the
+cut quality drift as edges accumulate, and shows a one-pass re-stream
+snapping it back — the amortized maintenance loop a production service
+would run.
+
+Run:  python examples/evolving_graph.py
+"""
+
+from repro.bench.report import format_table
+from repro.graph import community_web_graph
+from repro.partitioning import DynamicPartitioner
+
+K = 8
+WAVES = 4
+
+
+def main() -> None:
+    final = community_web_graph(8_000, avg_community_size=50, seed=99,
+                                name="evolving")
+    dp = DynamicPartitioner(K, capacity_vertices=final.num_vertices)
+
+    wave_size = final.num_vertices // WAVES
+    rows = []
+    for wave in range(WAVES):
+        lo, hi = wave * wave_size, (wave + 1) * wave_size
+        if wave == WAVES - 1:
+            hi = final.num_vertices
+        # vertices arrive with the edges known *at crawl time*
+        for v in range(lo, hi):
+            dp.add_vertex(v, [int(u) for u in final.out_neighbors(v)
+                              if u < hi])
+        # plus the backlog of edges into the new wave from earlier pages
+        backlog = [(v, int(u))
+                   for v in range(lo)
+                   for u in final.out_neighbors(v)
+                   if lo <= u < hi]
+        moved = dp.add_edges(backlog)
+        quality = dp.current_quality()
+        rows.append({
+            "wave": wave + 1,
+            "|V|": dp.num_known_vertices,
+            "backlog edges": len(backlog),
+            "moved": moved,
+            "ECR": round(quality.ecr, 4),
+            "delta_v": round(quality.delta_v, 2),
+        })
+    print(format_table(rows, title=f"incremental growth (K={K})"))
+
+    drifted = dp.current_quality()
+    dp.restream()
+    fresh = dp.current_quality()
+    print(f"\nafter full re-stream: ECR {drifted.ecr:.4f} -> "
+          f"{fresh.ecr:.4f}, δv {drifted.delta_v:.2f} -> "
+          f"{fresh.delta_v:.2f}")
+    print("one streaming pass restores near-fresh quality — the cheap "
+          "maintenance the paper's efficiency argument enables.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Multi-tenant analysis: why partitioning time is on the critical path.
+
+Paper Sec. II: vertex-centric systems re-partition the graph inside
+*every* job, so the same graph is partitioned many times when tenants
+run different analyses (the paper names PageRank and Shortest Path).
+This example simulates three tenants sharing one graph and accounts for
+total cost = partitioning work + job communication, comparing an
+offline partitioner against single-pass SPNL.
+
+Run:  python examples/multi_tenant_jobs.py
+"""
+
+from repro.bench.report import format_table
+from repro.graph import GraphStream, community_web_graph
+from repro.offline import MultilevelPartitioner
+from repro.partitioning import SPNLPartitioner, evaluate
+from repro.runtime import run_pagerank, run_sssp, run_wcc
+
+K = 16
+
+
+def main() -> None:
+    graph = community_web_graph(12_000, avg_community_size=60, seed=55,
+                                name="shared")
+    jobs = {
+        "tenant A: PageRank": lambda a: run_pagerank(graph, a,
+                                                     iterations=10),
+        "tenant B: SSSP": lambda a: run_sssp(graph, a, source=0),
+        "tenant C: WCC": lambda a: run_wcc(graph, a),
+    }
+
+    rows = []
+    for label, partitioner, is_offline in [
+        ("METIS-like", MultilevelPartitioner(K), True),
+        ("SPNL", SPNLPartitioner(K, num_shards="auto"), False),
+    ]:
+        total_partition_time = 0.0
+        total_remote = 0
+        # The partitioner runs once *per job* (the built-in-component
+        # deployment the paper describes).
+        for job_name, job in jobs.items():
+            result = partitioner.partition(
+                graph if is_offline else GraphStream(graph))
+            total_partition_time += result.elapsed_seconds
+            run = job(result.assignment)
+            total_remote += run.comm.remote_messages
+        quality = evaluate(graph, result.assignment)
+        rows.append({
+            "partitioner": label,
+            "ECR": round(quality.ecr, 4),
+            "3x partition PT(s)": round(total_partition_time, 2),
+            "total remote msgs": total_remote,
+        })
+    print(f"graph: |V|={graph.num_vertices:,} |E|={graph.num_edges:,}, "
+          f"{len(jobs)} tenants, K={K}\n")
+    print(format_table(rows, title="three jobs, partitioner inside each"))
+    print("\nSPNL's one-pass heuristics keep re-partitioning cheap while "
+          "holding METIS-class cut quality —\nthe scalability argument "
+          "of the paper's introduction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Tuning SPNL for *your* graph with the sweep utility.
+
+The paper picks λ=0.5 and the X rule from sweeps on its own datasets
+(Figs. 3 and 7); a downstream user should re-run that exercise on their
+workload.  This example grids λ × η-schedule × window size on a
+synthetic crawl and reports the winner — including the reproduction's
+finding that a slower η decay beats the paper's default.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro.bench import format_table, sweep
+from repro.graph import community_web_graph
+from repro.partitioning import SPNLPartitioner
+
+K = 16
+
+
+def main() -> None:
+    graph = community_web_graph(10_000, avg_community_size=60, seed=5,
+                                name="my-workload")
+    print(f"graph: |V|={graph.num_vertices:,} |E|={graph.num_edges:,}, "
+          f"K={K}\n")
+
+    result = sweep(
+        lambda **kw: SPNLPartitioner(K, **kw),
+        graph,
+        {
+            "lam": [0.25, 0.5, 0.75],
+            "eta_schedule": ["paper", "linear"],
+            "num_shards": [1, "auto"],
+        },
+    )
+    print(format_table(result.as_rows(),
+                       title="SPNL parameter grid (12 combinations)"))
+
+    best = result.best("ecr")
+    print(f"\nbest ECR configuration: {best}")
+    fastest = result.best("pt_seconds")
+    print(f"fastest configuration:  {fastest}")
+    print("\n(the paper's defaults are lam=0.5, eta_schedule='paper', "
+          "num_shards='auto'; on locality-rich graphs the 'linear' "
+          "schedule usually wins — this library's documented finding.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Lightweight Streaming Graph Partitioning by
+Fully Utilizing Knowledge from Local View" (ICDCS 2023).
+
+Public API tour
+---------------
+Graphs (substrate)::
+
+    from repro.graph import community_web_graph, GraphStream
+    graph = community_web_graph(10_000, seed=7)
+    stream = GraphStream(graph)
+
+Partitioners (the paper's contribution + baselines)::
+
+    from repro.partitioning import SPNLPartitioner, evaluate
+    result = SPNLPartitioner(num_partitions=32, num_shards="auto")\
+        .partition(stream)
+    print(evaluate(graph, result.assignment))
+
+Offline baselines (METIS-like multilevel, XtraPuLP-like label propagation)
+live in :mod:`repro.offline`; the parallel streaming technique with RCT
+dependency detection in :mod:`repro.parallel`; a Pregel-style BSP runtime
+that shows what the cut actually costs in :mod:`repro.runtime`; and the
+benchmark harness regenerating every table/figure in :mod:`repro.bench`.
+"""
+
+from . import graph, partitioning
+
+__version__ = "1.0.0"
+
+# Re-export the headline API at package top level for quickstart ergonomics.
+from .graph import DiGraph, GraphStream, community_web_graph  # noqa: E402
+from .partitioning import (  # noqa: E402
+    FennelPartitioner,
+    LDGPartitioner,
+    PartitionAssignment,
+    SPNLPartitioner,
+    SPNPartitioner,
+    evaluate,
+)
+
+__all__ = [
+    "DiGraph",
+    "FennelPartitioner",
+    "GraphStream",
+    "LDGPartitioner",
+    "PartitionAssignment",
+    "SPNLPartitioner",
+    "SPNPartitioner",
+    "community_web_graph",
+    "evaluate",
+    "graph",
+    "partitioning",
+    "__version__",
+]

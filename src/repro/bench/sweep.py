@@ -1,0 +1,92 @@
+"""Grid sweeps over partitioner parameters.
+
+The paper tunes λ (Fig. 3) and X (Fig. 7) by manual enumeration; this
+utility generalizes that workflow for any partitioner-constructor
+keyword — a downstream user's first question is usually "what λ/slack/X
+should *my* graph use", and this answers it in three lines:
+
+    >>> from repro.bench.sweep import sweep
+    >>> result = sweep(lambda **kw: SPNLPartitioner(32, **kw),
+    ...                graph, {"lam": [0.25, 0.5, 0.75],
+    ...                        "eta_schedule": ["paper", "linear"]})
+    >>> result.best("ecr")
+    {'lam': 0.5, 'eta_schedule': 'linear'}
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..graph.digraph import DiGraph
+from .harness import BenchRecord, run_partitioner
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """All records of one grid sweep, with selection helpers."""
+
+    parameter_names: list[str]
+    records: list[tuple[dict, BenchRecord]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def best(self, metric: str = "ecr", *,
+             minimize: bool = True) -> dict:
+        """Parameter combination optimizing ``metric``.
+
+        ``metric`` is any numeric :class:`BenchRecord` attribute
+        (``ecr``, ``delta_v``, ``delta_e``, ``pt_seconds``).  Failed
+        runs are skipped.
+        """
+        viable = [(params, getattr(record, metric))
+                  for params, record in self.records
+                  if not record.failed
+                  and getattr(record, metric) is not None]
+        if not viable:
+            raise ValueError(f"no successful run exposes {metric!r}")
+        chooser = min if minimize else max
+        return chooser(viable, key=lambda pair: pair[1])[0]
+
+    def as_rows(self, *, metrics: Iterable[str] = ("ecr", "delta_v",
+                                                   "delta_e",
+                                                   "pt_seconds")
+                ) -> list[dict]:
+        """Flat rows for :func:`repro.bench.report.format_table`."""
+        rows = []
+        for params, record in self.records:
+            row = dict(params)
+            if record.failed:
+                row.update({m: "F" for m in metrics})
+            else:
+                for m in metrics:
+                    value = getattr(record, m)
+                    row[m] = round(value, 4) if isinstance(value, float) \
+                        else value
+            rows.append(row)
+        return rows
+
+
+def sweep(factory: Callable[..., Any], graph: DiGraph,
+          grid: Mapping[str, Iterable[Any]], *,
+          measure_memory: bool = False) -> SweepResult:
+    """Run ``factory(**combination)`` for every grid combination.
+
+    ``factory`` receives one keyword per grid axis and returns a
+    partitioner (streaming or offline — the harness dispatches).
+    Combinations are enumerated in deterministic (sorted-key, given
+    order per axis) sequence.
+    """
+    names = list(grid)
+    result = SweepResult(parameter_names=names)
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        partitioner = factory(**params)
+        record = run_partitioner(partitioner, graph,
+                                 measure_memory=measure_memory)
+        result.records.append((params, record))
+    return result

@@ -1,0 +1,358 @@
+"""Command-line interface: ``repro-partition`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Build a synthetic graph (or a named benchmark stand-in) and write it
+    as an adjacency-list file.
+``partition``
+    Stream a graph file through a chosen partitioner and write the
+    vertex-assignment route table.
+``evaluate``
+    Score an existing route table against its graph (ECR, δ_v, δ_e).
+``bench``
+    Regenerate one of the paper's tables/figures on the stand-ins.
+``info``
+    Print dataset statistics for a graph file or named stand-in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_PARTITIONERS = ("ldg", "fennel", "spn", "spnl", "hash", "range", "metis",
+                 "xtrapulp")
+
+
+def _load_graph(path_or_name: str):
+    """Resolve a CLI graph argument: a file path or a stand-in name."""
+    from .bench.datasets import DATASETS, load
+    from .graph.io import read_adjacency, read_edge_list
+
+    if path_or_name in DATASETS:
+        return load(path_or_name)
+    path = Path(path_or_name)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {path_or_name!r} is neither a file nor one of the "
+            f"named datasets {sorted(DATASETS)}")
+    first_data_line = ""
+    import gzip
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt") as fh:
+        for line in fh:
+            if line.strip() and not line.lstrip().startswith(("#", "%")):
+                first_data_line = line
+                break
+    # Adjacency rows have >= 1 column, edge lists exactly 2; rows of 2 are
+    # ambiguous, so default to edge list only for .edges files.
+    if path.suffixes[:1] in ([".edges"], [".el"]) \
+            or len(first_data_line.split()) == 2:
+        return read_edge_list(path)
+    return read_adjacency(path)
+
+
+def _make_partitioner(method: str, k: int, args: argparse.Namespace):
+    from .offline.label_propagation import LabelPropagationPartitioner
+    from .offline.multilevel import MultilevelPartitioner
+    from .partitioning.fennel import FennelPartitioner
+    from .partitioning.hashing import HashPartitioner, RangePartitioner
+    from .partitioning.ldg import LDGPartitioner
+    from .partitioning.spn import SPNPartitioner
+    from .partitioning.spnl import SPNLPartitioner
+
+    slack = args.slack
+    if method == "ldg":
+        return LDGPartitioner(k, slack=slack)
+    if method == "fennel":
+        return FennelPartitioner(k, slack=slack)
+    if method == "spn":
+        return SPNPartitioner(k, slack=slack, lam=args.lam,
+                              num_shards=args.shards)
+    if method == "spnl":
+        return SPNLPartitioner(k, slack=slack, lam=args.lam,
+                               num_shards=args.shards)
+    if method == "hash":
+        return HashPartitioner(k, slack=slack)
+    if method == "range":
+        return RangePartitioner(k, slack=slack)
+    if method == "metis":
+        return MultilevelPartitioner(k)
+    if method == "xtrapulp":
+        return LabelPropagationPartitioner(k)
+    raise SystemExit(f"unknown method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .bench.datasets import DATASETS
+    from .graph.generators import community_web_graph
+    from .graph.io import write_adjacency
+
+    if args.dataset:
+        spec = DATASETS[args.dataset]
+        graph = spec.build()
+    else:
+        graph = community_web_graph(args.vertices,
+                                    avg_degree=args.avg_degree,
+                                    seed=args.seed)
+    write_adjacency(graph, args.output)
+    print(f"wrote {graph.name}: |V|={graph.num_vertices} "
+          f"|E|={graph.num_edges} -> {args.output}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .graph.stream import GraphStream
+    from .parallel.executor import ThreadedParallelPartitioner
+    from .partitioning.metrics import evaluate
+
+    graph = _load_graph(args.graph)
+    partitioner = _make_partitioner(args.method, args.k, args)
+    is_offline = args.method in ("metis", "xtrapulp")
+    if args.threads > 1 and not is_offline:
+        partitioner = ThreadedParallelPartitioner(
+            partitioner, parallelism=args.threads)
+    if is_offline:
+        result = partitioner.partition(graph)
+    else:
+        result = partitioner.partition(GraphStream(graph))
+    quality = evaluate(graph, result.assignment)
+    from .partitioning.persistence import save_assignment
+    save_assignment(result.assignment, args.output, graph=graph,
+                    partitioner=result.partitioner)
+    print(f"{result.partitioner}: {quality} PT={result.elapsed_seconds:.3f}s")
+    print(f"route table -> {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .partitioning.metrics import evaluate
+
+    graph = _load_graph(args.graph)
+    from .partitioning.persistence import load_assignment
+    assignment, header = load_assignment(args.routes)
+    if header.get("partitioner"):
+        print(f"(saved by {header['partitioner']})")
+    print(evaluate(graph, assignment))
+    return 0
+
+
+_EDGE_PARTITIONERS = ("random", "dbh", "greedy", "hdrf", "spnl-e")
+
+
+def _cmd_edgepartition(args: argparse.Namespace) -> int:
+    from .edgepart import (
+        DBHPartitioner,
+        GreedyEdgePartitioner,
+        HDRFPartitioner,
+        RandomEdgePartitioner,
+        SPNLEdgePartitioner,
+        evaluate_edges,
+    )
+
+    graph = _load_graph(args.graph)
+    factory = {
+        "random": RandomEdgePartitioner,
+        "dbh": DBHPartitioner,
+        "greedy": GreedyEdgePartitioner,
+        "hdrf": HDRFPartitioner,
+        "spnl-e": SPNLEdgePartitioner,
+    }[args.method]
+    partitioner = factory(args.k, slack=args.slack)
+    result = partitioner.partition(graph)
+    report = evaluate_edges(graph, result.assignment)
+    np.savetxt(args.output, result.assignment.edge_pids, fmt="%d")
+    print(f"{result.partitioner}: {report} "
+          f"PT={result.elapsed_seconds:.3f}s")
+    print(f"edge assignment -> {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .bench.report import format_table
+    from .graph.stats import describe
+
+    graph = _load_graph(args.graph)
+    print(format_table([describe(graph).as_row()], title=graph.name))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .bench.report import format_table
+    from .partitioning.analysis import (
+        boundary_profile,
+        cut_distance_histogram,
+        partition_connectivity,
+    )
+    from .partitioning.metrics import evaluate
+    from .partitioning.persistence import load_assignment
+
+    graph = _load_graph(args.graph)
+    assignment, header = load_assignment(args.routes)
+    print(evaluate(graph, assignment))
+    if header.get("partitioner"):
+        print(f"(saved by {header['partitioner']})")
+    print()
+    print(format_table(cut_distance_histogram(graph, assignment,
+                                              bins=args.bins),
+                       title="cut fraction by id-distance decile"))
+    print()
+    print(format_table(boundary_profile(graph, assignment),
+                       title="boundary vertices per partition"))
+    print()
+    print(format_table(
+        [c.as_row() for c in partition_connectivity(graph, assignment)],
+        title="partition connectivity"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import figures, report, tables
+
+    target = args.target
+    if target == "all":
+        from .bench.suite import run_full_suite
+        run_full_suite(args.output, k=args.k, quick=args.quick)
+    elif target == "table2":
+        print(report.format_table(tables.table2_datasets(),
+                                  title="Table II — datasets"))
+    elif target == "table3":
+        rows = [r.as_row() for r in tables.table3_streaming(args.k)]
+        print(report.format_table(rows, title="Table III — streaming"))
+    elif target == "table4":
+        print(report.format_table(tables.table4_memory(k=args.k),
+                                  title="Table IV — memory"))
+    elif target == "table5":
+        rows = [r.as_row() for r in tables.table5_offline(args.k)]
+        print(report.format_table(rows, title="Table V — offline"))
+    elif target == "fig3":
+        fig = figures.fig3_lambda_sweep(k=args.k)
+        print(report.format_table(fig.as_rows(), title="Fig. 3 — λ sweep"))
+    elif target == "fig7":
+        for k, fig in figures.fig7_window_sweep(ks=(args.k,)).items():
+            print(report.format_table(
+                fig.as_rows(), title=f"Fig. 7 — window sweep (K={k})"))
+    elif target == "fig8":
+        for metric, fig in figures.fig8_9_k_sweep_streaming(
+                "uk2002").items():
+            print(report.format_table(
+                fig.as_rows(), title=f"Fig. 8 — {metric} vs K (uk2002)"))
+    elif target == "fig9":
+        for metric, fig in figures.fig8_9_k_sweep_streaming(
+                "indo2004").items():
+            print(report.format_table(
+                fig.as_rows(), title=f"Fig. 9 — {metric} vs K (indo2004)"))
+    elif target == "fig10":
+        for metric, fig in figures.fig10_11_k_sweep_offline(
+                "indo2004").items():
+            print(report.format_table(
+                fig.as_rows(), title=f"Fig. 10 — {metric} vs K (indo2004)"))
+    elif target == "fig11":
+        for metric, fig in figures.fig10_11_k_sweep_offline(
+                "eu2015").items():
+            print(report.format_table(
+                fig.as_rows(), title=f"Fig. 11 — {metric} vs K (eu2015)"))
+    elif target == "fig12":
+        fig = figures.fig12_thread_sweep(k=args.k)
+        print(report.format_table(fig.as_rows(),
+                                  title="Fig. 12 — thread sweep"))
+    else:
+        raise SystemExit(f"unknown bench target {target!r}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description="SPNL streaming graph partitioning (ICDCS 2023 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph file")
+    p.add_argument("output", help="adjacency-list output path")
+    p.add_argument("--dataset", default=None,
+                   help="named benchmark stand-in to build")
+    p.add_argument("--vertices", type=int, default=10_000)
+    p.add_argument("--avg-degree", type=float, default=12.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("partition", help="partition a graph")
+    p.add_argument("graph", help="graph file or named dataset")
+    p.add_argument("output", help="route-table output path")
+    p.add_argument("--method", choices=_PARTITIONERS, default="spnl")
+    p.add_argument("-k", type=int, default=32, help="number of partitions")
+    p.add_argument("--slack", type=float, default=1.1,
+                   help="balance threshold δ")
+    p.add_argument("--lam", type=float, default=0.5,
+                   help="λ weighting in/out neighbors (SPN/SPNL)")
+    p.add_argument("--shards", default="auto",
+                   help="sliding-window X (int or 'auto')")
+    p.add_argument("--threads", type=int, default=1,
+                   help="parallel placement workers")
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("edgepartition",
+                       help="streaming edge partitioning (extension)")
+    p.add_argument("graph", help="graph file or named dataset")
+    p.add_argument("output", help="per-edge partition-id output path")
+    p.add_argument("--method", choices=_EDGE_PARTITIONERS,
+                   default="spnl-e")
+    p.add_argument("-k", type=int, default=32)
+    p.add_argument("--slack", type=float, default=1.1)
+    p.set_defaults(func=_cmd_edgepartition)
+
+    p = sub.add_parser("evaluate", help="evaluate a route table")
+    p.add_argument("graph", help="graph file or named dataset")
+    p.add_argument("routes", help="route-table file (one pid per line)")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("info", help="describe a graph")
+    p.add_argument("graph", help="graph file or named dataset")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("analyze",
+                       help="introspect a partitioning (cut structure)")
+    p.add_argument("graph", help="graph file or named dataset")
+    p.add_argument("routes", help="route-table file")
+    p.add_argument("--bins", type=int, default=10,
+                   help="distance-histogram bins")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p.add_argument("target",
+                   choices=["table2", "table3", "table4", "table5", "fig3",
+                            "fig7", "fig8", "fig9", "fig10", "fig11",
+                            "fig12", "all"])
+    p.add_argument("-k", type=int, default=32)
+    p.add_argument("--output", default="reports",
+                   help="output directory for 'all'")
+    p.add_argument("--quick", action="store_true",
+                   help="shrunken sweeps for 'all'")
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    # normalize shards argument
+    if hasattr(args, "shards") and args.shards != "auto":
+        args.shards = int(args.shards)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Streaming edge partitioning — the paper's future-work direction."""
+
+from .base import (
+    EdgeAssignment,
+    EdgePartitionState,
+    EdgeStreamResult,
+    StreamingEdgePartitioner,
+    edge_stream,
+)
+from .gas import gas_sync_report, simulate_gas_job
+from .classic import (
+    DBHPartitioner,
+    GreedyEdgePartitioner,
+    HDRFPartitioner,
+    RandomEdgePartitioner,
+)
+from .metrics import (
+    EdgeQualityReport,
+    edge_load_balance,
+    evaluate_edges,
+    replication_factor,
+)
+from .spnl_edge import SPNLEdgePartitioner
+
+__all__ = [
+    "DBHPartitioner",
+    "EdgeAssignment",
+    "EdgePartitionState",
+    "EdgeQualityReport",
+    "EdgeStreamResult",
+    "GreedyEdgePartitioner",
+    "HDRFPartitioner",
+    "RandomEdgePartitioner",
+    "SPNLEdgePartitioner",
+    "StreamingEdgePartitioner",
+    "edge_load_balance",
+    "edge_stream",
+    "gas_sync_report",
+    "simulate_gas_job",
+    "evaluate_edges",
+    "replication_factor",
+]

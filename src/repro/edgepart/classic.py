@@ -1,0 +1,139 @@
+"""Classical streaming edge partitioners: Random, DBH, Greedy, HDRF.
+
+These are the baselines the edge-partitioning literature (and the
+paper's related work, Sec. III-B) measures against:
+
+* **Random** — hash each edge; RF approaches ``K`` on dense graphs;
+* **DBH** (Xie et al., NIPS 2014) — hash by the *lower-degree* endpoint,
+  so hubs get replicated (they would be anyway) and tails stay whole;
+* **Greedy** (PowerGraph, OSDI 2012) — the four-case replica-affinity
+  rule;
+* **HDRF** (Petroni et al., CIKM 2015) — greedy with a partial-degree
+  tilt: prefer replicating the *higher*-degree endpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import EdgePartitionState, StreamingEdgePartitioner
+
+__all__ = ["RandomEdgePartitioner", "DBHPartitioner",
+           "GreedyEdgePartitioner", "HDRFPartitioner"]
+
+_HASH_MULT = 2654435761
+
+
+def _hash(value: int, k: int) -> int:
+    return int((value * _HASH_MULT) % 2**32 % k)
+
+
+class RandomEdgePartitioner(StreamingEdgePartitioner):
+    """Hash of the edge pair — the zero-knowledge floor."""
+
+    @property
+    def name(self) -> str:
+        return "Random-E"
+
+    def _choose(self, src: int, dst: int,
+                state: EdgePartitionState) -> int:
+        return _hash(src * 1_000_003 + dst, self.num_partitions)
+
+
+class DBHPartitioner(StreamingEdgePartitioner):
+    """Degree-Based Hashing: hash the endpoint with smaller partial
+    degree (ties → smaller id), replicating hubs preferentially."""
+
+    @property
+    def name(self) -> str:
+        return "DBH"
+
+    def _choose(self, src: int, dst: int,
+                state: EdgePartitionState) -> int:
+        d_src = state.partial_degrees[src]
+        d_dst = state.partial_degrees[dst]
+        if d_src < d_dst or (d_src == d_dst and src <= dst):
+            anchor = src
+        else:
+            anchor = dst
+        return _hash(anchor, self.num_partitions)
+
+
+class GreedyEdgePartitioner(StreamingEdgePartitioner):
+    """PowerGraph's greedy heuristic.
+
+    Case analysis on the replica sets ``A(u)``, ``A(v)``:
+
+    1. ``A(u) ∩ A(v) ≠ ∅`` → any common partition (least loaded);
+    2. both non-empty but disjoint → a partition of the higher-degree
+       endpoint's set (it will be replicated less often later);
+    3. exactly one non-empty → one of its partitions;
+    4. both empty → least-loaded partition.
+    """
+
+    @property
+    def name(self) -> str:
+        return "Greedy-E"
+
+    def _choose(self, src: int, dst: int,
+                state: EdgePartitionState) -> int:
+        a_src = state.replica_mask(src)
+        a_dst = state.replica_mask(dst)
+        both = a_src & a_dst
+        capacity = self._capacity_value
+        if both.any():
+            return self.pick_best(both.astype(float), state, capacity)
+        if a_src.any() and a_dst.any():
+            # favor the set of the endpoint with larger partial degree
+            if state.partial_degrees[src] >= state.partial_degrees[dst]:
+                preferred = a_src
+            else:
+                preferred = a_dst
+            return self.pick_best(preferred.astype(float), state, capacity)
+        if a_src.any() or a_dst.any():
+            present = a_src if a_src.any() else a_dst
+            return self.pick_best(present.astype(float), state, capacity)
+        return self.pick_best(np.zeros(self.num_partitions), state,
+                              capacity)
+
+
+class HDRFPartitioner(StreamingEdgePartitioner):
+    """High-Degree Replicated First (Petroni et al.).
+
+    Score for partition ``p``:
+
+        C_rep(p) = g(src, p) + g(dst, p)
+        g(v, p)  = [p ∈ A(v)] · (1 + (1 - θ_v)),
+                   θ_v = δ(v) / (δ(src) + δ(dst))    (partial degrees)
+        C_bal(p) = bal_weight · (max_load - load_p)
+                              / (ε + max_load - min_load)
+
+    The degree tilt makes the *low*-degree endpoint's replicas more
+    attractive, so hubs absorb the replication — the right call on
+    power-law graphs.
+    """
+
+    def __init__(self, num_partitions: int, *, bal_weight: float = 1.0,
+                 epsilon: float = 1.0, **kwargs) -> None:
+        super().__init__(num_partitions, **kwargs)
+        self.bal_weight = bal_weight
+        self.epsilon = epsilon
+
+    @property
+    def name(self) -> str:
+        return "HDRF"
+
+    def _choose(self, src: int, dst: int,
+                state: EdgePartitionState) -> int:
+        d_src = state.partial_degrees[src] + 1
+        d_dst = state.partial_degrees[dst] + 1
+        theta_src = d_src / (d_src + d_dst)
+        theta_dst = 1.0 - theta_src
+        g_src = state.replica_mask(src) * (1.0 + (1.0 - theta_src))
+        g_dst = state.replica_mask(dst) * (1.0 + (1.0 - theta_dst))
+        loads = state.edge_loads
+        spread = loads.max() - loads.min()
+        c_bal = self.bal_weight * (loads.max() - loads) / (self.epsilon
+                                                           + spread)
+        return self.pick_best(g_src + g_dst + c_bal, state,
+                              self._capacity_value)

@@ -1,0 +1,91 @@
+"""GAS (Gather-Apply-Scatter) synchronization cost of an edge partitioning.
+
+Vertex partitioning's downstream cost is cut-edge messages (the BSP
+engine measures it); edge partitioning's downstream cost is **replica
+synchronization**: in PowerGraph-style systems each vertex has one
+master and ``|A(v)| - 1`` mirrors, and every superstep the gather phase
+ships each mirror's partial accumulator to the master (one message) and
+the apply phase ships the new vertex value back to each mirror (another
+message).  Total sync traffic per superstep is therefore
+
+    Σ_v 2·(|A(v)| − 1)  =  2·|V_touched|·(RF − 1)
+
+which is exactly why replication factor is *the* quality metric on this
+side.  This module turns an :class:`~repro.edgepart.base.EdgeAssignment`
+into that communication profile so edge partitioners can be compared on
+simulated cluster time with the same machinery as the vertex side
+(:func:`repro.runtime.cluster.simulate_job`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..runtime.cluster import ClusterModel, JobCostReport, simulate_job
+from ..runtime.comm import CommReport
+from .base import EdgeAssignment
+
+__all__ = ["gas_sync_report", "simulate_gas_job"]
+
+
+def gas_sync_report(graph: DiGraph, assignment: EdgeAssignment, *,
+                    supersteps: int = 1) -> CommReport:
+    """Communication profile of ``supersteps`` GAS iterations.
+
+    Per superstep and partition ``p`` the report charges:
+
+    * *received*: the local work — one gather contribution per edge
+      hosted by ``p`` (each edge touches its two endpoint replicas);
+    * *remote in/out*: the mirror sync — every mirror exchanges one
+      message with its master in each direction.  Masters are assigned
+      to each vertex's first replica partition (PowerGraph's default).
+    """
+    if assignment.num_edges != graph.num_edges:
+        raise ValueError("assignment does not cover this graph's edges")
+    k = assignment.num_partitions
+    replicas = assignment.replicas
+    counts = replicas.sum(axis=1)
+    touched = counts > 0
+
+    # master = lowest partition id holding a replica
+    master = np.where(touched, np.argmax(replicas, axis=1), -1)
+
+    # mirrors per partition / masters' mirror fan-in per partition
+    mirrors_per_partition = replicas.sum(axis=0)  # includes masters
+    masters_per_partition = np.bincount(master[touched], minlength=k)
+    mirror_only = mirrors_per_partition - masters_per_partition
+
+    # remote messages: each mirror sends 1 (gather) and receives 1
+    # (apply); its master does the opposite end.
+    remote_out = mirror_only.astype(np.int64)
+    fanin = np.zeros(k, dtype=np.int64)
+    for pid in range(k):
+        # masters in pid receive one message per mirror of their vertex
+        owned = (master == pid) & touched
+        if owned.any():
+            fanin[pid] = int((counts[owned] - 1).sum())
+    remote_in = fanin
+
+    # local compute: every hosted edge contributes two endpoint updates
+    edge_loads = assignment.edge_counts()
+    received = 2 * edge_loads
+
+    comm = CommReport(num_partitions=k)
+    total_remote = int(remote_out.sum() + remote_in.sum())
+    total_local = int(received.sum())
+    for step in range(supersteps):
+        comm.record(step, local=total_local, remote=total_remote,
+                    active=int(touched.sum()),
+                    received=received,
+                    remote_in=remote_in + remote_out,  # both directions
+                    remote_out=remote_in + remote_out)
+    return comm
+
+
+def simulate_gas_job(graph: DiGraph, assignment: EdgeAssignment, *,
+                     supersteps: int = 10,
+                     model: ClusterModel | None = None) -> JobCostReport:
+    """Cluster cost of a GAS job over this edge partitioning."""
+    comm = gas_sync_report(graph, assignment, supersteps=supersteps)
+    return simulate_job(comm, model)

@@ -1,0 +1,74 @@
+"""Quality metrics for edge partitionings.
+
+The edge-partitioning analogue of :mod:`repro.partitioning.metrics`:
+replication factor (communication proxy), edge-load balance, and a
+combined report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from .base import EdgeAssignment
+
+__all__ = ["EdgeQualityReport", "evaluate_edges", "replication_factor",
+           "edge_load_balance"]
+
+
+@dataclass(frozen=True)
+class EdgeQualityReport:
+    """Quality snapshot of one edge partitioning."""
+
+    graph_name: str
+    num_partitions: int
+    replication_factor: float
+    load_balance: float
+    replicated_vertices: int
+
+    def as_row(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "K": self.num_partitions,
+            "RF": round(self.replication_factor, 3),
+            "balance": round(self.load_balance, 3),
+            "replicated": self.replicated_vertices,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.graph_name} K={self.num_partitions}: "
+                f"RF={self.replication_factor:.3f} "
+                f"balance={self.load_balance:.2f}")
+
+
+def replication_factor(assignment: EdgeAssignment) -> float:
+    """Average replicas per touched vertex (1.0 = no replication)."""
+    return assignment.replication_factor()
+
+
+def edge_load_balance(assignment: EdgeAssignment) -> float:
+    """``max |E_p| / (|E|/K)``."""
+    counts = assignment.edge_counts()
+    if counts.sum() == 0:
+        return 1.0
+    ideal = counts.sum() / assignment.num_partitions
+    return float(counts.max() / ideal)
+
+
+def evaluate_edges(graph: DiGraph,
+                   assignment: EdgeAssignment) -> EdgeQualityReport:
+    """Full quality report; validates that every edge was assigned."""
+    if assignment.num_edges != graph.num_edges:
+        raise ValueError(
+            f"assignment covers {assignment.num_edges} edges, graph has "
+            f"{graph.num_edges}")
+    counts = assignment.replicas.sum(axis=1)
+    return EdgeQualityReport(
+        graph_name=graph.name,
+        num_partitions=assignment.num_partitions,
+        replication_factor=replication_factor(assignment),
+        load_balance=edge_load_balance(assignment),
+        replicated_vertices=int(np.sum(counts > 1)),
+    )

@@ -1,0 +1,66 @@
+"""Graph substrate: CSR digraph, builders, I/O, streams, and generators."""
+
+from .builder import GraphBuilder, from_adjacency, from_edges
+from .digraph import AdjacencyRecord, DiGraph
+from .generators import (
+    barabasi_albert,
+    community_web_graph,
+    erdos_renyi,
+    grid_graph,
+    power_law_degrees,
+    ring_of_cliques,
+    rmat,
+)
+from .io import (
+    read_adjacency,
+    read_edge_list,
+    read_metis,
+    write_adjacency,
+    write_edge_list,
+    write_metis,
+)
+from .relabel import (
+    bfs_order,
+    bfs_relabel,
+    degree_order,
+    degree_relabel,
+    locality_score,
+    random_relabel,
+)
+from .stats import GraphStats, degree_histogram, describe, gini
+from .stream import FileStream, GraphStream, VertexStream, shuffled
+
+__all__ = [
+    "AdjacencyRecord",
+    "DiGraph",
+    "FileStream",
+    "GraphBuilder",
+    "GraphStats",
+    "GraphStream",
+    "VertexStream",
+    "barabasi_albert",
+    "bfs_order",
+    "bfs_relabel",
+    "community_web_graph",
+    "degree_histogram",
+    "degree_order",
+    "degree_relabel",
+    "describe",
+    "erdos_renyi",
+    "from_adjacency",
+    "from_edges",
+    "gini",
+    "grid_graph",
+    "locality_score",
+    "power_law_degrees",
+    "random_relabel",
+    "read_adjacency",
+    "read_edge_list",
+    "read_metis",
+    "ring_of_cliques",
+    "rmat",
+    "shuffled",
+    "write_adjacency",
+    "write_edge_list",
+    "write_metis",
+]

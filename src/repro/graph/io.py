@@ -1,0 +1,165 @@
+"""Graph file formats: edge list, adjacency list, and METIS.
+
+The paper streams graphs from disk as **adjacency-list** text files (one line
+``v u1 u2 ...`` per vertex, ids consecutive).  We support:
+
+* ``edge list`` — one ``src dst`` pair per line, ``#``/``%`` comments
+  (SNAP / WebGraph dumps look like this);
+* ``adjacency list`` — the paper's streamed format;
+* ``METIS`` — 1-indexed undirected adjacency with a header line, accepted by
+  real METIS and by our multilevel baseline.
+
+All readers/writers transparently handle ``.gz`` paths.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .digraph import DiGraph
+
+__all__ = [
+    "read_edge_list", "write_edge_list",
+    "read_adjacency", "write_adjacency",
+    "read_metis", "write_metis",
+    "iter_adjacency_lines",
+]
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: str | Path, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _is_comment(line: str) -> bool:
+    stripped = line.lstrip()
+    return not stripped or stripped.startswith(_COMMENT_PREFIXES)
+
+
+# ----------------------------------------------------------------------
+# Edge list
+# ----------------------------------------------------------------------
+def read_edge_list(path: str | Path, *, num_vertices: int | None = None,
+                   name: str | None = None) -> DiGraph:
+    """Read a directed edge-list file (``src dst`` per line)."""
+    builder = GraphBuilder(num_vertices)
+    with _open_text(path, "r") as fh:
+        for line in fh:
+            if _is_comment(line):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            builder.add_edge(int(parts[0]), int(parts[1]))
+    return builder.build(name or Path(path).stem)
+
+
+def write_edge_list(graph: DiGraph, path: str | Path) -> None:
+    """Write a graph as a directed edge list."""
+    with _open_text(path, "w") as fh:
+        fh.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                 f"{graph.num_edges} edges\n")
+        for src, dst in graph.edges():
+            fh.write(f"{src} {dst}\n")
+
+
+# ----------------------------------------------------------------------
+# Adjacency list (the streamed format)
+# ----------------------------------------------------------------------
+def iter_adjacency_lines(path: str | Path) -> Iterator[tuple[int, np.ndarray]]:
+    """Stream ``(vertex, out-neighbors)`` rows from an adjacency-list file.
+
+    This is the disk-streaming entry point used by
+    :class:`repro.graph.stream.FileStream` — it never materializes the
+    whole graph, matching the paper's one-pass design.
+    """
+    with _open_text(path, "r") as fh:
+        for line in fh:
+            if _is_comment(line):
+                continue
+            parts = line.split()
+            vertex = int(parts[0])
+            neighbors = np.asarray([int(p) for p in parts[1:]],
+                                   dtype=np.int64)
+            yield vertex, neighbors
+
+
+def read_adjacency(path: str | Path, *, num_vertices: int | None = None,
+                   name: str | None = None) -> DiGraph:
+    """Read an adjacency-list file fully into a :class:`DiGraph`."""
+    builder = GraphBuilder(num_vertices)
+    for vertex, neighbors in iter_adjacency_lines(path):
+        builder.add_adjacency(vertex, neighbors)
+    return builder.build(name or Path(path).stem)
+
+
+def write_adjacency(graph: DiGraph, path: str | Path,
+                    *, include_isolated: bool = True) -> None:
+    """Write a graph in the paper's adjacency-list stream format."""
+    with _open_text(path, "w") as fh:
+        fh.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                 f"{graph.num_edges} edges\n")
+        for record in graph.records():
+            if record.out_degree == 0 and not include_isolated:
+                continue
+            row = " ".join(str(int(u)) for u in record.neighbors)
+            fh.write(f"{record.vertex} {row}\n".rstrip() + "\n")
+
+
+# ----------------------------------------------------------------------
+# METIS format
+# ----------------------------------------------------------------------
+def read_metis(path: str | Path, *, name: str | None = None) -> DiGraph:
+    """Read an (unweighted) METIS graph file as a symmetric DiGraph.
+
+    METIS files are 1-indexed and list each undirected edge in both rows;
+    we keep the symmetry so the result round-trips through
+    :func:`write_metis`.
+    """
+    with _open_text(path, "r") as fh:
+        header: list[str] | None = None
+        rows: list[list[int]] = []
+        for line in fh:
+            if _is_comment(line):
+                continue
+            parts = line.split()
+            if header is None:
+                header = parts
+                continue
+            rows.append([int(p) - 1 for p in parts])
+        if header is None:
+            raise ValueError("METIS file missing header line")
+        declared_n, declared_m = int(header[0]), int(header[1])
+        if len(rows) != declared_n:
+            raise ValueError(
+                f"METIS header declares {declared_n} vertices but file has "
+                f"{len(rows)} adjacency rows")
+        builder = GraphBuilder(declared_n)
+        for vertex, neighbors in enumerate(rows):
+            builder.add_adjacency(vertex, neighbors)
+        graph = builder.build(name or Path(path).stem)
+        if graph.num_edges != 2 * declared_m:
+            raise ValueError(
+                f"METIS header declares {declared_m} undirected edges but "
+                f"file contains {graph.num_edges} directed entries")
+        return graph
+
+
+def write_metis(graph: DiGraph, path: str | Path) -> None:
+    """Write the *undirected* view of ``graph`` in METIS format."""
+    und = graph.to_undirected_csr()
+    with _open_text(path, "w") as fh:
+        fh.write(f"{und.num_vertices} {und.num_edges // 2}\n")
+        for record in und.records():
+            fh.write(" ".join(str(int(u) + 1)
+                              for u in record.neighbors) + "\n")

@@ -1,0 +1,21 @@
+"""Memory accounting: analytic models (Table IV) and measured peaks."""
+
+from .model import (
+    MemoryEstimate,
+    offline_bytes,
+    spn_bytes,
+    spnl_bytes,
+    streaming_baseline_bytes,
+)
+from .tracker import PeakMemory, measure_peak, trace_peak
+
+__all__ = [
+    "MemoryEstimate",
+    "PeakMemory",
+    "measure_peak",
+    "offline_bytes",
+    "spn_bytes",
+    "spnl_bytes",
+    "streaming_baseline_bytes",
+    "trace_peak",
+]

@@ -1,0 +1,84 @@
+"""Initial partitioning of the coarsest graph (multilevel phase 2).
+
+Greedy region growing, the classic METIS approach: grow each partition by
+BFS from a fresh seed until it reaches its vertex-weight quota, preferring
+frontier vertices with the strongest connection to the growing region.
+The coarsest graph is tiny (a few hundred super-vertices), so the
+quadratic-ish Python loop here is irrelevant to total runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .wgraph import WeightedGraph
+
+__all__ = ["region_growing_partition"]
+
+
+def region_growing_partition(graph: WeightedGraph, num_partitions: int, *,
+                             slack: float = 1.05,
+                             seed: int = 0) -> np.ndarray:
+    """Partition ``graph`` into K parts by greedy region growing.
+
+    Returns a length-``|V|`` partition-id array.  Each region grows from
+    the highest-degree unassigned seed, repeatedly absorbing the frontier
+    vertex with maximal attachment weight (a max-heap of gain), until its
+    share of the total vertex weight is reached.  Leftover vertices land
+    on the lightest partitions.
+    """
+    n = graph.num_vertices
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    part = np.full(n, -1, dtype=np.int32)
+    rng = np.random.default_rng(seed)
+    weights = graph.vertex_weights
+    total = int(weights.sum())
+    quota = slack * total / num_partitions
+    part_weight = np.zeros(num_partitions, dtype=np.int64)
+    degrees = np.diff(graph.indptr)
+
+    # Seeds: heaviest-degree vertices first, jittered for determinism
+    # without pathological seed clustering.
+    seed_order = np.lexsort((rng.random(n), -degrees))
+    seed_cursor = 0
+
+    for pid in range(num_partitions):
+        # Find the next unassigned seed.
+        while seed_cursor < n and part[seed_order[seed_cursor]] != -1:
+            seed_cursor += 1
+        if seed_cursor >= n:
+            break
+        root = int(seed_order[seed_cursor])
+        # Max-heap of (-attachment, tiebreak, vertex).
+        heap: list[tuple[float, int, int]] = [(0.0, root, root)]
+        attached: set[int] = {root}
+        target = total / num_partitions  # ideal share for this region
+        while heap and part_weight[pid] + 1 <= quota:
+            neg_gain, _, v = heapq.heappop(heap)
+            if part[v] != -1:
+                continue
+            if part_weight[pid] + weights[v] > quota:
+                continue
+            part[v] = pid
+            part_weight[pid] += weights[v]
+            if part_weight[pid] >= target:
+                break
+            nbrs, ew = graph.neighbors(v)
+            for u, w in zip(nbrs.tolist(), ew.tolist()):
+                if part[u] == -1 and u not in attached:
+                    attached.add(u)
+                    heapq.heappush(heap, (-float(w), u, u))
+                elif part[u] == -1:
+                    # Re-push with improved priority; stale entries are
+                    # skipped by the part[v] != -1 check above.
+                    heapq.heappush(heap, (neg_gain - float(w), u, u))
+
+    # Sweep leftovers onto the lightest partitions.
+    for v in np.nonzero(part == -1)[0]:
+        pid = int(np.argmin(part_weight))
+        part[v] = pid
+        part_weight[pid] += weights[v]
+    return part

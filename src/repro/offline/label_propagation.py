@@ -1,0 +1,206 @@
+"""XtraPuLP-like constrained label-propagation partitioner.
+
+XtraPuLP (Slota et al., TPDS 2020) partitions trillion-edge graphs with
+iterative, balance-constrained label propagation instead of multilevel
+coarsening.  The paper uses it as the scalable offline competitor: faster
+and leaner than METIS, at the price of a visibly higher ECR (Table V).
+
+This reproduction implements the same family faithfully at laptop scale:
+
+* labels initialized randomly but balanced (XtraPuLP's default; a
+  ``block`` mode is offered for the locality ablation);
+* synchronous rounds: every vertex computes the label maximizing its
+  weighted neighbor agreement (PuLP's "label balancing vs. edge
+  balancing" phases collapse into one vertex-balance-constrained phase
+  here, matching how the paper runs it: ``δ_v`` enforced, ``δ_e`` loose);
+* per-round move quotas cap inflow so no label exceeds its size ceiling —
+  the balance constraint propagation of PuLP;
+* an optional ``parallel`` flag runs the update in asynchronous batches
+  (stale labels within a batch), modelling XtraPuLP's shared-memory mode,
+  which the paper shows degrades ECR by up to 47%.
+
+Everything is vectorized over the edge arrays, so a round costs O(|E|).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..partitioning.assignment import PartitionAssignment
+from .multilevel import OfflineResult, OutOfMemoryError
+from .wgraph import WeightedGraph
+
+__all__ = ["LabelPropagationPartitioner"]
+
+
+class LabelPropagationPartitioner:
+    """The XtraPuLP-like offline baseline.
+
+    Parameters
+    ----------
+    num_partitions:
+        ``K``.
+    rounds:
+        Synchronous label-propagation rounds (PuLP uses a comparable
+        small constant; quality saturates quickly).
+    slack:
+        Vertex-balance ceiling per label (the paper configures XtraPuLP
+        with δ_v = 1.0, i.e. tight; we default 1.05 to avoid degenerate
+        rejections at laptop scale).
+    parallel:
+        Simulate shared-memory asynchronous batches (stale reads inside a
+        batch), reproducing the parallel quality degradation of Table V.
+    batch_size:
+        Vertices per asynchronous batch when ``parallel`` is set.
+    init:
+        ``"random"`` (XtraPuLP's default, used in the paper's tables) or
+        ``"block"`` (contiguous id chunks, for the locality ablation).
+    memory_budget_bytes:
+        Simulated RAM budget covering the undirected working graph plus
+        label arrays; ``None`` disables the check.
+    """
+
+    def __init__(self, num_partitions: int, *, rounds: int = 16,
+                 slack: float = 1.05, parallel: bool = False,
+                 batch_size: int = 4096, init: str = "random",
+                 memory_budget_bytes: int | None = None,
+                 seed: int = 0) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.rounds = rounds
+        self.slack = slack
+        self.parallel = parallel
+        self.batch_size = batch_size
+        if init not in ("random", "block"):
+            raise ValueError("init must be 'random' or 'block'")
+        self.init = init
+        self.memory_budget_bytes = memory_budget_bytes
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return "XtraPuLP-like" + ("(par)" if self.parallel else "")
+
+    def __repr__(self) -> str:
+        return f"{self.name}(K={self.num_partitions})"
+
+    # ------------------------------------------------------------------
+    def _label_scores(self, src: np.ndarray, dst: np.ndarray,
+                      weights: np.ndarray, labels: np.ndarray,
+                      n: int) -> np.ndarray:
+        """``scores[v, j]`` = edge weight from ``v`` into label ``j``."""
+        k = self.num_partitions
+        flat = src * k + labels[dst]
+        return np.bincount(flat, weights=weights,
+                           minlength=n * k).reshape(n, k)
+
+    def _apply_moves(self, labels: np.ndarray, desired: np.ndarray,
+                     gains: np.ndarray, counts: np.ndarray,
+                     ceiling: float) -> int:
+        """Apply desired moves best-gain-first under the size ceiling."""
+        movers = np.nonzero((desired != labels) & (gains > 0))[0]
+        if len(movers) == 0:
+            return 0
+        movers = movers[np.argsort(-gains[movers], kind="stable")]
+        moved = 0
+        for v in movers.tolist():
+            target = desired[v]
+            if counts[target] + 1 > ceiling:
+                continue
+            if counts[labels[v]] <= 1:
+                continue
+            counts[labels[v]] -= 1
+            counts[target] += 1
+            labels[v] = target
+            moved += 1
+        return moved
+
+    def partition(self, graph: DiGraph) -> OfflineResult:
+        """Run constrained label propagation on ``graph``."""
+        start = time.perf_counter()
+        wgraph = WeightedGraph.from_digraph(graph)
+        n = wgraph.num_vertices
+        k = self.num_partitions
+
+        working_bytes = wgraph.nbytes() + n * (8 * k + 16)
+        if (self.memory_budget_bytes is not None
+                and working_bytes > self.memory_budget_bytes):
+            raise OutOfMemoryError(working_bytes, self.memory_budget_bytes)
+
+        src = np.repeat(np.arange(n, dtype=np.int64),
+                        np.diff(wgraph.indptr))
+        dst = wgraph.indices
+        ew = wgraph.edge_weights.astype(np.float64)
+
+        rng = np.random.default_rng(self.seed)
+        if self.init == "block":
+            # Contiguous chunks of the id space (strong on BFS-ordered
+            # graphs; offered for the locality ablation).
+            labels = (np.arange(n, dtype=np.int64) * k
+                      // max(1, n)).astype(np.int32)
+        else:
+            # Balanced random init: XtraPuLP's default behaviour, whose
+            # local optima explain its ECR gap to METIS in Table V.
+            labels = np.tile(np.arange(k, dtype=np.int32),
+                             n // k + 1)[:n]
+            rng.shuffle(labels)
+        counts = np.bincount(labels, minlength=k).astype(np.int64)
+        ceiling = max(1.0, self.slack * n / k)
+        rounds_run = 0
+
+        for round_idx in range(self.rounds):
+            rounds_run += 1
+            if not self.parallel:
+                scores = self._label_scores(src, dst, ew, labels, n)
+                current = scores[np.arange(n), labels]
+                masked = scores.copy()
+                masked[np.arange(n), labels] = -1.0
+                desired = np.argmax(masked, axis=1).astype(np.int32)
+                gains = masked[np.arange(n), desired] - current
+                moved = self._apply_moves(labels, desired, gains, counts,
+                                          ceiling)
+            else:
+                # Asynchronous batches over a random vertex order: every
+                # batch scores against labels stale by up to batch_size
+                # updates — the shared-memory race XtraPuLP tolerates.
+                moved = 0
+                order = rng.permutation(n)
+                for lo in range(0, n, self.batch_size):
+                    batch = order[lo:lo + self.batch_size]
+                    in_batch = np.zeros(n, dtype=bool)
+                    in_batch[batch] = True
+                    edge_sel = in_batch[src]
+                    bsrc, bdst = src[edge_sel], dst[edge_sel]
+                    bw = ew[edge_sel]
+                    flat = bsrc * k + labels[bdst]
+                    scores = np.bincount(
+                        flat, weights=bw, minlength=n * k).reshape(n, k)
+                    current = scores[batch, labels[batch]]
+                    masked = scores[batch]
+                    masked[np.arange(len(batch)), labels[batch]] = -1.0
+                    desired_b = np.argmax(masked, axis=1).astype(np.int32)
+                    gains_b = (masked[np.arange(len(batch)), desired_b]
+                               - current)
+                    desired = labels.copy()
+                    desired[batch] = desired_b
+                    gains = np.full(n, -1.0)
+                    gains[batch] = gains_b
+                    moved += self._apply_moves(labels, desired, gains,
+                                               counts, ceiling)
+            if moved == 0:
+                break
+
+        elapsed = time.perf_counter() - start
+        assignment = PartitionAssignment(labels, k)
+        return OfflineResult(
+            assignment=assignment,
+            partitioner=self.name,
+            elapsed_seconds=elapsed,
+            num_partitions=k,
+            stats={"rounds": rounds_run,
+                   "working_bytes": working_bytes},
+        )

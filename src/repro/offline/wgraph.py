@@ -1,0 +1,111 @@
+"""Weighted undirected graphs for the offline baselines.
+
+METIS-style multilevel partitioning contracts vertices, so it needs vertex
+weights (how many original vertices a super-vertex represents) and edge
+weights (how many original edges a super-edge aggregates).  The streaming
+side of the library never needs this, so it lives here with the offline
+code rather than in the core graph substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """Symmetric CSR graph with integer vertex and edge weights.
+
+    The adjacency is stored in both directions (like METIS's internal
+    format): edge ``{u, v}`` appears in ``u``'s row and in ``v``'s row,
+    with equal weights.
+    """
+
+    __slots__ = ("indptr", "indices", "edge_weights", "vertex_weights",
+                 "name")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 edge_weights: np.ndarray, vertex_weights: np.ndarray,
+                 name: str = "wgraph") -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.edge_weights = np.ascontiguousarray(edge_weights,
+                                                 dtype=np.int64)
+        self.vertex_weights = np.ascontiguousarray(vertex_weights,
+                                                   dtype=np.int64)
+        if len(self.indices) != len(self.edge_weights):
+            raise ValueError("edge_weights must align with indices")
+        if len(self.vertex_weights) != self.num_vertices:
+            raise ValueError("vertex_weights must cover every vertex")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_adjacency_entries(self) -> int:
+        """Directed adjacency entries (2× the undirected edge count)."""
+        return len(self.indices)
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return int(self.vertex_weights.sum())
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbor ids, edge weights)`` of vertex ``v``."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.edge_weights[lo:hi]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def nbytes(self) -> int:
+        """Bytes of the four arrays (drives the OOM simulation)."""
+        return int(self.indptr.nbytes + self.indices.nbytes
+                   + self.edge_weights.nbytes + self.vertex_weights.nbytes)
+
+    def __repr__(self) -> str:
+        return (f"WeightedGraph(|V|={self.num_vertices}, "
+                f"entries={self.num_adjacency_entries})")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_digraph(graph: DiGraph) -> "WeightedGraph":
+        """Symmetrize a directed graph into unit-weight undirected form.
+
+        Anti-parallel edge pairs ``(u,v)`` and ``(v,u)`` collapse into one
+        undirected edge of weight 2, so refinement gains measure the true
+        number of directed edges saved.
+        """
+        src, dst = graph.edge_array()
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        keep = all_src != all_dst
+        all_src, all_dst = all_src[keep], all_dst[keep]
+        n = graph.num_vertices
+        vertex_weights = np.ones(n, dtype=np.int64)
+        if len(all_src) == 0:
+            return WeightedGraph(np.zeros(n + 1, dtype=np.int64),
+                                 np.empty(0, dtype=np.int64),
+                                 np.empty(0, dtype=np.int64),
+                                 vertex_weights, name=graph.name)
+        key = all_src * n + all_dst
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        # Aggregate duplicate pairs into weights.
+        boundary = np.empty(len(key), dtype=bool)
+        boundary[0] = True
+        np.not_equal(key[1:], key[:-1], out=boundary[1:])
+        group = np.cumsum(boundary) - 1
+        weights = np.bincount(group).astype(np.int64)
+        uniq_src = all_src[order][boundary]
+        uniq_dst = all_dst[order][boundary]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(uniq_src, minlength=n), out=indptr[1:])
+        return WeightedGraph(indptr, uniq_dst, weights, vertex_weights,
+                             name=graph.name)

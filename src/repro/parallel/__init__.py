@@ -1,0 +1,10 @@
+"""Parallel streaming partitioning with RCT dependency detection."""
+
+from .executor import SimulatedParallelPartitioner, ThreadedParallelPartitioner
+from .rct import ReversedCountingTable
+
+__all__ = [
+    "ReversedCountingTable",
+    "SimulatedParallelPartitioner",
+    "ThreadedParallelPartitioner",
+]

@@ -1,0 +1,88 @@
+"""Streaming vertex partitioners: the paper's SPN/SPNL plus baselines."""
+
+from .analysis import (
+    PartitionConnectivity,
+    agreement,
+    boundary_profile,
+    cut_distance_histogram,
+    partition_connectivity,
+)
+from .assignment import UNASSIGNED, PartitionAssignment
+from .buffered import BufferedHybridPartitioner
+from .dynamic import DynamicPartitioner
+from .base import (
+    BalanceMode,
+    PartitionState,
+    StreamingPartitioner,
+    StreamingResult,
+)
+from .eta import ETA_SCHEDULES, EtaSchedule, resolve_eta_schedule
+from .expectation import ExpectationStore, FullExpectationStore
+from .fennel import FennelPartitioner
+from .hashing import (
+    ChunkedPartitioner,
+    HashPartitioner,
+    RandomPartitioner,
+    RangePartitioner,
+    range_boundaries,
+    range_partition_of,
+)
+from .ldg import LDGPartitioner
+from .persistence import load_assignment, save_assignment
+from .metrics import (
+    QualityReport,
+    cut_matrix,
+    edge_balance,
+    edge_cut,
+    edge_cut_ratio,
+    evaluate,
+    vertex_balance,
+)
+from .restreaming import RestreamingPartitioner, RestreamState
+from .spn import SPNPartitioner
+from .spnl import SPNLPartitioner
+from .window import SlidingWindowStore, default_num_shards
+
+__all__ = [
+    "BalanceMode",
+    "BufferedHybridPartitioner",
+    "ChunkedPartitioner",
+    "DynamicPartitioner",
+    "ETA_SCHEDULES",
+    "EtaSchedule",
+    "ExpectationStore",
+    "FennelPartitioner",
+    "FullExpectationStore",
+    "HashPartitioner",
+    "LDGPartitioner",
+    "PartitionAssignment",
+    "PartitionConnectivity",
+    "PartitionState",
+    "QualityReport",
+    "RandomPartitioner",
+    "RangePartitioner",
+    "RestreamState",
+    "RestreamingPartitioner",
+    "SPNLPartitioner",
+    "SPNPartitioner",
+    "SlidingWindowStore",
+    "StreamingPartitioner",
+    "StreamingResult",
+    "UNASSIGNED",
+    "agreement",
+    "boundary_profile",
+    "cut_distance_histogram",
+    "cut_matrix",
+    "default_num_shards",
+    "edge_balance",
+    "edge_cut",
+    "edge_cut_ratio",
+    "evaluate",
+    "load_assignment",
+    "partition_connectivity",
+    "range_boundaries",
+    "resolve_eta_schedule",
+    "range_partition_of",
+    "save_assignment",
+    "vertex_balance",
+]

@@ -1,0 +1,175 @@
+"""Partitioning introspection: where do the cut edges actually come from?
+
+The headline metrics (ECR, δ) say *how good* a partitioning is; these
+tools say *why* — which the ablation studies and any real tuning session
+need:
+
+* :func:`cut_distance_histogram` — cut probability as a function of the
+  endpoints' id distance (shows the locality mechanism directly: Range
+  and SPNL lose only the long-range edges, hashing loses everything);
+* :func:`boundary_profile` — per-partition boundary-vertex counts, the
+  quantity that bounds a system's send-buffer sizes;
+* :func:`partition_connectivity` — per-partition internal/external edge
+  tallies and neighbor-partition fan-out (the communication topology);
+* :func:`agreement` — pair-counting Rand index between two assignments,
+  label-permutation invariant (are two partitioners making the *same*
+  decisions or different-but-equally-good ones?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from .assignment import PartitionAssignment
+
+__all__ = [
+    "cut_distance_histogram",
+    "boundary_profile",
+    "PartitionConnectivity",
+    "partition_connectivity",
+    "agreement",
+]
+
+
+def cut_distance_histogram(graph: DiGraph,
+                           assignment: PartitionAssignment,
+                           *, bins: int = 10
+                           ) -> list[dict]:
+    """Cut fraction per id-distance decile.
+
+    Returns one row per bin: the distance range, how many edges fall in
+    it, and what fraction of them are cut.  On a locality-aware
+    partitioning the cut fraction rises steeply with distance; on a
+    hash partitioning it is flat at ``1 - 1/K``.
+    """
+    if graph.num_edges == 0:
+        return []
+    src, dst = graph.edge_array()
+    distance = np.abs(src - dst)
+    cut = assignment.route[src] != assignment.route[dst]
+    edges_per_bin = max(1, len(distance) // bins)
+    order = np.argsort(distance, kind="stable")
+    rows = []
+    for b in range(bins):
+        lo = b * edges_per_bin
+        hi = len(distance) if b == bins - 1 else (b + 1) * edges_per_bin
+        if lo >= len(distance):
+            break
+        sel = order[lo:hi]
+        rows.append({
+            "bin": b,
+            "min_dist": int(distance[sel].min()),
+            "max_dist": int(distance[sel].max()),
+            "edges": len(sel),
+            "cut_fraction": round(float(cut[sel].mean()), 4),
+        })
+    return rows
+
+
+def boundary_profile(graph: DiGraph,
+                     assignment: PartitionAssignment) -> list[dict]:
+    """Per-partition boundary statistics.
+
+    A vertex is *boundary* when at least one incident edge (either
+    direction) crosses partitions; such vertices are the ones whose
+    updates must be shipped over the network every superstep.
+    """
+    src, dst = graph.edge_array()
+    route = assignment.route
+    crossing = route[src] != route[dst]
+    is_boundary = np.zeros(graph.num_vertices, dtype=bool)
+    is_boundary[src[crossing]] = True
+    is_boundary[dst[crossing]] = True
+    rows = []
+    for pid in range(assignment.num_partitions):
+        members = assignment.vertices_in(pid)
+        boundary = int(is_boundary[members].sum()) if len(members) else 0
+        rows.append({
+            "partition": pid,
+            "vertices": len(members),
+            "boundary": boundary,
+            "boundary_fraction": round(boundary / len(members), 4)
+            if len(members) else 0.0,
+        })
+    return rows
+
+
+@dataclass(frozen=True)
+class PartitionConnectivity:
+    """Edge tallies of one partition."""
+
+    partition: int
+    internal_edges: int
+    outgoing_cut: int
+    incoming_cut: int
+    neighbor_partitions: int
+
+    def as_row(self) -> dict:
+        return {
+            "partition": self.partition,
+            "internal": self.internal_edges,
+            "out_cut": self.outgoing_cut,
+            "in_cut": self.incoming_cut,
+            "neighbors": self.neighbor_partitions,
+        }
+
+
+def partition_connectivity(graph: DiGraph,
+                           assignment: PartitionAssignment
+                           ) -> list[PartitionConnectivity]:
+    """Internal/cut edge tallies and fan-out per partition."""
+    from .metrics import cut_matrix
+
+    matrix = cut_matrix(graph, assignment)
+    out = []
+    k = assignment.num_partitions
+    for pid in range(k):
+        row, col = matrix[pid], matrix[:, pid]
+        off_row = row.sum() - row[pid]
+        off_col = col.sum() - col[pid]
+        touching = np.zeros(k, dtype=bool)
+        touching |= row > 0
+        touching |= col > 0
+        touching[pid] = False
+        out.append(PartitionConnectivity(
+            partition=pid,
+            internal_edges=int(matrix[pid, pid]),
+            outgoing_cut=int(off_row),
+            incoming_cut=int(off_col),
+            neighbor_partitions=int(touching.sum()),
+        ))
+    return out
+
+
+def agreement(a: PartitionAssignment, b: PartitionAssignment) -> float:
+    """Pair-counting Rand index between two complete assignments.
+
+    1.0 means the two partitionings co-locate exactly the same vertex
+    pairs (even if the partition labels differ); ~``1 - 2/K + 2/K²`` is
+    the expectation for independent random assignments.
+    """
+    if len(a) != len(b):
+        raise ValueError("assignments cover different vertex counts")
+    n = len(a)
+    if n < 2:
+        return 1.0
+    ka, kb = a.num_partitions, b.num_partitions
+    contingency = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(contingency, (a.route, b.route), 1)
+
+    def _pairs(counts: np.ndarray) -> float:
+        return float((counts.astype(np.float64)
+                      * (counts - 1) / 2).sum())
+
+    together_both = _pairs(contingency)
+    together_a = _pairs(contingency.sum(axis=1))
+    together_b = _pairs(contingency.sum(axis=0))
+    total_pairs = n * (n - 1) / 2
+    # Rand index = (agreements) / (all pairs); agreements are pairs
+    # together in both plus pairs separated in both.
+    agreements = (total_pairs + 2 * together_both
+                  - together_a - together_b)
+    return float(agreements / total_pairs)

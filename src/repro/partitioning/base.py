@@ -1,0 +1,269 @@
+"""Streaming-partitioner framework.
+
+The paper's streaming methods (LDG, FENNEL, SPN, SPNL) all share the same
+skeleton: scan adjacency records once; for each record compute a K-vector of
+placement scores from the *local view* (the record plus the distribution of
+already-placed vertices); place the vertex at the argmax subject to a
+capacity constraint ``C = δ·|G|/K`` (Algorithm 1, line 4); and update the
+per-partition state.  :class:`StreamingPartitioner` implements that skeleton
+once, and each concrete heuristic only supplies its scoring rule plus
+optional state hooks.
+
+Capacity & tie-breaking policy (shared by all heuristics so comparisons are
+apples-to-apples):
+
+* a partition at or above capacity is ineligible (score masked to ``-inf``);
+* among the top-scoring eligible partitions, the least-loaded wins, then
+  the lowest partition id — fully deterministic;
+* if every partition is full (possible under tight ``δ`` with rounding),
+  the globally least-loaded one is used as a safety valve.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..graph.digraph import AdjacencyRecord
+from ..graph.stream import VertexStream
+from .assignment import UNASSIGNED, PartitionAssignment
+
+__all__ = ["BalanceMode", "PartitionState", "StreamingResult",
+           "StreamingPartitioner"]
+
+
+class BalanceMode(str, enum.Enum):
+    """Which workload measure the capacity constraint bounds (Eqs. 1–2).
+
+    ``BOTH`` enforces the two caps simultaneously (the multi-constraint
+    regime the paper cites XtraPuLP for): a partition is eligible only
+    while under its vertex *and* edge capacities, and the penalty is the
+    tighter of the two remaining-capacity weights.
+    """
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+    BOTH = "both"
+
+
+class PartitionState:
+    """The mutable "local view" state shared by every streaming heuristic.
+
+    Tracks the route table, per-partition vertex/edge tallies, and the
+    remaining-capacity penalty ``w^t(i, v) = 1 - |P_i^t| / C``.
+    """
+
+    __slots__ = ("num_partitions", "num_vertices", "num_edges", "balance",
+                 "capacity", "edge_capacity", "route", "vertex_counts",
+                 "edge_counts", "placed_vertices", "placed_edges")
+
+    def __init__(self, num_partitions: int, num_vertices: int,
+                 num_edges: int, *, balance: BalanceMode = BalanceMode.VERTEX,
+                 slack: float = 1.1, edge_slack: float | None = None) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if slack < 1.0:
+            raise ValueError("slack (the paper's δ) must be >= 1.0")
+        if edge_slack is not None and edge_slack < 1.0:
+            raise ValueError("edge_slack must be >= 1.0")
+        self.num_partitions = num_partitions
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self.balance = balance
+        total = num_edges if balance is BalanceMode.EDGE else num_vertices
+        # C = δ·|G|/K, rounded up so K·C always covers the whole graph.
+        self.capacity = max(1.0, math.ceil(slack * total / num_partitions))
+        if balance is BalanceMode.BOTH:
+            # the paper's multi-constraint setting (δ_v = 1.0, δ_e = 50
+            # for XtraPuLP) keeps the secondary cap looser by default
+            e_slack = edge_slack if edge_slack is not None \
+                else max(slack, 1.5)
+            self.edge_capacity = max(1.0, math.ceil(
+                e_slack * num_edges / num_partitions))
+        else:
+            self.edge_capacity = None
+        self.route = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
+        self.vertex_counts = np.zeros(num_partitions, dtype=np.int64)
+        self.edge_counts = np.zeros(num_partitions, dtype=np.int64)
+        self.placed_vertices = 0
+        self.placed_edges = 0
+
+    # ------------------------------------------------------------------
+    def loads(self) -> np.ndarray:
+        """Current workload per partition in the active balance measure.
+
+        Under ``BOTH`` this is the vertex tally (the primary constraint,
+        also used for tie-breaking); the edge cap acts through
+        :meth:`penalty_weights` and :meth:`eligible`.
+        """
+        if self.balance is BalanceMode.EDGE:
+            return self.edge_counts
+        return self.vertex_counts
+
+    def penalty_weights(self) -> np.ndarray:
+        """``w^t(i, v) = max(0, 1 - |P_i^t|/C)`` for every partition.
+
+        Under ``BOTH``, the tighter of the vertex and edge weights.
+        """
+        weights = np.maximum(0.0, 1.0 - self.loads() / self.capacity)
+        if self.edge_capacity is not None:
+            edge_weights = np.maximum(
+                0.0, 1.0 - self.edge_counts / self.edge_capacity)
+            weights = np.minimum(weights, edge_weights)
+        return weights
+
+    def eligible(self) -> np.ndarray:
+        """Boolean mask of partitions with remaining capacity."""
+        mask = self.loads() < self.capacity
+        if self.edge_capacity is not None:
+            mask &= self.edge_counts < self.edge_capacity
+        return mask
+
+    def neighbor_partition_counts(self,
+                                  neighbors: np.ndarray) -> np.ndarray:
+        """``|V_i^pt ∩ N_out(v)|`` for every partition, vectorized.
+
+        Unplaced neighbors contribute to no partition.
+        """
+        if len(neighbors) == 0:
+            return np.zeros(self.num_partitions, dtype=np.int64)
+        parts = self.route[neighbors]
+        placed = parts[parts != UNASSIGNED]
+        return np.bincount(placed, minlength=self.num_partitions
+                           ).astype(np.int64)
+
+    def commit(self, record: AdjacencyRecord, pid: int) -> None:
+        """Apply a placement decision (Algorithm 1, lines 2–4)."""
+        if not 0 <= pid < self.num_partitions:
+            raise ValueError(f"invalid partition id {pid}")
+        if self.route[record.vertex] != UNASSIGNED:
+            raise ValueError(f"vertex {record.vertex} placed twice")
+        self.route[record.vertex] = pid
+        self.vertex_counts[pid] += 1
+        self.edge_counts[pid] += record.out_degree
+        self.placed_vertices += 1
+        self.placed_edges += record.out_degree
+
+    def to_assignment(self) -> PartitionAssignment:
+        """Snapshot the route table as an immutable assignment."""
+        return PartitionAssignment(self.route.copy(), self.num_partitions)
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of one streaming partitioning run."""
+
+    assignment: PartitionAssignment
+    partitioner: str
+    elapsed_seconds: float
+    num_partitions: int
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"{self.partitioner}: K={self.num_partitions} in "
+                f"{self.elapsed_seconds:.3f}s")
+
+
+class StreamingPartitioner(ABC):
+    """Base class for all one-pass streaming heuristics.
+
+    Parameters
+    ----------
+    num_partitions:
+        ``K``.
+    balance:
+        Vertex- or edge-based capacity (the paper primarily evaluates
+        vertex balance; Table III reports both factors).
+    slack:
+        The user-given balance threshold ``δ`` in ``C = δ·|G|/K``.
+    """
+
+    def __init__(self, num_partitions: int, *,
+                 balance: BalanceMode | str = BalanceMode.VERTEX,
+                 slack: float = 1.1,
+                 edge_slack: float | None = None) -> None:
+        self.num_partitions = int(num_partitions)
+        self.balance = BalanceMode(balance)
+        self.slack = float(slack)
+        self.edge_slack = edge_slack
+
+    # -- identification -------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Short display name used in reports (defaults to class name)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{self.name}(K={self.num_partitions})"
+
+    # -- per-heuristic hooks ---------------------------------------------
+    def _setup(self, stream: VertexStream, state: PartitionState) -> None:
+        """Called once before streaming; allocate heuristic state here."""
+
+    @abstractmethod
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        """Return the length-K placement score vector for one record."""
+
+    def _after_commit(self, record: AdjacencyRecord, pid: int,
+                      state: PartitionState) -> None:
+        """Called after each placement; update heuristic state here."""
+
+    def _extra_stats(self) -> dict[str, Any]:
+        """Heuristic-specific numbers to attach to the result."""
+        return {}
+
+    # -- shared placement machinery ---------------------------------------
+    def choose(self, scores: np.ndarray, state: PartitionState) -> int:
+        """Pick a partition from a score vector under the shared policy."""
+        loads = state.loads()
+        masked = np.where(state.eligible(), scores, -np.inf)
+        best = masked.max()
+        if not np.isfinite(best):
+            return int(np.argmin(loads))  # all partitions full
+        candidates = np.nonzero(masked == best)[0]
+        if len(candidates) == 1:
+            return int(candidates[0])
+        return int(candidates[np.argmin(loads[candidates])])
+
+    def place(self, record: AdjacencyRecord, state: PartitionState) -> int:
+        """Score + choose + commit + heuristic update for one record."""
+        pid = self.choose(self._score(record, state), state)
+        state.commit(record, pid)
+        self._after_commit(record, pid, state)
+        return pid
+
+    # -- the one-pass driver ----------------------------------------------
+    def partition(self, stream: VertexStream) -> StreamingResult:
+        """Run the single streaming pass over ``stream``.
+
+        Timing covers exactly the paper's ``PT`` window: from consuming the
+        first adjacency record to producing the final route table.
+        """
+        state = self.make_state(stream)
+        self._setup(stream, state)
+        start = time.perf_counter()
+        for record in stream:
+            self.place(record, state)
+        elapsed = time.perf_counter() - start
+        assignment = state.to_assignment()
+        return StreamingResult(
+            assignment=assignment,
+            partitioner=self.name,
+            elapsed_seconds=elapsed,
+            num_partitions=self.num_partitions,
+            stats=self._extra_stats(),
+        )
+
+    def make_state(self, stream: VertexStream) -> PartitionState:
+        """Build the shared state sized for ``stream``."""
+        return PartitionState(
+            self.num_partitions, stream.num_vertices, stream.num_edges,
+            balance=self.balance, slack=self.slack,
+            edge_slack=self.edge_slack)

@@ -1,0 +1,94 @@
+"""Per-partition expectation tables Γ (paper Sec. IV-B).
+
+``Γ_i(x)`` counts how many vertices already placed in partition ``P_i``
+have an out-edge to ``x`` — i.e., how much ``P_i`` *expects* ``x`` to join
+it.  Eq. 5 estimates the in-neighbor closeness of a candidate vertex ``v``
+as ``Σ_{u ∈ N_out(v)} Γ_i(u)``: rather than looking up ``Γ_i(v)`` alone
+(which only reflects ``v``'s own in-edges), the paper sums expectations
+over ``v``'s out-neighborhood, rewarding partitions that expect the whole
+neighborhood.  This module implements the two Γ storage strategies the
+paper compares:
+
+* :class:`FullExpectationStore` — a dense K×|V| counter matrix, the
+  straightforward O(K|V|) design (Table IV's ``SPNL(X=1)`` row);
+* :class:`~repro.partitioning.window.SlidingWindowStore` (sibling module)
+  — the O(K|V|/X) fine-grained sliding window.
+
+Both satisfy :class:`ExpectationStore`, so SPN/SPNL are agnostic to which
+one they run on; the property test suite asserts the two are *bit-identical*
+in behaviour when the window spans all vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["ExpectationStore", "FullExpectationStore"]
+
+
+class ExpectationStore(Protocol):
+    """Interface shared by the full and windowed Γ implementations."""
+
+    num_partitions: int
+    num_vertices: int
+
+    def advance_to(self, vertex: int) -> None:
+        """Inform the store that ``vertex`` is now being streamed.
+
+        Lets windowed implementations rotate; a no-op for the full store.
+        """
+
+    def expectation_of(self, vertex: int) -> np.ndarray:
+        """``Γ_i(vertex)`` for every partition (length-K vector)."""
+
+    def gather(self, neighbors: np.ndarray) -> np.ndarray:
+        """``Σ_{u ∈ neighbors} Γ_i(u)`` for every partition."""
+
+    def record(self, pid: int, neighbors: np.ndarray) -> None:
+        """Count the just-placed vertex's out-edges into ``Γ_pid``."""
+
+    def nbytes(self) -> int:
+        """Bytes held by the counter storage (for the memory model)."""
+
+
+class FullExpectationStore:
+    """Dense K×|V| expectation counters — maximal knowledge, O(K|V|) space.
+
+    This is the un-optimized design whose memory footprint motivates the
+    sliding window (paper Sec. V-A); it also serves as the ground truth the
+    windowed store is verified against.
+    """
+
+    def __init__(self, num_partitions: int, num_vertices: int) -> None:
+        if num_partitions < 1 or num_vertices < 0:
+            raise ValueError("invalid dimensions for expectation store")
+        self.num_partitions = num_partitions
+        self.num_vertices = num_vertices
+        self._table = np.zeros((num_partitions, num_vertices),
+                               dtype=np.int32)
+
+    def advance_to(self, vertex: int) -> None:
+        """No-op: every vertex is always tracked."""
+
+    def expectation_of(self, vertex: int) -> np.ndarray:
+        return self._table[:, vertex].astype(np.int64)
+
+    def gather(self, neighbors: np.ndarray) -> np.ndarray:
+        if len(neighbors) == 0:
+            return np.zeros(self.num_partitions, dtype=np.int64)
+        return self._table[:, neighbors].sum(axis=1, dtype=np.int64)
+
+    def record(self, pid: int, neighbors: np.ndarray) -> None:
+        if len(neighbors) == 0:
+            return
+        np.add.at(self._table[pid], neighbors, 1)
+
+    def nbytes(self) -> int:
+        return int(self._table.nbytes)
+
+    @property
+    def window_size(self) -> int:
+        """For API parity with the windowed store: the full id range."""
+        return self.num_vertices

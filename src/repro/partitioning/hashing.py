@@ -1,0 +1,141 @@
+"""Stateless one-pass baselines: hash, random, range, and chunked placement.
+
+These are the zero-knowledge lower bar every heuristic must beat.  Range
+placement doubles as SPNL's *logical pre-assignment* policy (paper
+Sec. IV-C), so :class:`RangePartitioner` is also imported by
+:mod:`repro.partitioning.spnl`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.digraph import AdjacencyRecord
+from ..graph.stream import VertexStream
+from .base import PartitionState, StreamingPartitioner
+
+__all__ = ["HashPartitioner", "RandomPartitioner", "RangePartitioner",
+           "ChunkedPartitioner", "range_boundaries", "range_partition_of"]
+
+
+def range_boundaries(num_vertices: int, num_partitions: int) -> np.ndarray:
+    """Split ``[0, num_vertices)`` into K near-equal consecutive ranges.
+
+    Returns ``K+1`` boundary ids; partition ``i`` owns
+    ``[boundaries[i], boundaries[i+1])``.  This is the O(2K) lookup table
+    of the paper's Range policy.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    return np.linspace(0, num_vertices, num_partitions + 1).astype(np.int64)
+
+
+def range_partition_of(vertices: np.ndarray | int,
+                       boundaries: np.ndarray) -> np.ndarray | int:
+    """Logical partition id(s) of ``vertices`` under Range boundaries."""
+    pids = np.searchsorted(boundaries, vertices, side="right") - 1
+    k = len(boundaries) - 2
+    return np.clip(pids, 0, k) if isinstance(pids, np.ndarray) \
+        else int(min(max(pids, 0), k))
+
+
+class HashPartitioner(StreamingPartitioner):
+    """Deterministic modulo-hash placement: ``pid = hash(v) mod K``.
+
+    The default partitioner of most Pregel-like systems; ignores topology
+    entirely, so its ECR approximates the random baseline ``1 - 1/K``.
+    """
+
+    @property
+    def name(self) -> str:
+        return "Hash"
+
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        scores = np.zeros(state.num_partitions)
+        # Knuth multiplicative hash keeps adjacent ids apart, matching the
+        # behaviour of real systems' id hashing.
+        pid = (record.vertex * 2654435761) % 2**32 % state.num_partitions
+        scores[pid] = 1.0
+        return scores
+
+
+class RandomPartitioner(StreamingPartitioner):
+    """Uniformly random placement (seeded, capacity-respecting)."""
+
+    def __init__(self, num_partitions: int, *, seed: int = 0,
+                 **kwargs) -> None:
+        super().__init__(num_partitions, **kwargs)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return "Random"
+
+    def _setup(self, stream: VertexStream, state: PartitionState) -> None:
+        self._rng = np.random.default_rng(self.seed)  # fresh per run
+
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        scores = np.zeros(state.num_partitions)
+        scores[self._rng.integers(0, state.num_partitions)] = 1.0
+        return scores
+
+
+class RangePartitioner(StreamingPartitioner):
+    """Consecutive-range placement — the paper's Range policy as a
+    standalone partitioner.
+
+    On BFS-ordered graphs this is surprisingly strong (locality is already
+    in the ids); on shuffled graphs it collapses to random quality.  SPNL's
+    logical pre-assignment is exactly this mapping.
+    """
+
+    @property
+    def name(self) -> str:
+        return "Range"
+
+    def _setup(self, stream: VertexStream, state: PartitionState) -> None:
+        self._boundaries = range_boundaries(stream.num_vertices,
+                                            state.num_partitions)
+
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        scores = np.zeros(state.num_partitions)
+        scores[range_partition_of(record.vertex, self._boundaries)] = 1.0
+        return scores
+
+
+class ChunkedPartitioner(StreamingPartitioner):
+    """Round-robin over fixed-size chunks of the arrival order.
+
+    Differs from Range when the stream is not id-ordered; used as an
+    arrival-order-sensitive control in ablations.
+    """
+
+    def __init__(self, num_partitions: int, *, chunk_size: int | None = None,
+                 **kwargs) -> None:
+        super().__init__(num_partitions, **kwargs)
+        self.chunk_size = chunk_size
+        self._seen = 0
+
+    @property
+    def name(self) -> str:
+        return "Chunked"
+
+    def _setup(self, stream: VertexStream, state: PartitionState) -> None:
+        self._seen = 0
+        if self.chunk_size is None:
+            self._chunk = max(
+                1, -(-stream.num_vertices // state.num_partitions))
+        else:
+            self._chunk = self.chunk_size
+
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        scores = np.zeros(state.num_partitions)
+        pid = (self._seen // self._chunk) % state.num_partitions
+        self._seen += 1
+        scores[pid] = 1.0
+        return scores

@@ -1,0 +1,33 @@
+"""LDG — Linear Deterministic Greedy streaming partitioner.
+
+The classical baseline of Stanton & Kliot (KDD 2012) in the exact form the
+paper uses as its starting point (Eq. 3):
+
+    pid = argmax_i |V_i^pt ∩ N_out(v)| · w^t(i, v)
+
+where ``w^t(i, v) = 1 - |P_i^t|/C`` penalizes loaded partitions.  Only the
+out-neighbor intersection with already-placed vertices is used — the
+"limited knowledge from the local view" that SPN/SPNL improve on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.digraph import AdjacencyRecord
+from .base import PartitionState, StreamingPartitioner
+
+__all__ = ["LDGPartitioner"]
+
+
+class LDGPartitioner(StreamingPartitioner):
+    """Eq. 3 of the paper — the linear deterministic greedy heuristic."""
+
+    @property
+    def name(self) -> str:
+        return "LDG"
+
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        intersections = state.neighbor_partition_counts(record.neighbors)
+        return intersections * state.penalty_weights()

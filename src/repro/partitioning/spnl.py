@@ -1,0 +1,132 @@
+"""SPNL — SPN enhanced with topology Locality (paper Sec. IV-C).
+
+SPN's knowledge is still thin during the initial streaming phase, when few
+vertices are physically placed.  SPNL fixes this with a *logical
+pre-assignment*: before streaming, every vertex is tentatively assigned by
+the O(2K) **Range** policy (consecutive id ranges → partitions), which is
+accurate exactly when vertex ids carry topology locality — true for
+BFS-crawled web graphs.  The placement rule becomes Eq. 6:
+
+    pid = argmax_i w^t(i,v) · ( (1-λ)·Σ_{u∈N_out(v)} Γ_i^t(u)
+            + λ·( (1-η_i^t)·|V_i^pt ∩ N_out(v)|
+                  + η_i^t·|V_i^lt ∩ N_out(v)| ) )
+
+where ``V_i^lt`` is the shrinking set of logically-assigned-but-not-yet-
+placed vertices and the decay factor
+
+    η_i^t = max(0, (|V_i^lt| - |V_i^pt|) / |V_i^lt|)
+
+starts at 1 (trust the assumption) and decays toward 0 as physical
+knowledge accumulates.  A vertex leaves ``V^lt`` the moment it is
+physically placed — regardless of where — so the logical term only ever
+counts genuinely unplaced neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..graph.digraph import AdjacencyRecord
+from ..graph.stream import VertexStream
+from .assignment import UNASSIGNED
+from .base import PartitionState
+from .eta import EtaSchedule, resolve_eta_schedule
+from .hashing import range_boundaries
+from .spn import SPNPartitioner
+
+__all__ = ["SPNLPartitioner"]
+
+
+class SPNLPartitioner(SPNPartitioner):
+    """The SPNL heuristic (Eq. 6) — the paper's headline partitioner.
+
+    Accepts every :class:`SPNPartitioner` parameter (λ, sliding-window X,
+    balance mode, slack) plus:
+
+    Parameters
+    ----------
+    use_decay:
+        ``True`` (default) selects the paper's η schedule; ``False``
+        freezes η at 1.  Shorthand for the corresponding
+        ``eta_schedule`` values.
+    eta_schedule:
+        Full control over the decay (paper Sec. IV-C future work): a
+        name from :data:`repro.partitioning.eta.ETA_SCHEDULES`
+        ("paper", "frozen", "linear", "sqrt"), a constant in [0, 1], or
+        a callable ``(lt, pt, range_sizes) -> eta``.  Overrides
+        ``use_decay`` when given.
+    """
+
+    def __init__(self, num_partitions: int, *, use_decay: bool = True,
+                 eta_schedule: str | float | EtaSchedule | None = None,
+                 **kwargs) -> None:
+        super().__init__(num_partitions, **kwargs)
+        self.use_decay = use_decay
+        if eta_schedule is None:
+            eta_schedule = "paper" if use_decay else "frozen"
+        self.eta_schedule = resolve_eta_schedule(eta_schedule)
+        self._boundaries: np.ndarray | None = None
+        self._logical_pid: np.ndarray | None = None
+        self._lt_counts: np.ndarray | None = None
+        self._range_sizes: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "SPNL"
+
+    # ------------------------------------------------------------------
+    def _setup(self, stream: VertexStream, state: PartitionState) -> None:
+        super()._setup(stream, state)
+        n = stream.num_vertices
+        self._boundaries = range_boundaries(n, self.num_partitions)
+        # Precomputing each id's logical partition trades O(|V|) ints for
+        # O(1) lookups in the hot loop; the O(2K) table of the paper is
+        # recoverable from _boundaries and is what the memory model counts.
+        self._logical_pid = (np.searchsorted(
+            self._boundaries, np.arange(n), side="right") - 1).clip(
+            0, self.num_partitions - 1).astype(np.int32)
+        self._lt_counts = np.diff(self._boundaries).astype(np.int64)
+        self._range_sizes = self._lt_counts.copy()
+
+    def _eta(self, state: PartitionState) -> np.ndarray:
+        """The per-partition decay η_i^t of Eq. 6 (pluggable schedule)."""
+        return self.eta_schedule(self._lt_counts, state.vertex_counts,
+                                 self._range_sizes)
+
+    def _logical_intersections(self, state: PartitionState,
+                               neighbors: np.ndarray) -> np.ndarray:
+        """``|V_i^lt ∩ N_out(v)|``: unplaced neighbors by logical home."""
+        if len(neighbors) == 0:
+            return np.zeros(self.num_partitions, dtype=np.int64)
+        unplaced = neighbors[state.route[neighbors] == UNASSIGNED]
+        if len(unplaced) == 0:
+            return np.zeros(self.num_partitions, dtype=np.int64)
+        return np.bincount(self._logical_pid[unplaced],
+                           minlength=self.num_partitions).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def _score(self, record: AdjacencyRecord,
+               state: PartitionState) -> np.ndarray:
+        self.expectation_store.advance_to(record.vertex)
+        in_term = self._in_term(record)
+        out_physical = state.neighbor_partition_counts(record.neighbors)
+        out_logical = self._logical_intersections(state, record.neighbors)
+        eta = self._eta(state)
+        out_term = (1.0 - eta) * out_physical + eta * out_logical
+        combined = (1.0 - self.lam) * in_term + self.lam * out_term
+        return combined * state.penalty_weights()
+
+    def _after_commit(self, record: AdjacencyRecord, pid: int,
+                      state: PartitionState) -> None:
+        super()._after_commit(record, pid, state)
+        # v leaves V^lt of its logical home the moment it is placed.
+        self._lt_counts[self._logical_pid[record.vertex]] -= 1
+
+    def _extra_stats(self) -> dict[str, Any]:
+        stats = super()._extra_stats()
+        stats["use_decay"] = self.use_decay
+        stats["eta_schedule"] = getattr(self.eta_schedule, "__name__",
+                                        str(self.eta_schedule))
+        return stats

@@ -1,0 +1,44 @@
+"""Pregel-like BSP runtime: shows what a partitioning costs downstream."""
+
+from .algorithms import (
+    ConnectedComponentsProgram,
+    PageRankProgram,
+    SSSPProgram,
+    run_pagerank,
+    run_sssp,
+    run_wcc,
+)
+from .cluster import (
+    ClusterModel,
+    JobCostReport,
+    SuperstepCost,
+    simulate_job,
+)
+from .comm import CommReport, SuperstepStats
+from .extra_algorithms import (
+    PersonalizedPageRankProgram,
+    run_hits,
+    run_ppr,
+)
+from .engine import BSPEngine, BSPRun, VertexProgram
+
+__all__ = [
+    "BSPEngine",
+    "BSPRun",
+    "ClusterModel",
+    "CommReport",
+    "JobCostReport",
+    "ConnectedComponentsProgram",
+    "PageRankProgram",
+    "PersonalizedPageRankProgram",
+    "SSSPProgram",
+    "SuperstepCost",
+    "SuperstepStats",
+    "simulate_job",
+    "VertexProgram",
+    "run_hits",
+    "run_pagerank",
+    "run_ppr",
+    "run_sssp",
+    "run_wcc",
+]

@@ -1,0 +1,152 @@
+"""A vectorized Pregel-like BSP engine over a partitioned graph.
+
+The paper motivates streaming partitioning with systems like Pregel, where
+the partitioner is a built-in preprocessing step of every analysis job and
+cut edges become network messages.  This engine closes that loop: given a
+:class:`~repro.graph.digraph.DiGraph` and a
+:class:`~repro.partitioning.assignment.PartitionAssignment`, it runs
+vertex-centric programs superstep by superstep and reports the local/remote
+message split — so examples and benchmarks can show SPNL's ECR advantage
+turning into fewer remote messages and a shorter simulated makespan.
+
+Vertex programs are *batch* formulations of the classic vertex-centric
+API: instead of one ``compute()`` call per vertex, the engine hands the
+program dense per-vertex arrays and the program answers with dense arrays
+(values, message payloads, sender mask).  Semantics match Pregel's
+broadcast-to-out-neighbors pattern with a commutative combiner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..partitioning.assignment import PartitionAssignment
+from .comm import CommReport
+
+__all__ = ["VertexProgram", "BSPEngine", "BSPRun"]
+
+
+class VertexProgram(ABC):
+    """A batch vertex-centric program.
+
+    ``combiner`` declares how concurrent messages to one vertex merge:
+    ``"sum"`` (e.g. PageRank contributions) or ``"min"`` (e.g. shortest
+    distances, component labels).
+    """
+
+    combiner: str = "sum"
+
+    @abstractmethod
+    def initial_values(self, graph: DiGraph) -> np.ndarray:
+        """Per-vertex state before superstep 0."""
+
+    @abstractmethod
+    def compute(self, superstep: int, graph: DiGraph, values: np.ndarray,
+                incoming: np.ndarray | None
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One superstep over all vertices at once.
+
+        Parameters
+        ----------
+        superstep:
+            0-based superstep index (``incoming`` is ``None`` at 0).
+        values:
+            Current per-vertex state.
+        incoming:
+            Combined messages per vertex from the previous superstep
+            (identity element where nothing arrived).
+
+        Returns
+        -------
+        ``(new_values, message_payloads, sends)``: the updated state, the
+        payload each vertex *would* broadcast along its out-edges, and a
+        boolean mask of vertices that actually send.  The run halts when
+        no vertex sends.
+        """
+
+
+@dataclass
+class BSPRun:
+    """Result of :meth:`BSPEngine.run`."""
+
+    values: np.ndarray
+    comm: CommReport
+    supersteps: int
+    program: str
+
+    def __str__(self) -> str:
+        return (f"BSPRun(program={self.program}, "
+                f"supersteps={self.supersteps}, {self.comm})")
+
+
+class BSPEngine:
+    """Runs :class:`VertexProgram` instances over a fixed partitioning."""
+
+    def __init__(self, graph: DiGraph,
+                 assignment: PartitionAssignment) -> None:
+        assignment.validate(graph.num_vertices)
+        self.graph = graph
+        self.assignment = assignment
+        # Precompute the edge arrays and the cut mask once; every
+        # superstep reuses them.
+        self._src, self._dst = graph.edge_array()
+        route = assignment.route
+        self._edge_is_remote = route[self._src] != route[self._dst]
+        self._dst_partition = route[self._dst]
+        self._src_partition = route[self._src]
+
+    # ------------------------------------------------------------------
+    def _combine(self, dst: np.ndarray, payloads: np.ndarray,
+                 combiner: str, n: int) -> np.ndarray:
+        if combiner == "sum":
+            out = np.zeros(n, dtype=np.float64)
+            np.add.at(out, dst, payloads)
+            return out
+        if combiner == "min":
+            out = np.full(n, np.inf, dtype=np.float64)
+            np.minimum.at(out, dst, payloads)
+            return out
+        raise ValueError(f"unknown combiner {combiner!r}")
+
+    def run(self, program: VertexProgram, *,
+            max_supersteps: int = 100) -> BSPRun:
+        """Execute ``program`` to quiescence (or ``max_supersteps``)."""
+        graph = self.graph
+        n = graph.num_vertices
+        values = program.initial_values(graph)
+        comm = CommReport(num_partitions=self.assignment.num_partitions)
+        incoming: np.ndarray | None = None
+        received = np.zeros(self.assignment.num_partitions, dtype=np.int64)
+
+        for superstep in range(max_supersteps):
+            values, payloads, sends = program.compute(
+                superstep, graph, values, incoming)
+            if not sends.any():
+                break
+            edge_sel = sends[self._src]
+            active = int(sends.sum())
+            remote_edges = edge_sel & self._edge_is_remote
+            remote = int(np.sum(remote_edges))
+            local = int(edge_sel.sum()) - remote
+            k = self.assignment.num_partitions
+            received_now = np.bincount(self._dst_partition[edge_sel],
+                                       minlength=k)
+            comm.record(
+                superstep, local, remote, active,
+                received=received_now,
+                remote_in=np.bincount(self._dst_partition[remote_edges],
+                                      minlength=k),
+                remote_out=np.bincount(self._src_partition[remote_edges],
+                                       minlength=k))
+            received += received_now
+            incoming = self._combine(
+                self._dst[edge_sel], payloads[self._src[edge_sel]],
+                program.combiner, n)
+        comm.received_per_partition = received
+        return BSPRun(values=values, comm=comm,
+                      supersteps=comm.num_supersteps,
+                      program=type(program).__name__)

@@ -1,0 +1,72 @@
+"""Unit tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.bench import SweepResult, sweep
+from repro.bench.harness import BenchRecord
+from repro.offline import MultilevelPartitioner
+from repro.partitioning import LDGPartitioner, SPNLPartitioner
+
+
+class TestSweep:
+    def test_grid_enumeration(self, web_graph):
+        result = sweep(lambda **kw: LDGPartitioner(4, **kw), web_graph,
+                       {"slack": [1.0, 1.1, 1.2]})
+        assert len(result) == 3
+        assert [p["slack"] for p, _ in result.records] == [1.0, 1.1, 1.2]
+
+    def test_multi_axis_product(self, web_graph):
+        result = sweep(lambda **kw: SPNLPartitioner(4, **kw), web_graph,
+                       {"lam": [0.25, 0.75],
+                        "eta_schedule": ["paper", "frozen"]})
+        assert len(result) == 4
+        combos = {(p["lam"], p["eta_schedule"])
+                  for p, _ in result.records}
+        assert combos == {(0.25, "paper"), (0.25, "frozen"),
+                          (0.75, "paper"), (0.75, "frozen")}
+
+    def test_best_minimizes(self, web_graph):
+        result = sweep(lambda **kw: LDGPartitioner(4, **kw), web_graph,
+                       {"slack": [1.0, 1.3]})
+        best = result.best("ecr")
+        ecrs = {p["slack"]: r.ecr for p, r in result.records}
+        assert ecrs[best["slack"]] == min(ecrs.values())
+
+    def test_best_maximize_mode(self, web_graph):
+        result = sweep(lambda **kw: LDGPartitioner(4, **kw), web_graph,
+                       {"slack": [1.0, 1.3]})
+        worst = result.best("ecr", minimize=False)
+        ecrs = {p["slack"]: r.ecr for p, r in result.records}
+        assert ecrs[worst["slack"]] == max(ecrs.values())
+
+    def test_works_with_offline(self, web_graph):
+        result = sweep(lambda **kw: MultilevelPartitioner(4, **kw),
+                       web_graph, {"refine_passes": [1, 4]})
+        assert len(result) == 2
+        assert all(not r.failed for _, r in result.records)
+        # more refinement never hurts quality
+        by_passes = {p["refine_passes"]: r.ecr
+                     for p, r in result.records}
+        assert by_passes[4] <= by_passes[1] + 1e-9
+
+    def test_as_rows_shape(self, web_graph):
+        result = sweep(lambda **kw: LDGPartitioner(4, **kw), web_graph,
+                       {"slack": [1.1]})
+        rows = result.as_rows()
+        assert rows[0]["slack"] == 1.1
+        assert "ecr" in rows[0]
+
+    def test_failed_runs_skipped_by_best(self):
+        result = SweepResult(parameter_names=["x"])
+        result.records.append(
+            ({"x": 1}, BenchRecord(graph="g", partitioner="p",
+                                   num_partitions=2, failed=True)))
+        with pytest.raises(ValueError, match="no successful run"):
+            result.best("ecr")
+
+    def test_failed_rows_marked(self):
+        result = SweepResult(parameter_names=["x"])
+        result.records.append(
+            ({"x": 1}, BenchRecord(graph="g", partitioner="p",
+                                   num_partitions=2, failed=True)))
+        assert result.as_rows()[0]["ecr"] == "F"

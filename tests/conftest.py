@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    GraphStream,
+    community_web_graph,
+    from_edges,
+    grid_graph,
+    ring_of_cliques,
+)
+
+
+@pytest.fixture
+def tiny_graph() -> DiGraph:
+    """5 vertices, hand-checkable structure.
+
+    Edges: 0→1, 0→2, 1→2, 2→3, 3→4, 4→0.
+    """
+    return from_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0)],
+        num_vertices=5, name="tiny")
+
+
+@pytest.fixture
+def paper_fig1_state():
+    """The exact local view of the paper's Figure 1 worked example.
+
+    Vertices 1..6 (1-indexed as in the figure) already placed:
+    V1 = {3, 5}, V2 = {1, 2}, V3 = {4, 6}; adjacency lists as drawn.
+    Vertex 7 with N_out = {6, 9, 10} is about to arrive.  Ids run to 15
+    (the figure's largest referenced id).
+    """
+    adjacency = {
+        3: [4, 5, 11],
+        5: [2, 3, 14],
+        1: [6, 8, 9],
+        2: [4, 7, 8],
+        4: [11, 12, 15],
+        6: [4, 7, 13],
+        7: [6, 9, 10],
+    }
+    placement = {3: 0, 5: 0, 1: 1, 2: 1, 4: 2, 6: 2}
+    return adjacency, placement
+
+
+@pytest.fixture(scope="session")
+def web_graph() -> DiGraph:
+    """A mid-size locality-rich web stand-in shared by slow tests."""
+    return community_web_graph(4000, avg_community_size=50, seed=42,
+                               name="web4k")
+
+
+@pytest.fixture(scope="session")
+def web_stream_factory(web_graph):
+    """Factory producing fresh id-ordered streams of the shared graph."""
+    def _make():
+        return GraphStream(web_graph)
+    return _make
+
+
+@pytest.fixture
+def cliques_graph() -> DiGraph:
+    """8 cliques of 6 vertices in a ring — known optimal partitioning."""
+    return ring_of_cliques(8, 6)
+
+
+@pytest.fixture
+def grid() -> DiGraph:
+    return grid_graph(12, 12)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

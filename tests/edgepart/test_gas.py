@@ -1,0 +1,89 @@
+"""Unit tests for the GAS synchronization cost model."""
+
+import numpy as np
+import pytest
+
+from repro.edgepart import (
+    EdgeAssignment,
+    HDRFPartitioner,
+    RandomEdgePartitioner,
+    SPNLEdgePartitioner,
+    evaluate_edges,
+    gas_sync_report,
+    simulate_gas_job,
+)
+from repro.graph import from_edges
+
+
+@pytest.fixture
+def two_partition_case():
+    """Edge (0,1) on P0, edge (1,2) on P1: vertex 1 has one mirror."""
+    g = from_edges([(0, 1), (1, 2)], num_vertices=3)
+    replicas = np.zeros((3, 2), dtype=bool)
+    replicas[0, 0] = True
+    replicas[1, 0] = True
+    replicas[1, 1] = True
+    replicas[2, 1] = True
+    assignment = EdgeAssignment(np.array([0, 1], dtype=np.int32), 2,
+                                replicas)
+    return g, assignment
+
+
+class TestGasSyncReport:
+    def test_mirror_traffic_counted(self, two_partition_case):
+        g, assignment = two_partition_case
+        comm = gas_sync_report(g, assignment, supersteps=1)
+        # one mirror (vertex 1 on P1) ↔ its master on P0: 2 messages
+        assert comm.remote_messages == 2
+
+    def test_no_replication_no_remote(self):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        replicas = np.zeros((2, 2), dtype=bool)
+        replicas[0, 0] = True
+        replicas[1, 0] = True
+        assignment = EdgeAssignment(np.array([0, 0], dtype=np.int32), 2,
+                                    replicas)
+        comm = gas_sync_report(g, assignment)
+        assert comm.remote_messages == 0
+
+    def test_supersteps_scale_linearly(self, two_partition_case):
+        g, assignment = two_partition_case
+        one = gas_sync_report(g, assignment, supersteps=1)
+        five = gas_sync_report(g, assignment, supersteps=5)
+        assert five.remote_messages == 5 * one.remote_messages
+        assert five.num_supersteps == 5
+
+    def test_total_remote_matches_rf_identity(self, web_graph):
+        """Σ 2(|A(v)|-1) == 2·touched·(RF-1), the PowerGraph identity."""
+        result = HDRFPartitioner(8).partition(web_graph)
+        comm = gas_sync_report(web_graph, result.assignment)
+        counts = result.assignment.replicas.sum(axis=1)
+        expected = int(2 * (counts[counts > 0] - 1).sum())
+        assert comm.remote_messages == expected
+
+    def test_graph_mismatch_rejected(self, two_partition_case):
+        _, assignment = two_partition_case
+        other = from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(ValueError, match="cover"):
+            gas_sync_report(other, assignment)
+
+
+class TestSimulateGasJob:
+    def test_lower_rf_cheaper_job(self, web_graph):
+        """The edge-partitioning bottom line: SPNL-E's lower RF turns
+        into less simulated cluster time than HDRF and Random."""
+        costs = {}
+        for cls in (RandomEdgePartitioner, HDRFPartitioner,
+                    SPNLEdgePartitioner):
+            result = cls(8).partition(web_graph)
+            costs[cls.__name__] = simulate_gas_job(
+                web_graph, result.assignment,
+                supersteps=10).makespan_seconds
+        assert costs["SPNLEdgePartitioner"] < costs["HDRFPartitioner"]
+        assert costs["HDRFPartitioner"] < costs["RandomEdgePartitioner"]
+
+    def test_report_fields(self, two_partition_case):
+        g, assignment = two_partition_case
+        cost = simulate_gas_job(g, assignment, supersteps=3)
+        assert cost.makespan_seconds > 0
+        assert cost.num_partitions == 2

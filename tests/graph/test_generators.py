@@ -1,0 +1,139 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    community_web_graph,
+    erdos_renyi,
+    grid_graph,
+    locality_score,
+    power_law_degrees,
+    ring_of_cliques,
+    rmat,
+)
+
+
+class TestPowerLawDegrees:
+    def test_bounds_respected(self, rng):
+        d = power_law_degrees(5000, exponent=2.2, min_degree=2,
+                              max_degree=50, rng=rng)
+        assert d.min() >= 2 and d.max() <= 50
+
+    def test_skewed_distribution(self, rng):
+        d = power_law_degrees(20000, exponent=2.0, min_degree=1,
+                              max_degree=1000, rng=rng)
+        # A power law has median well below mean.
+        assert np.median(d) < d.mean()
+
+    def test_exponent_one_special_case(self, rng):
+        d = power_law_degrees(1000, exponent=1.0, min_degree=1,
+                              max_degree=100, rng=rng)
+        assert d.min() >= 1 and d.max() <= 100
+
+
+class TestErdosRenyi:
+    def test_size(self):
+        g = erdos_renyi(500, avg_degree=6.0, seed=1)
+        assert g.num_vertices == 500
+        # dedupe + self-loop removal trims slightly below n·avg
+        assert 0.8 * 3000 <= g.num_edges <= 3000
+
+    def test_deterministic(self):
+        assert erdos_renyi(200, seed=5) == erdos_renyi(200, seed=5)
+
+    def test_no_locality(self):
+        g = erdos_renyi(2000, avg_degree=8.0, seed=1)
+        assert locality_score(g) < 0.3
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(300, m=3, seed=1)
+        assert g.num_vertices == 300
+        assert g.num_edges == (300 - 3) * 3
+
+    def test_scale_free_in_degree(self):
+        g = barabasi_albert(2000, m=4, seed=1)
+        in_deg = g.in_degrees()
+        assert in_deg.max() > 10 * np.median(in_deg[in_deg > 0])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m=5)
+
+
+class TestRmat:
+    def test_size_power_of_two(self):
+        g = rmat(8, edge_factor=8, seed=1)
+        assert g.num_vertices == 256
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(6, a=0.6, b=0.3, c=0.3)
+
+    def test_degree_skew(self):
+        g = rmat(10, edge_factor=16, seed=2)
+        out = g.out_degrees()
+        assert out.max() > 5 * max(1, np.median(out))
+
+
+class TestCommunityWebGraph:
+    def test_size_and_determinism(self):
+        a = community_web_graph(2000, seed=9)
+        b = community_web_graph(2000, seed=9)
+        assert a == b
+        assert a.num_vertices == 2000
+
+    def test_locality_from_consecutive_communities(self):
+        g = community_web_graph(4000, avg_community_size=40,
+                                intra_fraction=0.85, near_fraction=0.1,
+                                seed=3)
+        assert locality_score(g) > 0.8
+
+    def test_low_intra_reduces_locality(self):
+        local = community_web_graph(4000, intra_fraction=0.9,
+                                    near_fraction=0.05, seed=3)
+        glob = community_web_graph(4000, intra_fraction=0.2,
+                                   near_fraction=0.05, seed=3)
+        assert locality_score(glob) < locality_score(local)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            community_web_graph(100, intra_fraction=0.9, near_fraction=0.3)
+
+    def test_superhubs_present(self):
+        g = community_web_graph(3000, superhub_count=2,
+                                superhub_degree=800, seed=4)
+        assert g.max_out_degree() > 400  # dedupe trims but stays large
+
+    def test_density_skew_increases_edges(self):
+        flat = community_web_graph(3000, density_skew=1.0, seed=4)
+        skew = community_web_graph(3000, density_skew=10.0, seed=4)
+        assert skew.num_edges > flat.num_edges
+
+    def test_reciprocity_adds_back_edges(self):
+        none = community_web_graph(2000, reciprocity=0.0, seed=4)
+        full = community_web_graph(2000, reciprocity=0.9, seed=4)
+        assert full.num_edges > none.num_edges
+
+
+class TestDeterministicGraphs:
+    def test_ring_of_cliques_structure(self):
+        g = ring_of_cliques(4, 5)
+        assert g.num_vertices == 20
+        # each clique: 5·4 directed edges; plus 4 bridges
+        assert g.num_edges == 4 * 20 + 4
+        assert g.has_edge(0, 1) and g.has_edge(4, 5)  # bridge 4→5
+
+    def test_grid_degrees(self):
+        g = grid_graph(4, 4)
+        assert g.num_vertices == 16
+        # corner vertex has 2 out-edges, center has 4
+        assert g.out_degree(0) == 2
+        assert g.out_degree(5) == 4
+
+    def test_grid_symmetry(self):
+        g = grid_graph(3, 3)
+        assert all(g.has_edge(b, a) for a, b in g.edges())

@@ -1,0 +1,86 @@
+"""Unit tests for vertex relabeling and the locality score."""
+
+import numpy as np
+
+from repro.graph import (
+    bfs_order,
+    bfs_relabel,
+    community_web_graph,
+    degree_order,
+    degree_relabel,
+    from_edges,
+    locality_score,
+    random_relabel,
+)
+
+
+class TestBfsOrder:
+    def test_visits_every_vertex_once(self, tiny_graph):
+        order = bfs_order(tiny_graph)
+        assert sorted(order.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_starts_at_start(self, tiny_graph):
+        assert bfs_order(tiny_graph, start=3)[0] == 3
+
+    def test_handles_disconnected(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        order = bfs_order(g)
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_bfs_layers_are_contiguous(self):
+        # path graph: BFS from 0 must visit in path order
+        g = from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+        assert bfs_order(g, start=0).tolist() == [0, 1, 2, 3]
+
+
+class TestRelabeling:
+    def test_bfs_relabel_preserves_structure(self, tiny_graph):
+        g2 = bfs_relabel(tiny_graph)
+        assert g2.num_edges == tiny_graph.num_edges
+        assert g2.num_vertices == tiny_graph.num_vertices
+
+    def test_bfs_relabel_improves_locality(self):
+        base = community_web_graph(3000, avg_community_size=40, seed=5)
+        scrambled = random_relabel(base, seed=7)
+        restored = bfs_relabel(scrambled)
+        assert locality_score(restored) > locality_score(scrambled)
+
+    def test_random_relabel_destroys_locality(self):
+        base = community_web_graph(3000, avg_community_size=40, seed=5)
+        scrambled = random_relabel(base, seed=7)
+        assert locality_score(scrambled) < 0.5 * locality_score(base)
+
+    def test_random_relabel_deterministic(self, tiny_graph):
+        assert random_relabel(tiny_graph, seed=3) == random_relabel(
+            tiny_graph, seed=3)
+
+    def test_degree_order_sorts_descending(self, tiny_graph):
+        order = degree_order(tiny_graph)
+        totals = tiny_graph.out_degrees() + tiny_graph.in_degrees()
+        sorted_totals = totals[order]
+        assert all(sorted_totals[:-1] >= sorted_totals[1:])
+
+    def test_degree_relabel_puts_hub_first(self):
+        g = from_edges([(0, 3), (1, 3), (2, 3), (3, 0)], num_vertices=4)
+        relabeled = degree_relabel(g)
+        # vertex 3 (degree 4) becomes vertex 0
+        assert relabeled.out_degree(0) + relabeled.in_degrees()[0] == 4
+
+
+class TestLocalityScore:
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=0)
+        assert locality_score(g) == 1.0
+
+    def test_perfectly_local(self):
+        g = from_edges([(i, i + 1) for i in range(99)], num_vertices=100)
+        assert locality_score(g, window=1) == 1.0
+
+    def test_antilocal(self):
+        g = from_edges([(0, 99), (1, 98)], num_vertices=100)
+        assert locality_score(g, window=5) == 0.0
+
+    def test_window_parameter(self):
+        g = from_edges([(0, 10)], num_vertices=20)
+        assert locality_score(g, window=10) == 1.0
+        assert locality_score(g, window=9) == 0.0

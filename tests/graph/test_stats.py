@@ -1,0 +1,62 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+
+from repro.graph import degree_histogram, describe, from_edges, gini
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 7.0)) == 0.0
+
+    def test_empty_is_zero(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(10)) == 0.0
+
+    def test_concentrated_is_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 1e6
+        assert gini(values) > 0.99
+
+    def test_monotone_in_skew(self):
+        mild = np.array([1, 1, 1, 2, 2, 3], dtype=float)
+        harsh = np.array([1, 1, 1, 1, 1, 20], dtype=float)
+        assert gini(harsh) > gini(mild)
+
+
+class TestDegreeHistogram:
+    def test_out_histogram(self, tiny_graph):
+        values, counts = degree_histogram(tiny_graph, direction="out")
+        # degrees: [2,1,1,1,1] → value 1 appears 4x, value 2 once
+        assert dict(zip(values.tolist(), counts.tolist())) == {1: 4, 2: 1}
+
+    def test_in_histogram(self, tiny_graph):
+        values, counts = degree_histogram(tiny_graph, direction="in")
+        assert dict(zip(values.tolist(), counts.tolist())) == {1: 4, 2: 1}
+
+    def test_invalid_direction(self, tiny_graph):
+        import pytest
+        with pytest.raises(ValueError):
+            degree_histogram(tiny_graph, direction="sideways")
+
+
+class TestDescribe:
+    def test_fields(self, tiny_graph):
+        stats = describe(tiny_graph)
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 6
+        assert stats.avg_out_degree == 1.2
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.csr_bytes > 0
+
+    def test_as_row_keys(self, tiny_graph):
+        row = describe(tiny_graph).as_row()
+        assert {"graph", "|V|", "|E|", "avg_deg", "locality"} <= set(row)
+
+    def test_empty_graph(self):
+        stats = describe(from_edges([], num_vertices=0))
+        assert stats.num_vertices == 0
+        assert stats.avg_out_degree == 0.0

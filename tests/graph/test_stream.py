@@ -1,0 +1,85 @@
+"""Unit tests for the one-pass vertex streams."""
+
+import numpy as np
+import pytest
+
+from repro.graph import FileStream, GraphStream, shuffled, write_adjacency
+
+
+class TestGraphStream:
+    def test_default_id_order(self, tiny_graph):
+        stream = GraphStream(tiny_graph)
+        assert [r.vertex for r in stream] == [0, 1, 2, 3, 4]
+        assert stream.is_id_ordered
+
+    def test_totals(self, tiny_graph):
+        stream = GraphStream(tiny_graph)
+        assert stream.num_vertices == 5
+        assert stream.num_edges == 6
+
+    def test_explicit_order(self, tiny_graph):
+        stream = GraphStream(tiny_graph, order=[4, 3, 2, 1, 0])
+        assert [r.vertex for r in stream] == [4, 3, 2, 1, 0]
+        assert not stream.is_id_ordered
+
+    def test_order_must_be_permutation(self, tiny_graph):
+        with pytest.raises(ValueError, match="permutation"):
+            GraphStream(tiny_graph, order=[0, 0, 1, 2, 3])
+
+    def test_order_must_cover_all(self, tiny_graph):
+        with pytest.raises(ValueError, match="every vertex"):
+            GraphStream(tiny_graph, order=[0, 1, 2])
+
+    def test_reiterable(self, tiny_graph):
+        stream = GraphStream(tiny_graph)
+        first = [r.vertex for r in stream]
+        second = [r.vertex for r in stream]
+        assert first == second
+
+    def test_records_carry_neighbors(self, tiny_graph):
+        record = next(iter(GraphStream(tiny_graph)))
+        assert list(record.neighbors) == [1, 2]
+
+
+class TestFileStream:
+    def test_streams_file(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        stream = FileStream(path)
+        assert stream.num_vertices == 5
+        assert stream.num_edges == 6
+        assert [r.vertex for r in stream] == [0, 1, 2, 3, 4]
+
+    def test_explicit_totals_skip_prescan(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        stream = FileStream(path, num_vertices=5, num_edges=6)
+        assert stream.num_vertices == 5
+
+    def test_prescan_infers_max_id(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("0 9\n")
+        stream = FileStream(path)
+        assert stream.num_vertices == 10
+        assert stream.num_edges == 1
+
+    def test_is_id_ordered(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        assert FileStream(path).is_id_ordered
+
+
+class TestShuffled:
+    def test_covers_all_vertices(self, tiny_graph):
+        stream = shuffled(tiny_graph, seed=3)
+        assert sorted(r.vertex for r in stream) == [0, 1, 2, 3, 4]
+
+    def test_deterministic_per_seed(self, tiny_graph):
+        a = [r.vertex for r in shuffled(tiny_graph, seed=3)]
+        b = [r.vertex for r in shuffled(tiny_graph, seed=3)]
+        assert a == b
+
+    def test_different_seeds_differ(self, web_graph):
+        a = [r.vertex for r in shuffled(web_graph, seed=1)]
+        b = [r.vertex for r in shuffled(web_graph, seed=2)]
+        assert a != b

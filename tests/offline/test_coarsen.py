@@ -1,0 +1,124 @@
+"""Unit tests for heavy-edge matching and graph contraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import community_web_graph, from_edges, ring_of_cliques
+from repro.offline import (
+    WeightedGraph,
+    coarsen,
+    contract,
+    heavy_edge_matching,
+)
+
+
+def _wg(digraph):
+    return WeightedGraph.from_digraph(digraph)
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, rng):
+        wg = _wg(community_web_graph(500, seed=3))
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(0))
+        for v, partner in enumerate(match.tolist()):
+            assert match[partner] == v  # involution
+
+    def test_matched_pairs_are_adjacent(self):
+        wg = _wg(ring_of_cliques(4, 4))
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(0))
+        src = np.repeat(np.arange(wg.num_vertices), np.diff(wg.indptr))
+        edges = set(zip(src.tolist(), wg.indices.tolist()))
+        for v, partner in enumerate(match.tolist()):
+            if partner != v:
+                assert (v, partner) in edges
+
+    def test_isolated_vertices_self_match(self):
+        wg = _wg(from_edges([(0, 1)], num_vertices=4))
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(0))
+        assert match[2] == 2 and match[3] == 3
+
+    def test_prefers_heavy_edges(self):
+        # 0-1 weight 2 (anti-parallel), 1-2 weight 1: 1 must pair with 0.
+        g = from_edges([(0, 1), (1, 0), (1, 2)], num_vertices=3)
+        match = heavy_edge_matching(_wg(g), rng=np.random.default_rng(0))
+        assert match[1] == 0 and match[0] == 1
+
+    def test_max_weight_cap_respected(self):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        wg = _wg(g)
+        wg.vertex_weights[:] = 10
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(0),
+                                    max_weight=15)
+        assert match[0] == 0 and match[1] == 1  # pair would weigh 20
+
+
+class TestContract:
+    def test_total_vertex_weight_preserved(self):
+        wg = _wg(community_web_graph(400, seed=2))
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(1))
+        coarse, coarse_of = contract(wg, match)
+        assert coarse.total_vertex_weight == wg.total_vertex_weight
+
+    def test_mapping_covers_all(self):
+        wg = _wg(community_web_graph(400, seed=2))
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(1))
+        coarse, coarse_of = contract(wg, match)
+        assert len(coarse_of) == wg.num_vertices
+        assert coarse_of.max() == coarse.num_vertices - 1
+
+    def test_matched_pairs_merge(self):
+        g = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], num_vertices=4)
+        wg = _wg(g)
+        match = np.array([1, 0, 3, 2])
+        coarse, coarse_of = contract(wg, match)
+        assert coarse.num_vertices == 2
+        assert coarse_of[0] == coarse_of[1]
+        assert coarse_of[2] == coarse_of[3]
+
+    def test_cross_pair_weights_aggregate(self):
+        # two pairs joined by two parallel-ish edges → one weight-2 edge
+        g = from_edges([(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)],
+                       num_vertices=4)
+        wg = _wg(g)
+        coarse, _ = contract(wg, np.array([1, 0, 3, 2]))
+        assert coarse.num_adjacency_entries == 2
+        assert list(coarse.edge_weights) == [2, 2]
+
+    def test_intra_pair_edges_vanish(self):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        coarse, _ = contract(_wg(g), np.array([1, 0]))
+        assert coarse.num_adjacency_entries == 0
+
+
+class TestCoarsenHierarchy:
+    def test_reaches_target(self):
+        wg = _wg(community_web_graph(2000, seed=4))
+        levels = coarsen(wg, target_vertices=100, seed=0)
+        assert levels[-1].graph.num_vertices <= 2 * 100  # near target
+
+    def test_monotone_shrinking(self):
+        wg = _wg(community_web_graph(2000, seed=4))
+        levels = coarsen(wg, target_vertices=100, seed=0)
+        sizes = [lvl.graph.num_vertices for lvl in levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_weight_preserved_through_hierarchy(self):
+        wg = _wg(community_web_graph(1000, seed=4))
+        levels = coarsen(wg, target_vertices=50, seed=0)
+        for lvl in levels:
+            assert lvl.graph.total_vertex_weight == 1000
+
+    def test_small_graph_single_level(self):
+        wg = _wg(from_edges([(0, 1)], num_vertices=4))
+        levels = coarsen(wg, target_vertices=100, seed=0)
+        assert len(levels) == 1
+        assert levels[0].graph is wg
+
+    def test_projection_maps_compose(self):
+        wg = _wg(community_web_graph(1000, seed=4))
+        levels = coarsen(wg, target_vertices=50, seed=0)
+        # projecting a coarsest-level labeling down never fails
+        labels = np.arange(levels[-1].graph.num_vertices)
+        for lvl in reversed(levels[:-1]):
+            labels = labels[lvl.coarse_of]
+        assert len(labels) == 1000

@@ -1,0 +1,91 @@
+"""Unit tests for the XtraPuLP-like label-propagation partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, community_web_graph
+from repro.offline import (
+    LabelPropagationPartitioner,
+    MultilevelPartitioner,
+    OutOfMemoryError,
+)
+from repro.partitioning import HashPartitioner, evaluate
+
+
+class TestBasics:
+    def test_complete_assignment(self, web_graph):
+        result = LabelPropagationPartitioner(8).partition(web_graph)
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_balance_ceiling(self, web_graph):
+        result = LabelPropagationPartitioner(8, slack=1.05).partition(
+            web_graph)
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.06
+
+    def test_beats_random(self, web_graph):
+        lp = LabelPropagationPartitioner(8).partition(web_graph)
+        hsh = HashPartitioner(8).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, lp.assignment).ecr < evaluate(
+            web_graph, hsh.assignment).ecr
+
+    def test_worse_than_multilevel(self, web_graph):
+        """Table V's ordering: XtraPuLP trades quality for speed."""
+        lp = LabelPropagationPartitioner(8).partition(web_graph)
+        ml = MultilevelPartitioner(8).partition(web_graph)
+        assert evaluate(web_graph, lp.assignment).ecr >= evaluate(
+            web_graph, ml.assignment).ecr
+
+    def test_rounds_recorded(self, web_graph):
+        result = LabelPropagationPartitioner(8, rounds=5).partition(
+            web_graph)
+        assert 1 <= result.stats["rounds"] <= 5
+
+    def test_deterministic(self, web_graph):
+        a = LabelPropagationPartitioner(4, seed=3).partition(web_graph)
+        b = LabelPropagationPartitioner(4, seed=3).partition(web_graph)
+        assert a.assignment == b.assignment
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            LabelPropagationPartitioner(0)
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError, match="init"):
+            LabelPropagationPartitioner(4, init="spiral")
+
+
+class TestInitModes:
+    def test_block_init_wins_on_local_graph(self, web_graph):
+        """Block init inherits id locality; random init loses it — the
+        ablation behind our choice of random as the faithful default."""
+        block = LabelPropagationPartitioner(8, init="block").partition(
+            web_graph)
+        random = LabelPropagationPartitioner(8, init="random").partition(
+            web_graph)
+        assert evaluate(web_graph, block.assignment).ecr < evaluate(
+            web_graph, random.assignment).ecr
+
+
+class TestParallelMode:
+    def test_parallel_complete(self, web_graph):
+        result = LabelPropagationPartitioner(8, parallel=True).partition(
+            web_graph)
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_parallel_name(self):
+        assert "(par)" in LabelPropagationPartitioner(
+            4, parallel=True).name
+
+    def test_parallel_balance_held(self, web_graph):
+        result = LabelPropagationPartitioner(
+            8, parallel=True, slack=1.05).partition(web_graph)
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.06
+
+
+class TestOOM:
+    def test_budget_exceeded(self, web_graph):
+        with pytest.raises(OutOfMemoryError):
+            LabelPropagationPartitioner(
+                4, memory_budget_bytes=100).partition(web_graph)

@@ -1,0 +1,71 @@
+"""Unit tests for the METIS-like multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, community_web_graph
+from repro.offline import MultilevelPartitioner, OutOfMemoryError
+from repro.partitioning import LDGPartitioner, evaluate
+
+
+class TestPipeline:
+    def test_complete_assignment(self, web_graph):
+        result = MultilevelPartitioner(8).partition(web_graph)
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_balance_respected(self, web_graph):
+        result = MultilevelPartitioner(8, slack=1.05).partition(web_graph)
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.06
+
+    def test_near_optimal_on_cliques(self, cliques_graph):
+        result = MultilevelPartitioner(8, slack=1.1).partition(
+            cliques_graph)
+        q = evaluate(cliques_graph, result.assignment)
+        # 8 cliques / 8 partitions: only ring bridges (8 of 488 edges)
+        # plus a little noise should be cut.
+        assert q.ecr < 0.15
+
+    def test_beats_streaming_quality(self, web_graph):
+        """The paper's premise: offline multilevel is the quality bar."""
+        metis = MultilevelPartitioner(8).partition(web_graph)
+        ldg = LDGPartitioner(8).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, metis.assignment).ecr < evaluate(
+            web_graph, ldg.assignment).ecr
+
+    def test_deterministic_given_seed(self, web_graph):
+        a = MultilevelPartitioner(4, seed=7).partition(web_graph)
+        b = MultilevelPartitioner(4, seed=7).partition(web_graph)
+        assert a.assignment == b.assignment
+
+    def test_stats_expose_hierarchy(self, web_graph):
+        result = MultilevelPartitioner(4).partition(web_graph)
+        assert result.stats["levels"] >= 2
+        assert result.stats["hierarchy_bytes"] > 0
+        assert result.stats["coarsest_vertices"] <= web_graph.num_vertices
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(0)
+
+    def test_name(self):
+        assert MultilevelPartitioner(2).name == "METIS-like"
+
+
+class TestOOMSimulation:
+    def test_budget_exceeded_raises(self, web_graph):
+        partitioner = MultilevelPartitioner(4, memory_budget_bytes=1024)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            partitioner.partition(web_graph)
+        assert excinfo.value.needed_bytes > excinfo.value.budget_bytes
+
+    def test_generous_budget_passes(self, web_graph):
+        partitioner = MultilevelPartitioner(
+            4, memory_budget_bytes=10**10)
+        result = partitioner.partition(web_graph)
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_error_message_mentions_sizes(self, web_graph):
+        with pytest.raises(OutOfMemoryError, match="MB"):
+            MultilevelPartitioner(
+                4, memory_budget_bytes=1).partition(web_graph)

@@ -1,0 +1,64 @@
+"""Unit tests for refinement with frozen (anchor) vertices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.offline import WeightedGraph, partition_edge_cut, refine
+
+
+def _wg(edges, n):
+    return WeightedGraph.from_digraph(from_edges(edges, num_vertices=n))
+
+
+class TestFrozenRefine:
+    def test_frozen_vertex_never_moves(self):
+        # vertex 0 would gain by moving to partition 1, but is frozen
+        edges = [(0, 1), (1, 0), (0, 2), (2, 0)]
+        wg = _wg(edges, 3)
+        part = np.array([0, 1, 1], dtype=np.int32)
+        frozen = np.array([True, False, False])
+        refined = refine(wg, part, 2, slack=2.0, frozen=frozen)
+        assert refined[0] == 0
+
+    def test_unfrozen_counterpart_moves(self):
+        edges = [(0, 1), (1, 0), (0, 2), (2, 0)]
+        wg = _wg(edges, 3)
+        part = np.array([0, 1, 1], dtype=np.int32)
+        refined = refine(wg, part, 2, slack=2.0)
+        # without freezing, someone closes the cut entirely
+        assert partition_edge_cut(wg, refined) < partition_edge_cut(
+            wg, part)
+
+    def test_all_frozen_is_identity(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        wg = _wg(edges, 3)
+        part = np.array([0, 1, 0], dtype=np.int32)
+        frozen = np.ones(3, dtype=bool)
+        refined = refine(wg, part, 2, slack=3.0, frozen=frozen)
+        assert np.array_equal(refined, part)
+
+    def test_movable_vertices_still_improve_around_anchors(self):
+        """A batch vertex wedged between two anchors must join the
+        anchor it is more connected to."""
+        # anchors: 0 (partition 0), 1 (partition 1); batch vertex 2
+        # heavily tied to anchor 1.
+        edges = [(2, 1), (1, 2), (2, 0)]
+        wg = _wg(edges, 3)
+        part = np.array([0, 1, 0], dtype=np.int32)
+        frozen = np.array([True, True, False])
+        refined = refine(wg, part, 2, slack=3.0, frozen=frozen)
+        assert refined[2] == 1
+        assert refined[0] == 0 and refined[1] == 1
+
+    def test_frozen_weights_count_toward_balance(self):
+        """Anchors carry partition weight: moves that would overflow the
+        quota including anchor weight must be refused."""
+        edges = [(2, 1), (1, 2)]
+        wg = _wg(edges, 3)
+        wg.vertex_weights[1] = 100  # anchor for a full partition
+        part = np.array([0, 1, 0], dtype=np.int32)
+        frozen = np.array([True, True, False])
+        # quota ≈ 1.05 * 102 / 2 ≈ 53 < 101 → vertex 2 cannot join 1
+        refined = refine(wg, part, 2, slack=1.05, frozen=frozen)
+        assert refined[2] == 0

@@ -1,0 +1,64 @@
+"""Unit tests for the recursive spectral bisection baseline."""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("scipy")
+
+from repro.graph import GraphStream, grid_graph, ring_of_cliques
+from repro.offline import MultilevelPartitioner, SpectralPartitioner
+from repro.partitioning import HashPartitioner, evaluate
+
+
+class TestSpectral:
+    def test_complete_assignment(self, web_graph):
+        result = SpectralPartitioner(8).partition(web_graph)
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_near_perfect_balance(self, web_graph):
+        """Weighted-median splits keep δ_v essentially at 1."""
+        result = SpectralPartitioner(8).partition(web_graph)
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.05
+
+    def test_non_power_of_two_k(self, web_graph):
+        result = SpectralPartitioner(5).partition(web_graph)
+        counts = result.assignment.vertex_counts()
+        assert (counts > 0).all()
+        assert counts.max() <= 1.25 * web_graph.num_vertices / 5
+
+    def test_wins_on_mesh(self):
+        """The textbook result: spectral beats multilevel on grids."""
+        grid = grid_graph(24, 24)
+        spectral = SpectralPartitioner(8).partition(grid)
+        multilevel = MultilevelPartitioner(8).partition(grid)
+        assert evaluate(grid, spectral.assignment).ecr <= \
+            evaluate(grid, multilevel.assignment).ecr * 1.1
+
+    def test_finds_clique_structure(self, cliques_graph):
+        result = SpectralPartitioner(8).partition(cliques_graph)
+        q = evaluate(cliques_graph, result.assignment)
+        hash_q = evaluate(
+            cliques_graph,
+            HashPartitioner(8).partition(
+                GraphStream(cliques_graph)).assignment)
+        assert q.ecr < 0.4 * hash_q.ecr
+
+    def test_k1_trivial(self, web_graph):
+        result = SpectralPartitioner(1).partition(web_graph)
+        assert evaluate(web_graph, result.assignment).ecr == 0.0
+
+    def test_deterministic(self, web_graph):
+        a = SpectralPartitioner(4, seed=2).partition(web_graph)
+        b = SpectralPartitioner(4, seed=2).partition(web_graph)
+        assert a.assignment == b.assignment
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SpectralPartitioner(0)
+
+    def test_tiny_graph(self):
+        from repro.graph import from_edges
+        g = from_edges([(0, 1)], num_vertices=2)
+        result = SpectralPartitioner(2).partition(g)
+        result.assignment.validate(2)

@@ -1,0 +1,58 @@
+"""Unit tests for the weighted undirected graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.offline import WeightedGraph
+
+
+class TestFromDigraph:
+    def test_symmetrization(self, tiny_graph):
+        wg = WeightedGraph.from_digraph(tiny_graph)
+        # every undirected edge appears in both rows
+        src = np.repeat(np.arange(wg.num_vertices), np.diff(wg.indptr))
+        pairs = set(zip(src.tolist(), wg.indices.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_antiparallel_pair_weight_two(self):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        wg = WeightedGraph.from_digraph(g)
+        assert wg.num_adjacency_entries == 2
+        assert list(wg.edge_weights) == [2, 2]
+
+    def test_one_way_edge_weight_one(self):
+        g = from_edges([(0, 1)], num_vertices=2)
+        wg = WeightedGraph.from_digraph(g)
+        assert list(wg.edge_weights) == [1, 1]
+
+    def test_unit_vertex_weights(self, tiny_graph):
+        wg = WeightedGraph.from_digraph(tiny_graph)
+        assert wg.total_vertex_weight == 5
+
+    def test_edgeless_graph(self):
+        g = from_edges([], num_vertices=3)
+        wg = WeightedGraph.from_digraph(g)
+        assert wg.num_vertices == 3
+        assert wg.num_adjacency_entries == 0
+
+    def test_neighbors_access(self, tiny_graph):
+        wg = WeightedGraph.from_digraph(tiny_graph)
+        nbrs, weights = wg.neighbors(0)
+        assert set(nbrs.tolist()) == {1, 2, 4}
+        assert len(weights) == 3
+
+
+class TestValidation:
+    def test_weight_alignment_enforced(self):
+        with pytest.raises(ValueError, match="edge_weights"):
+            WeightedGraph(np.array([0, 1]), np.array([0]),
+                          np.array([1, 2]), np.array([1]))
+
+    def test_vertex_weight_coverage_enforced(self):
+        with pytest.raises(ValueError, match="vertex_weights"):
+            WeightedGraph(np.array([0, 0]), np.array([], dtype=int),
+                          np.array([], dtype=int), np.array([1, 1]))
+
+    def test_nbytes(self, tiny_graph):
+        assert WeightedGraph.from_digraph(tiny_graph).nbytes() > 0

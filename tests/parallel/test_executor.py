@@ -1,0 +1,116 @@
+"""Unit tests for the parallel streaming executors."""
+
+import pytest
+
+from repro.graph import GraphStream
+from repro.parallel import (
+    SimulatedParallelPartitioner,
+    ThreadedParallelPartitioner,
+)
+from repro.partitioning import LDGPartitioner, SPNLPartitioner, evaluate
+
+
+class TestSimulatedExecutor:
+    def test_complete_assignment(self, web_graph):
+        p = SimulatedParallelPartitioner(SPNLPartitioner(8), parallelism=4)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_deterministic(self, web_graph):
+        def run():
+            p = SimulatedParallelPartitioner(SPNLPartitioner(8),
+                                             parallelism=4)
+            return p.partition(GraphStream(web_graph)).assignment
+        assert run() == run()
+
+    def test_m1_matches_serial(self, web_graph):
+        """A one-wide batch is exactly the serial algorithm."""
+        serial = SPNLPartitioner(8).partition(GraphStream(web_graph))
+        par = SimulatedParallelPartitioner(
+            SPNLPartitioner(8), parallelism=1,
+            use_rct=False).partition(GraphStream(web_graph))
+        assert serial.assignment == par.assignment
+
+    def test_quality_degrades_with_parallelism(self, web_graph):
+        """Stale in-batch scoring must cost quality as M grows (the
+        paper's motivation for the RCT)."""
+        serial = SPNLPartitioner(8).partition(GraphStream(web_graph))
+        wide = SimulatedParallelPartitioner(
+            SPNLPartitioner(8), parallelism=32,
+            use_rct=False).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, wide.assignment).ecr >= evaluate(
+            web_graph, serial.assignment).ecr
+
+    def test_rct_limits_degradation(self, web_graph):
+        """With the RCT, wide-parallel ECR must stay closer to serial
+        than without it."""
+        def ecr(use_rct):
+            p = SimulatedParallelPartitioner(
+                SPNLPartitioner(8), parallelism=16, use_rct=use_rct)
+            return evaluate(
+                web_graph,
+                p.partition(GraphStream(web_graph)).assignment).ecr
+        serial = evaluate(
+            web_graph,
+            SPNLPartitioner(8).partition(
+                GraphStream(web_graph)).assignment).ecr
+        with_rct, without_rct = ecr(True), ecr(False)
+        assert abs(with_rct - serial) <= abs(without_rct - serial) + 0.01
+
+    def test_delay_stats_reported(self, web_graph):
+        p = SimulatedParallelPartitioner(SPNLPartitioner(8), parallelism=8)
+        result = p.partition(GraphStream(web_graph))
+        assert result.stats["parallelism"] == 8
+        assert result.stats["conflicts"] > 0
+
+    def test_works_with_ldg(self, web_graph):
+        p = SimulatedParallelPartitioner(LDGPartitioner(8), parallelism=4)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            SimulatedParallelPartitioner(LDGPartitioner(4), parallelism=0)
+
+    def test_name_encodes_mode(self):
+        p = SimulatedParallelPartitioner(SPNLPartitioner(8), parallelism=4)
+        assert p.name == "SPNL-par4(sim)"
+
+
+class TestThreadedExecutor:
+    def test_complete_assignment(self, web_graph):
+        p = ThreadedParallelPartitioner(
+            SPNLPartitioner(8, num_shards="auto"), parallelism=4)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_single_worker_complete(self, web_graph):
+        p = ThreadedParallelPartitioner(SPNLPartitioner(8), parallelism=1)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_quality_sane(self, web_graph):
+        """Threaded placement must stay in the serial ballpark (the RCT's
+        whole job); a 2x blowup would mean lost heuristic state."""
+        serial = evaluate(
+            web_graph,
+            SPNLPartitioner(8).partition(
+                GraphStream(web_graph)).assignment).ecr
+        p = ThreadedParallelPartitioner(SPNLPartitioner(8), parallelism=4)
+        threaded = evaluate(
+            web_graph,
+            p.partition(GraphStream(web_graph)).assignment).ecr
+        assert threaded <= serial * 1.5 + 0.05
+
+    def test_no_rct_mode(self, web_graph):
+        p = ThreadedParallelPartitioner(SPNLPartitioner(8), parallelism=2,
+                                        use_rct=False)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+        assert result.stats["conflicts"] == 0
+
+    def test_stats_shape(self, web_graph):
+        p = ThreadedParallelPartitioner(SPNLPartitioner(8), parallelism=2)
+        result = p.partition(GraphStream(web_graph))
+        assert {"parallelism", "use_rct", "delayed",
+                "conflicts"} <= set(result.stats)

@@ -1,0 +1,101 @@
+"""Unit tests for the Reversed-Counting-Table."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ReversedCountingTable
+
+
+class TestRegistration:
+    def test_register_and_len(self):
+        rct = ReversedCountingTable(2)
+        assert rct.register(5)
+        assert len(rct) == 1
+
+    def test_capacity_is_epsilon_m(self):
+        rct = ReversedCountingTable(2, epsilon=2)
+        assert rct.capacity == 4
+        for v in range(4):
+            assert rct.register(v)
+        assert not rct.register(99)  # full
+
+    def test_reregister_existing_is_ok_when_full(self):
+        rct = ReversedCountingTable(1, epsilon=1)
+        rct.register(0)
+        assert rct.register(0)  # already present, not a capacity issue
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReversedCountingTable(0)
+        with pytest.raises(ValueError):
+            ReversedCountingTable(2, epsilon=0)
+
+
+class TestCounting:
+    def test_note_references_counts_inflight_only(self):
+        rct = ReversedCountingTable(4)
+        rct.register(1)
+        rct.register(2)
+        hits = rct.note_references(np.array([1, 2, 7]))
+        assert hits == 2
+        assert rct.dependency_of(1) == 1
+        assert rct.dependency_of(7) == 0
+
+    def test_total_conflicts_accumulates(self):
+        rct = ReversedCountingTable(4)
+        rct.register(1)
+        rct.note_references([1])
+        rct.note_references([1])
+        assert rct.total_conflicts == 2
+        assert rct.dependency_of(1) == 2
+
+    def test_release_references_drains(self):
+        rct = ReversedCountingTable(4)
+        rct.register(1)
+        rct.note_references([1, 1])
+        rct.release_references([1])
+        assert rct.dependency_of(1) == 1
+        rct.release_references([1])
+        rct.release_references([1])  # draining below zero clamps
+        assert rct.dependency_of(1) == 0
+
+    def test_remove(self):
+        rct = ReversedCountingTable(4)
+        rct.register(1)
+        rct.remove(1)
+        assert len(rct) == 0
+        rct.remove(1)  # idempotent
+
+
+class TestThreshold:
+    def test_threshold_is_mean_of_nonzero(self):
+        rct = ReversedCountingTable(4)
+        for v in (1, 2, 3):
+            rct.register(v)
+        rct.note_references([1, 1, 1, 2])  # counts: 3, 1, 0
+        assert rct.threshold() == pytest.approx(2.0)
+
+    def test_threshold_infinite_when_all_zero(self):
+        rct = ReversedCountingTable(4)
+        rct.register(1)
+        assert rct.threshold() == float("inf")
+
+    def test_should_delay_above_mean(self):
+        rct = ReversedCountingTable(4)
+        for v in (1, 2):
+            rct.register(v)
+        rct.note_references([1, 1, 1, 2])  # 1:3, 2:1; mean 2
+        assert rct.should_delay(1)
+        assert not rct.should_delay(2)
+
+    def test_should_delay_false_for_unknown(self):
+        rct = ReversedCountingTable(4)
+        assert not rct.should_delay(42)
+
+    def test_total_delays_counted(self):
+        rct = ReversedCountingTable(4)
+        for v in (1, 2):
+            rct.register(v)
+        rct.note_references([1, 1, 1, 2])
+        rct.should_delay(1)
+        assert rct.total_delays == 1

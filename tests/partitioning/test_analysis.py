@@ -1,0 +1,128 @@
+"""Unit tests for the partitioning introspection tools."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, from_edges
+from repro.partitioning import (
+    HashPartitioner,
+    PartitionAssignment,
+    RangePartitioner,
+    agreement,
+    boundary_profile,
+    cut_distance_histogram,
+    edge_cut,
+    partition_connectivity,
+)
+
+
+@pytest.fixture
+def chain():
+    # 0-1-2-3-4-5 path, both directions
+    edges = []
+    for i in range(5):
+        edges += [(i, i + 1), (i + 1, i)]
+    return from_edges(edges, num_vertices=6)
+
+
+class TestCutDistanceHistogram:
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=3)
+        a = PartitionAssignment([0, 1, 0], 2)
+        assert cut_distance_histogram(g, a) == []
+
+    def test_bins_cover_all_edges(self, web_graph):
+        a = HashPartitioner(4).partition(GraphStream(web_graph)).assignment
+        rows = cut_distance_histogram(web_graph, a, bins=8)
+        assert sum(r["edges"] for r in rows) == web_graph.num_edges
+
+    def test_hash_flat_range_steep(self, web_graph):
+        """Range cuts only long edges; hash cuts uniformly."""
+        ranged = RangePartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        hashed = HashPartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        r_rows = cut_distance_histogram(web_graph, ranged)
+        h_rows = cut_distance_histogram(web_graph, hashed)
+        # Range: first decile nearly uncut, last heavily cut.
+        assert r_rows[0]["cut_fraction"] < 0.2
+        assert r_rows[-1]["cut_fraction"] > 0.6
+        # Hash: flat high cut everywhere.
+        assert h_rows[0]["cut_fraction"] > 0.6
+
+    def test_monotone_distance_bins(self, web_graph):
+        a = RangePartitioner(4).partition(
+            GraphStream(web_graph)).assignment
+        rows = cut_distance_histogram(web_graph, a, bins=5)
+        maxes = [r["max_dist"] for r in rows]
+        assert maxes == sorted(maxes)
+
+
+class TestBoundaryProfile:
+    def test_chain_boundaries(self, chain):
+        a = PartitionAssignment([0, 0, 0, 1, 1, 1], 2)
+        rows = boundary_profile(chain, a)
+        # only vertices 2 and 3 touch the cut
+        assert rows[0]["boundary"] == 1
+        assert rows[1]["boundary"] == 1
+
+    def test_single_partition_no_boundary(self, chain):
+        a = PartitionAssignment([0] * 6, 1)
+        rows = boundary_profile(chain, a)
+        assert rows[0]["boundary"] == 0
+
+    def test_covers_all_partitions(self, web_graph):
+        a = HashPartitioner(4).partition(GraphStream(web_graph)).assignment
+        rows = boundary_profile(web_graph, a)
+        assert len(rows) == 4
+        assert sum(r["vertices"] for r in rows) == web_graph.num_vertices
+
+
+class TestPartitionConnectivity:
+    def test_chain_tallies(self, chain):
+        a = PartitionAssignment([0, 0, 0, 1, 1, 1], 2)
+        conn = partition_connectivity(chain, a)
+        # internal: 4 directed edges per side; cut: (2,3) and (3,2)
+        assert conn[0].internal_edges == 4
+        assert conn[0].outgoing_cut == 1
+        assert conn[0].incoming_cut == 1
+        assert conn[0].neighbor_partitions == 1
+
+    def test_totals_match_edge_cut(self, web_graph):
+        a = HashPartitioner(4).partition(GraphStream(web_graph)).assignment
+        conn = partition_connectivity(web_graph, a)
+        assert sum(c.outgoing_cut for c in conn) == edge_cut(web_graph, a)
+        assert sum(c.incoming_cut for c in conn) == edge_cut(web_graph, a)
+        internal = sum(c.internal_edges for c in conn)
+        assert internal + edge_cut(web_graph, a) == web_graph.num_edges
+
+
+class TestAgreement:
+    def test_identical_is_one(self):
+        a = PartitionAssignment([0, 1, 0, 1], 2)
+        assert agreement(a, a) == 1.0
+
+    def test_label_permutation_invariant(self):
+        a = PartitionAssignment([0, 1, 0, 1], 2)
+        b = PartitionAssignment([1, 0, 1, 0], 2)
+        assert agreement(a, b) == 1.0
+
+    def test_disagreement_below_one(self):
+        a = PartitionAssignment([0, 0, 1, 1], 2)
+        b = PartitionAssignment([0, 1, 0, 1], 2)
+        assert agreement(a, b) < 1.0
+
+    def test_symmetry(self, web_graph):
+        a = HashPartitioner(4).partition(GraphStream(web_graph)).assignment
+        b = RangePartitioner(4).partition(
+            GraphStream(web_graph)).assignment
+        assert agreement(a, b) == pytest.approx(agreement(b, a))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            agreement(PartitionAssignment([0], 1),
+                      PartitionAssignment([0, 0], 1))
+
+    def test_trivial_sizes(self):
+        assert agreement(PartitionAssignment([0], 1),
+                         PartitionAssignment([0], 1)) == 1.0

@@ -1,0 +1,84 @@
+"""Unit tests for the buffered hybrid streaming partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream
+from repro.partitioning import (
+    BufferedHybridPartitioner,
+    LDGPartitioner,
+    SPNLPartitioner,
+    evaluate,
+)
+
+
+class TestConfiguration:
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            BufferedHybridPartitioner(lambda: LDGPartitioner(4),
+                                      buffer_size=1)
+
+    def test_name(self):
+        p = BufferedHybridPartitioner(lambda: LDGPartitioner(4),
+                                      buffer_size=128)
+        assert p.name == "Buffered(LDG,B=128)"
+
+    def test_k_delegates(self):
+        p = BufferedHybridPartitioner(lambda: LDGPartitioner(7))
+        assert p.num_partitions == 7
+
+
+class TestBehaviour:
+    def test_complete_assignment(self, web_graph):
+        p = BufferedHybridPartitioner(lambda: LDGPartitioner(8),
+                                      buffer_size=512)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_counts_stay_consistent_after_moves(self, web_graph):
+        """Refinement writes moves back; the tallies must still agree
+        with the route table exactly."""
+        p = BufferedHybridPartitioner(lambda: LDGPartitioner(8),
+                                      buffer_size=256)
+        result = p.partition(GraphStream(web_graph))
+        assert result.stats["refinement_moves"] > 0
+        counts = result.assignment.vertex_counts()
+        assert counts.sum() == web_graph.num_vertices
+        recomputed = np.bincount(result.assignment.route, minlength=8)
+        assert np.array_equal(counts, recomputed)
+
+    def test_improves_weak_component(self, web_graph):
+        """Buffered refinement must lift LDG substantially (the hybrid
+        framework's raison d'être)."""
+        plain = LDGPartitioner(8).partition(GraphStream(web_graph))
+        buffered = BufferedHybridPartitioner(
+            lambda: LDGPartitioner(8), buffer_size=512).partition(
+            GraphStream(web_graph))
+        assert evaluate(web_graph, buffered.assignment).ecr < \
+            0.9 * evaluate(web_graph, plain.assignment).ecr
+
+    def test_spnl_component_stays_strong(self, web_graph):
+        """With SPNL as the component, buffering may not *hurt* much —
+        the paper's claim that SPNL plugs into hybrid frameworks."""
+        plain = SPNLPartitioner(8).partition(GraphStream(web_graph))
+        buffered = BufferedHybridPartitioner(
+            lambda: SPNLPartitioner(8), buffer_size=512).partition(
+            GraphStream(web_graph))
+        plain_ecr = evaluate(web_graph, plain.assignment).ecr
+        buf_ecr = evaluate(web_graph, buffered.assignment).ecr
+        assert buf_ecr <= plain_ecr * 1.3 + 0.02
+
+    def test_balance_respected(self, web_graph):
+        p = BufferedHybridPartitioner(lambda: LDGPartitioner(8),
+                                      buffer_size=512)
+        result = p.partition(GraphStream(web_graph))
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.16  # streaming slack + refine slack
+
+    def test_tiny_final_batch(self, web_graph):
+        """Buffer size larger than the graph → one refinement at EOS."""
+        p = BufferedHybridPartitioner(
+            lambda: LDGPartitioner(4),
+            buffer_size=web_graph.num_vertices + 100)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)

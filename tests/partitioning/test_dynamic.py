@@ -1,0 +1,114 @@
+"""Unit tests for incremental partition maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.graph import community_web_graph
+from repro.partitioning import UNASSIGNED, DynamicPartitioner
+
+
+@pytest.fixture
+def dp():
+    return DynamicPartitioner(4, capacity_vertices=500)
+
+
+class TestInsertion:
+    def test_add_vertex_places_it(self, dp):
+        pid = dp.add_vertex(0, [1, 2])
+        assert 0 <= pid < 4
+        assert dp.partition_of(0) == pid
+
+    def test_duplicate_vertex_rejected(self, dp):
+        dp.add_vertex(0)
+        with pytest.raises(ValueError, match="already present"):
+            dp.add_vertex(0)
+
+    def test_capacity_enforced(self, dp):
+        with pytest.raises(ValueError, match="capacity"):
+            dp.add_vertex(1000)
+        with pytest.raises(ValueError, match="capacity"):
+            dp.add_edges([(0, 1000)])
+
+    def test_unseen_vertex_unassigned(self, dp):
+        assert dp.partition_of(42) == UNASSIGNED
+
+    def test_add_edges_places_endpoints(self, dp):
+        dp.add_edges([(0, 1), (1, 2)])
+        for v in (0, 1, 2):
+            assert dp.partition_of(v) != UNASSIGNED
+        assert dp.num_known_vertices == 3
+
+    def test_duplicate_edge_ignored(self, dp):
+        dp.add_edges([(0, 1)])
+        edges_before = dp.graph().num_edges
+        dp.add_edges([(0, 1)])
+        assert dp.graph().num_edges == edges_before
+
+
+class TestAdjacencyAffinity:
+    def test_connected_vertices_colocate(self, dp):
+        """A dense cluster inserted incrementally ends up together."""
+        members = list(range(10))
+        dp.add_vertex(0)
+        for v in members[1:]:
+            dp.add_vertex(v, [u for u in members if u < v])
+        pids = [dp.partition_of(v) for v in members]
+        most_common = max(set(pids), key=pids.count)
+        assert pids.count(most_common) >= 7
+
+    def test_graph_accumulates(self, dp):
+        dp.add_edges([(0, 1), (1, 2), (2, 0)])
+        g = dp.graph()
+        assert g.num_edges == 3
+        assert g.has_edge(2, 0)
+
+
+class TestQualityMaintenance:
+    @pytest.fixture(scope="class")
+    def grown(self):
+        base = community_web_graph(1200, avg_community_size=40, seed=4)
+        dp = DynamicPartitioner(4, capacity_vertices=1500)
+        for v in range(1000):
+            dp.add_vertex(
+                v, [int(u) for u in base.out_neighbors(v) if u < 1000])
+        quality_initial = dp.current_quality()
+        edges = [(v, int(u)) for v in range(1000, 1200)
+                 for u in base.out_neighbors(v)]
+        dp.add_edges(edges)
+        return dp, quality_initial
+
+    def test_growth_keeps_assignment_complete(self, grown):
+        dp, _ = grown
+        dp.assignment().validate(dp.graph().num_vertices)
+
+    def test_quality_stays_sane_under_growth(self, grown):
+        dp, initial = grown
+        drifted = dp.current_quality()
+        assert drifted.ecr < 3 * initial.ecr + 0.1
+
+    def test_restream_restores_quality(self, grown):
+        dp, _ = grown
+        drifted = dp.current_quality()
+        dp.restream()
+        fresh = dp.current_quality()
+        assert fresh.ecr <= drifted.ecr + 0.01
+        assert fresh.delta_v <= 1.11
+
+    def test_insert_after_restream(self, grown):
+        dp, _ = grown
+        dp.restream()
+        # next contiguous id (the route table only covers ids that have
+        # appeared; a gap would leave structurally-unassigned holes)
+        new_id = dp.num_known_vertices
+        dp.add_edges([(new_id, 0), (new_id, 1)])
+        assert dp.partition_of(new_id) != UNASSIGNED
+        dp.assignment().validate(dp.graph().num_vertices)
+
+    def test_tallies_consistent_after_everything(self, grown):
+        dp, _ = grown
+        assignment = dp.assignment()
+        counts = np.bincount(
+            assignment.route[assignment.route != UNASSIGNED],
+            minlength=4)
+        known = dp.num_known_vertices
+        assert counts.sum() == known

@@ -1,0 +1,66 @@
+"""Unit tests for the dense expectation store (Γ tables)."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import FullExpectationStore
+
+
+class TestFullStore:
+    def test_initially_zero(self):
+        store = FullExpectationStore(3, 10)
+        assert list(store.expectation_of(5)) == [0, 0, 0]
+
+    def test_record_counts_out_edges(self):
+        store = FullExpectationStore(3, 10)
+        store.record(1, np.array([2, 5, 7]))
+        assert list(store.expectation_of(2)) == [0, 1, 0]
+        assert list(store.expectation_of(5)) == [0, 1, 0]
+        assert list(store.expectation_of(3)) == [0, 0, 0]
+
+    def test_repeated_records_accumulate(self):
+        store = FullExpectationStore(2, 10)
+        store.record(0, np.array([4]))
+        store.record(0, np.array([4]))
+        store.record(1, np.array([4]))
+        assert list(store.expectation_of(4)) == [2, 1]
+
+    def test_duplicate_neighbors_in_one_record(self):
+        store = FullExpectationStore(2, 10)
+        store.record(0, np.array([4, 4, 4]))
+        # np.add.at must count each occurrence (not buffered +1)
+        assert store.expectation_of(4)[0] == 3
+
+    def test_gather_sums_over_neighbors(self):
+        store = FullExpectationStore(2, 10)
+        store.record(0, np.array([1, 2]))
+        store.record(1, np.array([2, 3]))
+        gathered = store.gather(np.array([1, 2, 3]))
+        assert list(gathered) == [2, 2]
+
+    def test_gather_empty(self):
+        store = FullExpectationStore(2, 10)
+        assert list(store.gather(np.array([], dtype=np.int64))) == [0, 0]
+
+    def test_record_empty_noop(self):
+        store = FullExpectationStore(2, 10)
+        store.record(0, np.array([], dtype=np.int64))
+        assert store.nbytes() > 0
+
+    def test_advance_is_noop(self):
+        store = FullExpectationStore(2, 10)
+        store.record(0, np.array([1]))
+        store.advance_to(9)
+        assert store.expectation_of(1)[0] == 1
+
+    def test_nbytes_scales_with_size(self):
+        small = FullExpectationStore(2, 10)
+        large = FullExpectationStore(4, 1000)
+        assert large.nbytes() > small.nbytes()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            FullExpectationStore(0, 10)
+
+    def test_window_size_is_full_range(self):
+        assert FullExpectationStore(2, 42).window_size == 42

@@ -1,0 +1,80 @@
+"""Unit tests for the FENNEL baseline."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AdjacencyRecord, GraphStream, from_edges
+from repro.partitioning import (
+    FennelPartitioner,
+    HashPartitioner,
+    PartitionState,
+    evaluate,
+)
+
+
+class TestParameters:
+    def test_canonical_alpha(self):
+        p = FennelPartitioner(4, gamma=1.5)
+
+        class _Stream:
+            num_vertices = 100
+            num_edges = 1000
+        state = PartitionState(4, 100, 1000)
+        p._setup(_Stream(), state)
+        expected = 1000 * 4 ** 0.5 / 100 ** 1.5
+        assert p._alpha_effective == pytest.approx(expected)
+
+    def test_explicit_alpha_kept(self):
+        p = FennelPartitioner(4, alpha=0.7)
+
+        class _Stream:
+            num_vertices = 10
+            num_edges = 10
+        p._setup(_Stream(), PartitionState(4, 10, 10))
+        assert p._alpha_effective == 0.7
+
+    def test_gamma_must_exceed_one(self):
+        with pytest.raises(ValueError, match="gamma"):
+            FennelPartitioner(4, gamma=1.0)
+
+
+class TestScoring:
+    def test_load_penalty_monotone(self):
+        """A more loaded partition scores strictly lower, neighbors equal."""
+        p = FennelPartitioner(2, alpha=1.0)
+        state = PartitionState(2, 100, 100)
+        for v in range(10):
+            state.commit(AdjacencyRecord(v, np.array([], dtype=np.int64)),
+                         0)
+        record = AdjacencyRecord(50, np.array([], dtype=np.int64))
+        scores = p._score(record, state)
+        assert scores[0] < scores[1]
+
+    def test_neighbors_attract(self):
+        p = FennelPartitioner(2, alpha=0.01)
+        state = PartitionState(2, 100, 100)
+        state.commit(AdjacencyRecord(0, np.array([], dtype=np.int64)), 1)
+        record = AdjacencyRecord(5, np.array([0], dtype=np.int64))
+        scores = p._score(record, state)
+        assert scores[1] > scores[0]
+
+
+class TestEndToEnd:
+    def test_complete_assignment(self, web_graph):
+        result = FennelPartitioner(8).partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_beats_hash(self, web_graph):
+        fennel = FennelPartitioner(8).partition(GraphStream(web_graph))
+        hsh = HashPartitioner(8).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, fennel.assignment).ecr < evaluate(
+            web_graph, hsh.assignment).ecr
+
+    def test_balance_bounded_by_capacity(self, web_graph):
+        result = FennelPartitioner(8, slack=1.1).partition(
+            GraphStream(web_graph))
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.11
+
+    def test_name(self):
+        assert FennelPartitioner(2).name == "FENNEL"

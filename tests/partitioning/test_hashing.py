@@ -1,0 +1,120 @@
+"""Unit tests for the stateless baselines (hash/random/range/chunked)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, from_edges
+from repro.partitioning import (
+    ChunkedPartitioner,
+    HashPartitioner,
+    RandomPartitioner,
+    RangePartitioner,
+    range_boundaries,
+    range_partition_of,
+)
+
+
+class TestRangeHelpers:
+    def test_boundaries_cover_space(self):
+        b = range_boundaries(100, 4)
+        assert b[0] == 0 and b[-1] == 100
+        assert len(b) == 5
+
+    def test_boundaries_near_equal(self):
+        b = range_boundaries(10, 3)
+        sizes = np.diff(b)
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_partition_of_scalar(self):
+        b = range_boundaries(100, 4)
+        assert range_partition_of(0, b) == 0
+        assert range_partition_of(99, b) == 3
+        assert range_partition_of(25, b) == 1
+
+    def test_partition_of_array(self):
+        b = range_boundaries(100, 4)
+        pids = range_partition_of(np.array([0, 30, 60, 99]), b)
+        assert list(pids) == [0, 1, 2, 3]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            range_boundaries(10, 0)
+
+
+class TestHashPartitioner:
+    def test_deterministic(self, web_graph):
+        a = HashPartitioner(8).partition(GraphStream(web_graph))
+        b = HashPartitioner(8).partition(GraphStream(web_graph))
+        assert a.assignment == b.assignment
+
+    def test_roughly_balanced(self, web_graph):
+        result = HashPartitioner(8).partition(GraphStream(web_graph))
+        counts = result.assignment.vertex_counts()
+        assert counts.max() < 1.2 * web_graph.num_vertices / 8
+
+    def test_adjacent_ids_spread(self):
+        g = from_edges([], num_vertices=64)
+        result = HashPartitioner(8).partition(GraphStream(g))
+        route = result.assignment.route
+        # multiplicative hashing must not map consecutive ids to one pid
+        assert len(set(route[:16].tolist())) > 2
+
+
+class TestRandomPartitioner:
+    def test_seeded_determinism(self, web_graph):
+        a = RandomPartitioner(8, seed=5).partition(GraphStream(web_graph))
+        b = RandomPartitioner(8, seed=5).partition(GraphStream(web_graph))
+        assert a.assignment == b.assignment
+
+    def test_different_seeds_differ(self, web_graph):
+        a = RandomPartitioner(8, seed=5).partition(GraphStream(web_graph))
+        b = RandomPartitioner(8, seed=6).partition(GraphStream(web_graph))
+        assert a.assignment != b.assignment
+
+    def test_capacity_respected(self):
+        g = from_edges([], num_vertices=100)
+        result = RandomPartitioner(4, seed=1, slack=1.05).partition(
+            GraphStream(g))
+        assert result.assignment.vertex_counts().max() <= 27
+
+
+class TestRangePartitioner:
+    def test_contiguous_blocks(self):
+        g = from_edges([], num_vertices=100)
+        result = RangePartitioner(4).partition(GraphStream(g))
+        route = result.assignment.route
+        # ids within each quarter share a partition
+        assert len(set(route[:25].tolist())) == 1
+        assert len(set(route[75:].tolist())) == 1
+
+    def test_strong_on_local_graph(self, web_graph):
+        from repro.partitioning import evaluate
+        result = RangePartitioner(8).partition(GraphStream(web_graph))
+        q = evaluate(web_graph, result.assignment)
+        hash_q = evaluate(
+            web_graph,
+            HashPartitioner(8).partition(GraphStream(web_graph)).assignment)
+        assert q.ecr < 0.5 * hash_q.ecr
+
+
+class TestChunkedPartitioner:
+    def test_default_chunks_equal_range_on_id_order(self):
+        g = from_edges([], num_vertices=100)
+        chunked = ChunkedPartitioner(4).partition(GraphStream(g))
+        ranged = RangePartitioner(4).partition(GraphStream(g))
+        assert chunked.assignment == ranged.assignment
+
+    def test_explicit_chunk_size_round_robin(self):
+        g = from_edges([], num_vertices=8)
+        result = ChunkedPartitioner(2, chunk_size=2).partition(
+            GraphStream(g))
+        assert list(result.assignment.route) == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_follows_arrival_order(self):
+        g = from_edges([], num_vertices=4)
+        stream = GraphStream(g, order=[3, 2, 1, 0])
+        result = ChunkedPartitioner(2, chunk_size=2).partition(stream)
+        # first two arrivals (3, 2) → partition 0
+        assert result.assignment[3] == 0 and result.assignment[2] == 0
+        assert result.assignment[1] == 1 and result.assignment[0] == 1

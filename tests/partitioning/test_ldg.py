@@ -1,0 +1,80 @@
+"""Unit tests for LDG, including the paper's Figure 1 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AdjacencyRecord, GraphStream, ring_of_cliques
+from repro.partitioning import (
+    HashPartitioner,
+    LDGPartitioner,
+    PartitionState,
+    evaluate,
+)
+
+
+def _figure1_state(adjacency, placement, k=3, n=16):
+    """Rebuild the paper's pre-arrival local view."""
+    state = PartitionState(k, n, 32, slack=1.1)
+    for v, pid in placement.items():
+        state.commit(
+            AdjacencyRecord(v, np.asarray(adjacency[v], dtype=np.int64)),
+            pid)
+    return state
+
+
+class TestPaperFigure1:
+    """The worked example of Sec. IV-A: vertex 7 must go to P3."""
+
+    def test_scores_match_figure(self, paper_fig1_state):
+        adjacency, placement = paper_fig1_state
+        state = _figure1_state(adjacency, placement)
+        partitioner = LDGPartitioner(3)
+        record = AdjacencyRecord(7, np.asarray(adjacency[7],
+                                               dtype=np.int64))
+        scores = partitioner._score(record, state)
+        # Figure 1: distribution score (0, 0, 1) scaled by equal weights.
+        assert scores[0] == 0 and scores[1] == 0 and scores[2] > 0
+
+    def test_vertex7_placed_in_p3(self, paper_fig1_state):
+        adjacency, placement = paper_fig1_state
+        state = _figure1_state(adjacency, placement)
+        partitioner = LDGPartitioner(3)
+        record = AdjacencyRecord(7, np.asarray(adjacency[7],
+                                               dtype=np.int64))
+        assert partitioner.place(record, state) == 2  # 0-indexed P3
+
+
+class TestLDGBehaviour:
+    def test_keeps_cliques_together(self, cliques_graph):
+        result = LDGPartitioner(8, slack=1.3).partition(
+            GraphStream(cliques_graph))
+        q = evaluate(cliques_graph, result.assignment)
+        # 8 cliques, 8 partitions: a greedy partitioner keeps most of each
+        # clique whole, so far fewer cut edges than the random baseline.
+        random_q = evaluate(
+            cliques_graph,
+            HashPartitioner(8).partition(
+                GraphStream(cliques_graph)).assignment)
+        assert q.ecr < 0.5 * random_q.ecr
+
+    def test_beats_hash_on_web_graph(self, web_graph):
+        ldg = LDGPartitioner(8).partition(GraphStream(web_graph))
+        hsh = HashPartitioner(8).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, ldg.assignment).ecr < evaluate(
+            web_graph, hsh.assignment).ecr
+
+    def test_complete_and_balanced(self, web_graph):
+        result = LDGPartitioner(8, slack=1.1).partition(
+            GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+        q = evaluate(web_graph, result.assignment)
+        assert q.delta_v <= 1.1 + 0.01
+
+    def test_deterministic(self, web_graph):
+        a = LDGPartitioner(8).partition(GraphStream(web_graph))
+        b = LDGPartitioner(8).partition(GraphStream(web_graph))
+        assert a.assignment == b.assignment
+
+    def test_single_partition(self, web_graph):
+        result = LDGPartitioner(1).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, result.assignment).ecr == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the quality metrics (ECR, balance factors, cut matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.partitioning import (
+    PartitionAssignment,
+    cut_matrix,
+    edge_balance,
+    edge_cut,
+    edge_cut_ratio,
+    evaluate,
+    vertex_balance,
+)
+
+
+@pytest.fixture
+def assigned(tiny_graph):
+    # P0 = {0, 1}, P1 = {2, 3, 4}
+    return PartitionAssignment([0, 0, 1, 1, 1], 2)
+
+
+class TestEdgeCut:
+    def test_hand_computed_cut(self, tiny_graph, assigned):
+        # cut edges: 0→2, 1→2, 4→0  → |D| = 3
+        assert edge_cut(tiny_graph, assigned) == 3
+        assert edge_cut_ratio(tiny_graph, assigned) == 3 / 6
+
+    def test_all_in_one_partition_no_cut(self, tiny_graph):
+        a = PartitionAssignment([0] * 5, 1)
+        assert edge_cut(tiny_graph, a) == 0
+
+    def test_singleton_partitions_cut_everything(self, tiny_graph):
+        a = PartitionAssignment([0, 1, 2, 3, 4], 5)
+        assert edge_cut(tiny_graph, a) == 6
+
+    def test_empty_graph_ratio_zero(self):
+        g = from_edges([], num_vertices=3)
+        a = PartitionAssignment([0, 1, 0], 2)
+        assert edge_cut_ratio(g, a) == 0.0
+
+
+class TestBalance:
+    def test_vertex_balance(self, tiny_graph, assigned):
+        # max |V_i| = 3, ideal = 2.5 → δv = 1.2
+        assert vertex_balance(tiny_graph, assigned) == pytest.approx(1.2)
+
+    def test_perfect_vertex_balance(self, tiny_graph):
+        g = from_edges([], num_vertices=4)
+        a = PartitionAssignment([0, 0, 1, 1], 2)
+        assert vertex_balance(g, a) == 1.0
+
+    def test_edge_balance(self, tiny_graph, assigned):
+        # edge counts by source: P0 has deg(0)+deg(1)=3, P1 has 3 → δe=1.0
+        assert edge_balance(tiny_graph, assigned) == pytest.approx(1.0)
+
+    def test_edge_balance_skew(self, tiny_graph):
+        a = PartitionAssignment([0, 0, 0, 0, 1], 2)
+        # P0 holds deg 2+1+1+1=5, ideal=3 → 5/3
+        assert edge_balance(tiny_graph, a) == pytest.approx(5 / 3)
+
+
+class TestCutMatrix:
+    def test_matrix_entries(self, tiny_graph, assigned):
+        m = cut_matrix(tiny_graph, assigned)
+        # P0→P0: 0→1; P0→P1: 0→2, 1→2; P1→P1: 2→3, 3→4; P1→P0: 4→0
+        assert m[0, 0] == 1 and m[0, 1] == 2
+        assert m[1, 1] == 2 and m[1, 0] == 1
+
+    def test_offdiagonal_sum_equals_cut(self, tiny_graph, assigned):
+        m = cut_matrix(tiny_graph, assigned)
+        off_diagonal = m.sum() - np.trace(m)
+        assert off_diagonal == edge_cut(tiny_graph, assigned)
+
+    def test_total_equals_edges(self, tiny_graph, assigned):
+        assert cut_matrix(tiny_graph, assigned).sum() == 6
+
+
+class TestEvaluate:
+    def test_full_report(self, tiny_graph, assigned):
+        report = evaluate(tiny_graph, assigned)
+        assert report.num_cut_edges == 3
+        assert report.ecr == 0.5
+        assert report.delta_v == pytest.approx(1.2)
+        assert list(report.vertex_counts) == [2, 3]
+
+    def test_incomplete_assignment_rejected(self, tiny_graph):
+        from repro.partitioning import UNASSIGNED
+        a = PartitionAssignment([0, 0, 1, 1, UNASSIGNED], 2)
+        with pytest.raises(ValueError, match="unassigned"):
+            evaluate(tiny_graph, a)
+
+    def test_as_row(self, tiny_graph, assigned):
+        row = evaluate(tiny_graph, assigned).as_row()
+        assert row["ECR"] == 0.5
+        assert row["K"] == 2
+
+    def test_str_format(self, tiny_graph, assigned):
+        text = str(evaluate(tiny_graph, assigned))
+        assert "ECR=0.5" in text

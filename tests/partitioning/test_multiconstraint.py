@@ -1,0 +1,100 @@
+"""Unit tests for the multi-constraint (BOTH) balance mode."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AdjacencyRecord, GraphStream, community_web_graph
+from repro.partitioning import (
+    BalanceMode,
+    LDGPartitioner,
+    PartitionState,
+    SPNLPartitioner,
+    evaluate,
+)
+
+
+def record(v, deg):
+    return AdjacencyRecord(v, np.arange(deg, dtype=np.int64))
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    """Dense-region skew: the graph class where one cap isn't enough."""
+    return community_web_graph(6000, avg_degree=6.0,
+                               avg_community_size=60, density_skew=12.0,
+                               seed=31, name="skewed6k")
+
+
+class TestStateMechanics:
+    def test_both_mode_has_two_capacities(self):
+        state = PartitionState(4, 100, 1000, balance=BalanceMode.BOTH,
+                               slack=1.0, edge_slack=1.2)
+        assert state.capacity == 25
+        assert state.edge_capacity == 300
+
+    def test_default_edge_slack_is_looser(self):
+        state = PartitionState(4, 100, 1000, balance=BalanceMode.BOTH,
+                               slack=1.1)
+        assert state.edge_capacity == np.ceil(1.5 * 1000 / 4)
+
+    def test_single_modes_have_no_edge_cap(self):
+        state = PartitionState(4, 100, 1000)
+        assert state.edge_capacity is None
+
+    def test_invalid_edge_slack(self):
+        with pytest.raises(ValueError, match="edge_slack"):
+            PartitionState(4, 100, 1000, balance=BalanceMode.BOTH,
+                           edge_slack=0.5)
+
+    def test_edge_cap_blocks_eligibility(self):
+        state = PartitionState(2, 100, 10, balance=BalanceMode.BOTH,
+                               slack=2.0, edge_slack=1.0)
+        # edge capacity = 5 per partition
+        state.commit(record(0, 5), 0)
+        assert not state.eligible()[0]
+        assert state.eligible()[1]
+        # vertex capacity alone would still allow partition 0
+        assert state.vertex_counts[0] < state.capacity
+
+    def test_penalty_is_min_of_both(self):
+        state = PartitionState(2, 100, 100, balance=BalanceMode.BOTH,
+                               slack=1.0, edge_slack=1.0)
+        # one vertex carrying most of the edge budget
+        state.commit(record(0, 40), 0)
+        weights = state.penalty_weights()
+        vertex_w = 1.0 - state.vertex_counts[0] / state.capacity
+        edge_w = 1.0 - state.edge_counts[0] / state.edge_capacity
+        assert weights[0] == pytest.approx(min(vertex_w, edge_w))
+        assert edge_w < vertex_w  # the edge cap is the binding one
+
+
+class TestEndToEnd:
+    def test_both_caps_bound_both_deltas(self, skewed_graph):
+        result = SPNLPartitioner(
+            8, balance="both", slack=1.1,
+            edge_slack=1.5).partition(GraphStream(skewed_graph))
+        q = evaluate(skewed_graph, result.assignment)
+        assert q.delta_v <= 1.11
+        assert q.delta_e <= 1.55
+
+    def test_single_constraint_lets_the_other_blow_up(self, skewed_graph):
+        """The motivation: vertex-only balance leaves δ_e unbounded on
+        dense-region graphs; BOTH tames it."""
+        vertex_only = SPNLPartitioner(8, balance="vertex").partition(
+            GraphStream(skewed_graph))
+        both = SPNLPartitioner(8, balance="both",
+                               edge_slack=1.4).partition(
+            GraphStream(skewed_graph))
+        q_vertex = evaluate(skewed_graph, vertex_only.assignment)
+        q_both = evaluate(skewed_graph, both.assignment)
+        assert q_both.delta_e < q_vertex.delta_e
+        assert q_both.delta_v <= 1.11
+
+    def test_works_for_ldg_too(self, skewed_graph):
+        result = LDGPartitioner(8, balance="both").partition(
+            GraphStream(skewed_graph))
+        result.assignment.validate(skewed_graph.num_vertices)
+
+    def test_string_mode_coerced(self):
+        p = LDGPartitioner(4, balance="both")
+        assert p.balance is BalanceMode.BOTH

@@ -1,0 +1,75 @@
+"""Unit tests for the re-streaming wrappers."""
+
+import pytest
+
+from repro.graph import GraphStream
+from repro.partitioning import (
+    LDGPartitioner,
+    RestreamingPartitioner,
+    SPNPartitioner,
+    evaluate,
+)
+
+
+class TestConfiguration:
+    def test_invalid_passes(self):
+        with pytest.raises(ValueError, match="num_passes"):
+            RestreamingPartitioner(lambda: LDGPartitioner(4), num_passes=0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="restream_fraction"):
+            RestreamingPartitioner(lambda: LDGPartitioner(4),
+                                   restream_fraction=0.0)
+
+    def test_name_encodes_passes(self):
+        p = RestreamingPartitioner(lambda: LDGPartitioner(4), num_passes=3)
+        assert p.name == "ReLDGx3"
+
+    def test_num_partitions_delegates(self):
+        p = RestreamingPartitioner(lambda: LDGPartitioner(7))
+        assert p.num_partitions == 7
+
+
+class TestQuality:
+    def test_single_pass_equals_base(self, web_graph):
+        base = LDGPartitioner(8).partition(GraphStream(web_graph))
+        re1 = RestreamingPartitioner(lambda: LDGPartitioner(8),
+                                     num_passes=1).partition(
+            GraphStream(web_graph))
+        assert base.assignment == re1.assignment
+
+    def test_restreaming_improves_ldg(self, web_graph):
+        """Pass 2 sees pass 1's placements for not-yet-arrived vertices,
+        which is strictly more knowledge — ECR should drop (or stay)."""
+        one = RestreamingPartitioner(lambda: LDGPartitioner(8),
+                                     num_passes=1).partition(
+            GraphStream(web_graph))
+        three = RestreamingPartitioner(lambda: LDGPartitioner(8),
+                                       num_passes=3).partition(
+            GraphStream(web_graph))
+        assert evaluate(web_graph, three.assignment).ecr <= evaluate(
+            web_graph, one.assignment).ecr + 0.01
+
+    def test_complete_assignment(self, web_graph):
+        result = RestreamingPartitioner(lambda: LDGPartitioner(8),
+                                        num_passes=2).partition(
+            GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_partial_restreaming_complete(self, web_graph):
+        result = RestreamingPartitioner(
+            lambda: LDGPartitioner(8), num_passes=2,
+            restream_fraction=0.5).partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_works_with_spn(self, web_graph):
+        result = RestreamingPartitioner(
+            lambda: SPNPartitioner(8, num_shards=1),
+            num_passes=2).partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_pass_history_recorded(self, web_graph):
+        result = RestreamingPartitioner(lambda: LDGPartitioner(8),
+                                        num_passes=3).partition(
+            GraphStream(web_graph))
+        assert len(result.stats["pass_history"]) == 3

@@ -1,0 +1,159 @@
+"""Unit tests for SPNL, including the paper's Figure 4 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AdjacencyRecord, GraphStream, community_web_graph
+from repro.partitioning import (
+    PartitionState,
+    SPNLPartitioner,
+    SPNPartitioner,
+    evaluate,
+)
+from tests.partitioning.test_spn import _FixedStream
+
+
+def _figure4_setup(*, lam=0.5, use_decay=True):
+    """Figure 4's local view, 0-indexed (paper ids are 1-indexed).
+
+    15 vertices; logical ranges P0={0..4}, P1={5..9}, P2={10..14}.
+    Physically placed: V0={2,4}, V1={0,1}, V2={3,5}.
+    """
+    adjacency = {
+        2: [3, 4, 10],
+        4: [1, 2, 13],
+        0: [5, 7, 8],
+        1: [3, 6, 7],
+        3: [10, 11, 14],
+        5: [3, 6, 12],
+        6: [5, 8, 9],
+    }
+    placement = {2: 0, 4: 0, 0: 1, 1: 1, 3: 2, 5: 2}
+    partitioner = SPNLPartitioner(3, lam=lam, use_decay=use_decay,
+                                  in_estimator="self")
+    state = PartitionState(3, 15, 21, slack=1.2)
+    partitioner._setup(_FixedStream(15), state)
+    for v, pid in placement.items():
+        record = AdjacencyRecord(v, np.asarray(adjacency[v],
+                                               dtype=np.int64))
+        state.commit(record, pid)
+        partitioner._after_commit(record, pid, state)
+    return partitioner, state, adjacency
+
+
+class TestPaperFigure4:
+    """Vertex 7 (paper numbering) must land in P2 thanks to the logical
+    assignment of its unplaced out-neighbors 9 and 10."""
+
+    def test_logical_intersections(self):
+        partitioner, state, adjacency = _figure4_setup()
+        record = AdjacencyRecord(6, np.asarray(adjacency[6],
+                                               dtype=np.int64))
+        logical = partitioner._logical_intersections(state,
+                                                     record.neighbors)
+        # unplaced neighbors 8, 9 (paper 9, 10) are logically in P1.
+        assert list(logical) == [0, 2, 0]
+
+    def test_in_term(self):
+        partitioner, state, adjacency = _figure4_setup()
+        record = AdjacencyRecord(6, np.asarray(adjacency[6],
+                                               dtype=np.int64))
+        # placed in-neighbors of 6: vertex 1 (P1) and vertex 5 (P2).
+        assert list(partitioner._in_term(record)) == [0, 1, 1]
+
+    def test_vertex_placed_in_p2(self):
+        partitioner, state, adjacency = _figure4_setup()
+        record = AdjacencyRecord(6, np.asarray(adjacency[6],
+                                               dtype=np.int64))
+        assert partitioner.place(record, state) == 1  # paper's P2
+
+    def test_placed_vertex_leaves_logical_set(self):
+        partitioner, state, adjacency = _figure4_setup()
+        record = AdjacencyRecord(6, np.asarray(adjacency[6],
+                                               dtype=np.int64))
+        before = partitioner._lt_counts.copy()
+        partitioner.place(record, state)
+        # vertex 6 is logically in range P1 → its lt count drops by one.
+        assert partitioner._lt_counts[1] == before[1] - 1
+
+
+class TestEta:
+    def test_eta_starts_at_one(self):
+        partitioner = SPNLPartitioner(4, use_decay=True)
+        state = PartitionState(4, 100, 0)
+        partitioner._setup(_FixedStream(100), state)
+        assert np.allclose(partitioner._eta(state), 1.0)
+
+    def test_eta_decays_with_placements(self):
+        partitioner = SPNLPartitioner(2, use_decay=True)
+        state = PartitionState(2, 10, 0)
+        partitioner._setup(_FixedStream(10), state)
+        for v in range(4):
+            record = AdjacencyRecord(v, np.array([], dtype=np.int64))
+            state.commit(record, 0)
+            partitioner._after_commit(record, 0, state)
+        eta = partitioner._eta(state)
+        # partition 0: lt = 5-4 = 1, pt = 4 → η = max(0, (1-4)/1) = 0
+        assert eta[0] == 0.0
+        assert eta[1] == 1.0
+
+    def test_eta_frozen_without_decay(self):
+        partitioner = SPNLPartitioner(2, use_decay=False)
+        state = PartitionState(2, 10, 0)
+        partitioner._setup(_FixedStream(10), state)
+        record = AdjacencyRecord(0, np.array([], dtype=np.int64))
+        state.commit(record, 0)
+        partitioner._after_commit(record, 0, state)
+        assert np.allclose(partitioner._eta(state), 1.0)
+
+    def test_eta_zero_when_range_exhausted(self):
+        partitioner = SPNLPartitioner(2, use_decay=True)
+        state = PartitionState(2, 4, 0, slack=1.5)
+        partitioner._setup(_FixedStream(4), state)
+        for v in range(2):  # whole range of partition 0 placed
+            record = AdjacencyRecord(v, np.array([], dtype=np.int64))
+            state.commit(record, 0)
+            partitioner._after_commit(record, 0, state)
+        assert partitioner._eta(state)[0] == 0.0
+
+
+class TestEndToEnd:
+    def test_complete_assignment(self, web_graph):
+        result = SPNLPartitioner(8).partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_beats_spn_on_local_graph(self, web_graph):
+        spn = SPNPartitioner(16).partition(GraphStream(web_graph))
+        spnl = SPNLPartitioner(16).partition(GraphStream(web_graph))
+        assert evaluate(web_graph, spnl.assignment).ecr <= evaluate(
+            web_graph, spn.assignment).ecr * 1.05
+
+    def test_locality_advantage_vanishes_when_shuffled(self):
+        """On randomly labeled ids the Range table is noise: SPNL must
+        fall back to ≈ SPN quality instead of gaining."""
+        from repro.graph import random_relabel
+        base = community_web_graph(3000, avg_community_size=40, seed=11)
+        scrambled = random_relabel(base, seed=5)
+        gain_local = _spnl_gain(base)
+        gain_scrambled = _spnl_gain(scrambled)
+        assert gain_local > gain_scrambled - 0.02
+
+    def test_stats_include_decay_flag(self, web_graph):
+        result = SPNLPartitioner(4, use_decay=False).partition(
+            GraphStream(web_graph))
+        assert result.stats["use_decay"] is False
+
+    def test_windowed_spnl_completes(self, web_graph):
+        result = SPNLPartitioner(8, num_shards="auto").partition(
+            GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+
+    def test_name(self):
+        assert SPNLPartitioner(2).name == "SPNL"
+
+
+def _spnl_gain(graph):
+    spn = SPNPartitioner(8, num_shards=1).partition(GraphStream(graph))
+    spnl = SPNLPartitioner(8, num_shards=1).partition(GraphStream(graph))
+    return (evaluate(graph, spn.assignment).ecr
+            - evaluate(graph, spnl.assignment).ecr)

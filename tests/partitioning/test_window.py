@@ -1,0 +1,157 @@
+"""Unit tests for the fine-grained sliding-window expectation store."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import (
+    FullExpectationStore,
+    SlidingWindowStore,
+    default_num_shards,
+)
+
+
+class TestDefaultShards:
+    def test_paper_formula(self):
+        # X = min(αK, |V|/(βK)) with α=4, β=100
+        assert default_num_shards(100_000, 32) == min(128, 100_000 // 3200)
+
+    def test_at_least_one(self):
+        assert default_num_shards(100, 32) == 1
+        assert default_num_shards(0, 4) == 1
+
+    def test_alpha_cap(self):
+        # enormous graph: capped by αK
+        assert default_num_shards(10**9, 4, alpha=4, beta=100) == 16
+
+
+class TestWindowGeometry:
+    def test_window_size_ceil(self):
+        store = SlidingWindowStore(2, 10, num_shards=3)
+        assert store.window_size == 4  # ceil(10/3)
+
+    def test_initial_window(self):
+        store = SlidingWindowStore(2, 10, num_shards=2)
+        assert store.low == 0
+        assert store.high == 5
+
+    def test_high_clamped_to_n(self):
+        store = SlidingWindowStore(2, 10, num_shards=2)
+        store.advance_to(8)
+        assert store.high == 10
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            SlidingWindowStore(2, 10, num_shards=0)
+
+
+class TestWindowSemantics:
+    def test_counts_inside_window(self):
+        store = SlidingWindowStore(2, 10, num_shards=2)  # window [0, 5)
+        store.record(0, np.array([1, 4]))
+        assert store.expectation_of(1)[0] == 1
+        assert store.expectation_of(4)[0] == 1
+
+    def test_future_neighbors_skipped(self):
+        """Case 3 of the paper: neighbors beyond the window are lost."""
+        store = SlidingWindowStore(2, 10, num_shards=2)
+        store.record(0, np.array([7]))  # 7 outside [0, 5)
+        assert store.expectation_of(7)[0] == 0
+        assert store.skipped_future == 1
+
+    def test_past_neighbors_skipped(self):
+        """Case 2: neighbors behind the window are harmless drops."""
+        store = SlidingWindowStore(2, 10, num_shards=2)
+        store.advance_to(4)
+        store.record(0, np.array([2]))  # 2 < low
+        assert store.skipped_past == 1
+
+    def test_fine_grained_slide_keeps_overlap(self):
+        """Advancing by one vertex must keep counters for ids still inside."""
+        store = SlidingWindowStore(1, 10, num_shards=2)  # window size 5
+        store.record(0, np.array([1, 2, 3, 4]))
+        store.advance_to(1)  # window [1, 6): all recorded ids survive
+        assert store.expectation_of(4)[0] == 1
+        assert store.expectation_of(1)[0] == 1
+
+    def test_slide_evicts_expired(self):
+        store = SlidingWindowStore(1, 10, num_shards=2)
+        store.record(0, np.array([1, 2]))
+        store.advance_to(2)  # id 1 expired
+        assert store.expectation_of(1)[0] == 0
+        assert store.expectation_of(2)[0] == 1
+
+    def test_ring_slot_reuse_is_clean(self):
+        """A slot vacated by id i must read 0 for id i+W (no stale count)."""
+        store = SlidingWindowStore(1, 20, num_shards=4)  # window size 5
+        store.record(0, np.array([0]))  # slot 0 holds id 0
+        store.advance_to(5)  # window [5, 10): slot 0 now backs id 5
+        assert store.expectation_of(5)[0] == 0
+
+    def test_jump_beyond_window_clears_all(self):
+        store = SlidingWindowStore(1, 100, num_shards=10)
+        store.record(0, np.array([3, 5]))
+        store.advance_to(50)
+        assert store.expectation_of(50)[0] == 0
+        assert not store._table.any()
+
+    def test_backwards_advance_is_noop(self):
+        """Delayed (parallel) vertices re-read the window without error."""
+        store = SlidingWindowStore(1, 10, num_shards=2)
+        store.advance_to(4)
+        store.record(0, np.array([5]))
+        store.advance_to(2)  # no-op
+        assert store.low == 4
+        assert store.expectation_of(5)[0] == 1
+
+    def test_gather_filters_to_window(self):
+        store = SlidingWindowStore(2, 10, num_shards=2)
+        store.record(1, np.array([1, 3]))
+        gathered = store.gather(np.array([1, 3, 8]))  # 8 out of window
+        assert list(gathered) == [0, 2]
+
+    def test_nbytes_shrinks_with_shards(self):
+        full = SlidingWindowStore(4, 1000, num_shards=1)
+        windowed = SlidingWindowStore(4, 1000, num_shards=10)
+        assert windowed.nbytes() < full.nbytes()
+        assert windowed.nbytes() == pytest.approx(full.nbytes() / 10,
+                                                  rel=0.05)
+
+
+class TestEquivalenceWithFullStore:
+    def test_single_shard_matches_full_store_on_live_ids(self, rng):
+        """X=1 (window = whole id space) must agree with the dense table
+        for every id the stream can still place (current or future).
+
+        Ids *behind* the stream position may differ — the window drops
+        them by design — but those counters are semantically dead: their
+        vertices are already placed and will never be scored again.
+        """
+        n, k = 200, 4
+        full = FullExpectationStore(k, n)
+        windowed = SlidingWindowStore(k, n, num_shards=1)
+        for v in range(0, n, 3):
+            neighbors = rng.integers(v, n, size=rng.integers(0, 6))
+            pid = int(rng.integers(0, k))
+            for store in (full, windowed):
+                store.advance_to(v)
+                store.record(pid, neighbors)
+            live = rng.integers(v, n, size=5)
+            assert np.array_equal(full.gather(live),
+                                  windowed.gather(live))
+            assert np.array_equal(full.expectation_of(v),
+                                  windowed.expectation_of(v))
+
+    def test_windowed_is_lower_bound_of_full(self, rng):
+        """A windowed count can never exceed the dense count."""
+        n, k = 300, 3
+        full = FullExpectationStore(k, n)
+        windowed = SlidingWindowStore(k, n, num_shards=6)
+        for v in range(0, n, 2):
+            neighbors = rng.integers(0, n, size=4)
+            pid = int(rng.integers(0, k))
+            full.advance_to(v)
+            windowed.advance_to(v)
+            assert (windowed.gather(neighbors)
+                    <= full.gather(neighbors)).all()
+            full.record(pid, neighbors)
+            windowed.record(pid, neighbors)

@@ -1,0 +1,111 @@
+"""Unit tests for the vertex-centric algorithms (vs. reference results)."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.graph import GraphStream, community_web_graph, from_edges
+from repro.partitioning import PartitionAssignment, SPNLPartitioner
+from repro.runtime import run_pagerank, run_sssp, run_wcc
+
+
+def _nx_digraph(graph):
+    g = networkx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return community_web_graph(400, avg_community_size=30, seed=8,
+                               name="small")
+
+
+@pytest.fixture(scope="module")
+def small_assignment(small_graph):
+    return SPNLPartitioner(4).partition(
+        GraphStream(small_graph)).assignment
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, small_graph, small_assignment):
+        run = run_pagerank(small_graph, small_assignment, iterations=15)
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_networkx(self, small_graph, small_assignment):
+        run = run_pagerank(small_graph, small_assignment, iterations=60)
+        expected = networkx.pagerank(_nx_digraph(small_graph), alpha=0.85,
+                                     max_iter=200, tol=1e-12)
+        got = run.values
+        want = np.array([expected[v] for v in
+                         range(small_graph.num_vertices)])
+        assert np.allclose(got, want, atol=2e-4)
+
+    def test_partitioning_does_not_change_result(self, small_graph):
+        """Pregel semantics: the answer is partitioning-independent."""
+        a = PartitionAssignment([0] * small_graph.num_vertices, 1)
+        b = SPNLPartitioner(8).partition(
+            GraphStream(small_graph)).assignment
+        run_a = run_pagerank(small_graph, a, iterations=20)
+        run_b = run_pagerank(small_graph, b, iterations=20)
+        assert np.allclose(run_a.values, run_b.values)
+
+    def test_damping_validation(self):
+        from repro.runtime import PageRankProgram
+        with pytest.raises(ValueError):
+            PageRankProgram(damping=1.5)
+
+
+class TestSSSP:
+    def test_matches_bfs_distances(self, small_graph, small_assignment):
+        run = run_sssp(small_graph, small_assignment, source=0)
+        expected = networkx.single_source_shortest_path_length(
+            _nx_digraph(small_graph), 0)
+        for v in range(small_graph.num_vertices):
+            if v in expected:
+                assert run.values[v] == expected[v]
+            else:
+                assert np.isinf(run.values[v])
+
+    def test_source_distance_zero(self, small_graph, small_assignment):
+        run = run_sssp(small_graph, small_assignment, source=5)
+        assert run.values[5] == 0.0
+
+    def test_chain_distances(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+        a = PartitionAssignment([0, 0, 1, 1], 2)
+        run = run_sssp(g, a, source=0)
+        assert list(run.values) == [0, 1, 2, 3]
+
+    def test_supersteps_equal_eccentricity_plus_one(self):
+        g = from_edges([(i, i + 1) for i in range(9)], num_vertices=10)
+        a = PartitionAssignment([0] * 10, 1)
+        run = run_sssp(g, a, source=0)
+        # 9 sending supersteps: the source broadcast plus 8 interior
+        # relaxations (the chain's last vertex has no out-edge to send on).
+        assert run.supersteps == 9
+
+
+class TestWCC:
+    def test_single_component(self, small_graph, small_assignment):
+        run = run_wcc(small_graph, small_assignment)
+        expected = networkx.number_weakly_connected_components(
+            _nx_digraph(small_graph))
+        assert len(np.unique(run.values)) == expected
+
+    def test_multiple_components(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=5)
+        a = PartitionAssignment([0, 0, 1, 1, 0], 2)
+        run = run_wcc(g, a)
+        labels = run.values
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len({labels[0], labels[2], labels[4]}) == 3
+
+    def test_labels_are_component_minima(self):
+        g = from_edges([(4, 2), (2, 7)], num_vertices=8)
+        a = PartitionAssignment([0] * 8, 1)
+        run = run_wcc(g, a)
+        assert run.values[4] == run.values[2] == run.values[7] == 2.0

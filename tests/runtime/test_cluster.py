@@ -1,0 +1,123 @@
+"""Unit tests for the cluster cost simulator."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream
+from repro.partitioning import HashPartitioner, SPNLPartitioner
+from repro.runtime import (
+    ClusterModel,
+    CommReport,
+    run_pagerank,
+    simulate_job,
+)
+
+
+class TestClusterModel:
+    def test_defaults_valid(self):
+        ClusterModel()
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            ClusterModel(compute_rate=0)
+        with pytest.raises(ValueError):
+            ClusterModel(network_rate=-1)
+
+    def test_invalid_straggler(self):
+        with pytest.raises(ValueError):
+            ClusterModel(straggler_factor=0.5)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            ClusterModel(barrier_latency=-1)
+
+
+class TestSimulateJob:
+    def _report_with_traffic(self, k=4):
+        comm = CommReport(num_partitions=k)
+        received = np.array([100, 100, 100, 500])
+        remote = np.array([10, 10, 10, 200])
+        comm.record(0, local=600, remote=230, active=400,
+                    received=received, remote_in=remote,
+                    remote_out=remote)
+        return comm
+
+    def test_decomposition_sums_to_makespan(self):
+        cost = simulate_job(self._report_with_traffic())
+        assert cost.makespan_seconds == pytest.approx(
+            cost.compute_seconds + cost.network_seconds
+            + cost.barrier_seconds)
+
+    def test_barrier_per_superstep(self):
+        model = ClusterModel(barrier_latency=0.5)
+        cost = simulate_job(self._report_with_traffic(), model)
+        assert cost.barrier_seconds == 0.5
+
+    def test_imbalance_creates_wait(self):
+        cost = simulate_job(self._report_with_traffic())
+        assert cost.wait_seconds > 0
+        assert cost.utilization < 1.0
+
+    def test_balanced_traffic_no_wait(self):
+        comm = CommReport(num_partitions=2)
+        even = np.array([100, 100])
+        comm.record(0, local=200, remote=0, active=100,
+                    received=even, remote_in=np.zeros(2, dtype=int),
+                    remote_out=np.zeros(2, dtype=int))
+        cost = simulate_job(comm)
+        assert cost.wait_seconds == pytest.approx(0.0)
+        assert cost.utilization == pytest.approx(1.0)
+
+    def test_straggler_scales_makespan(self):
+        # zero barrier so the (fixed) barrier cost doesn't mask scaling
+        base = simulate_job(self._report_with_traffic(),
+                            ClusterModel(barrier_latency=0.0))
+        slow = simulate_job(
+            self._report_with_traffic(),
+            ClusterModel(barrier_latency=0.0, straggler_factor=2.0))
+        assert slow.makespan_seconds == pytest.approx(
+            2.0 * base.makespan_seconds)
+
+    def test_fallback_without_traffic_arrays(self):
+        comm = CommReport(num_partitions=4)
+        comm.record(0, local=100, remote=20, active=50)
+        cost = simulate_job(comm)
+        assert cost.makespan_seconds > 0
+        assert cost.wait_seconds == pytest.approx(0.0)
+
+    def test_network_dominates_for_remote_heavy(self):
+        comm = CommReport(num_partitions=2)
+        received = np.array([1000, 1000])
+        remote = np.array([1000, 1000])
+        comm.record(0, local=0, remote=2000, active=100,
+                    received=received, remote_in=remote,
+                    remote_out=remote)
+        cost = simulate_job(comm)  # network rate 10x slower than compute
+        assert cost.network_seconds > cost.compute_seconds
+
+
+class TestEndToEnd:
+    def test_better_partitioning_cheaper_job(self, web_graph):
+        """The paper's bottom line, through the full cost model: on a
+        locality-rich graph, SPNL's PageRank costs less cluster time
+        than hash placement."""
+        spnl = SPNLPartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        hashed = HashPartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        cost_spnl = simulate_job(
+            run_pagerank(web_graph, spnl, iterations=8).comm)
+        cost_hash = simulate_job(
+            run_pagerank(web_graph, hashed, iterations=8).comm)
+        assert cost_spnl.makespan_seconds < cost_hash.makespan_seconds
+
+    def test_engine_populates_traffic(self, web_graph):
+        a = HashPartitioner(4).partition(GraphStream(web_graph)).assignment
+        run = run_pagerank(web_graph, a, iterations=3)
+        assert len(run.comm.per_partition_traffic) == \
+            run.comm.num_supersteps
+        received, remote_in, remote_out = \
+            run.comm.per_partition_traffic[0]
+        assert received.sum() == run.comm.supersteps[0].total_messages
+        assert remote_in.sum() == run.comm.supersteps[0].remote_messages
+        assert remote_out.sum() == run.comm.supersteps[0].remote_messages

@@ -1,0 +1,117 @@
+"""Unit tests for the BSP engine and communication accounting."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, from_edges
+from repro.partitioning import (
+    HashPartitioner,
+    PartitionAssignment,
+    SPNLPartitioner,
+    edge_cut,
+    evaluate,
+)
+from repro.runtime import BSPEngine, CommReport, VertexProgram
+
+
+class _BroadcastOnce(VertexProgram):
+    """Every vertex sends its id along out-edges in superstep 0 only."""
+
+    combiner = "sum"
+
+    def initial_values(self, graph):
+        return np.zeros(graph.num_vertices)
+
+    def compute(self, superstep, graph, values, incoming):
+        if superstep == 0:
+            sends = graph.out_degrees() > 0
+        else:
+            sends = np.zeros(graph.num_vertices, dtype=bool)
+        payloads = np.ones(graph.num_vertices)
+        if incoming is not None:
+            values = values + incoming
+        return values, payloads, sends
+
+
+class TestEngine:
+    def test_requires_complete_assignment(self, tiny_graph):
+        from repro.partitioning import UNASSIGNED
+        a = PartitionAssignment([0, 0, 1, 1, UNASSIGNED], 2)
+        with pytest.raises(ValueError):
+            BSPEngine(tiny_graph, a)
+
+    def test_broadcast_message_counts_equal_cut(self, tiny_graph):
+        """One all-edges broadcast: remote messages == |D| exactly."""
+        a = PartitionAssignment([0, 0, 1, 1, 1], 2)
+        run = BSPEngine(tiny_graph, a).run(_BroadcastOnce())
+        assert run.comm.remote_messages == edge_cut(tiny_graph, a)
+        assert run.comm.total_messages == tiny_graph.num_edges
+
+    def test_remote_fraction_equals_ecr(self, web_graph):
+        """The headline identity: broadcast remote fraction == ECR."""
+        a = SPNLPartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        run = BSPEngine(web_graph, a).run(_BroadcastOnce())
+        assert run.comm.remote_fraction == pytest.approx(
+            evaluate(web_graph, a).ecr)
+
+    def test_sum_combiner(self):
+        g = from_edges([(0, 2), (1, 2)], num_vertices=3)
+        a = PartitionAssignment([0, 0, 0], 1)
+        run = BSPEngine(g, a).run(_BroadcastOnce(), max_supersteps=3)
+        assert run.values[2] == 2.0  # both payloads summed
+
+    def test_halts_when_no_sends(self, tiny_graph):
+        a = PartitionAssignment([0] * 5, 1)
+        run = BSPEngine(tiny_graph, a).run(_BroadcastOnce(),
+                                           max_supersteps=50)
+        assert run.supersteps == 1
+
+    def test_invalid_combiner_rejected(self, tiny_graph):
+        class _Bad(_BroadcastOnce):
+            combiner = "median"
+        a = PartitionAssignment([0] * 5, 1)
+        with pytest.raises(ValueError, match="combiner"):
+            BSPEngine(tiny_graph, a).run(_Bad())
+
+    def test_received_per_partition_totals(self, tiny_graph):
+        a = PartitionAssignment([0, 0, 1, 1, 1], 2)
+        run = BSPEngine(tiny_graph, a).run(_BroadcastOnce())
+        assert run.comm.received_per_partition.sum() == \
+            tiny_graph.num_edges
+
+
+class TestCommReport:
+    def test_aggregation(self):
+        report = CommReport(num_partitions=2)
+        report.record(0, local=10, remote=5, active=7)
+        report.record(1, local=2, remote=3, active=4)
+        assert report.local_messages == 12
+        assert report.remote_messages == 8
+        assert report.total_messages == 20
+        assert report.remote_fraction == 0.4
+        assert report.num_supersteps == 2
+
+    def test_empty_report(self):
+        report = CommReport(num_partitions=4)
+        assert report.remote_fraction == 0.0
+        assert report.estimated_makespan() == 0.0
+
+    def test_makespan_penalizes_remote(self):
+        local_heavy = CommReport(num_partitions=2)
+        local_heavy.record(0, local=100, remote=0, active=10)
+        remote_heavy = CommReport(num_partitions=2)
+        remote_heavy.record(0, local=0, remote=100, active=10)
+        assert remote_heavy.estimated_makespan() > \
+            local_heavy.estimated_makespan()
+
+    def test_better_partitioning_lower_makespan(self, web_graph):
+        """ECR improvements must translate into makespan improvements."""
+        good = SPNLPartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        bad = HashPartitioner(8).partition(
+            GraphStream(web_graph)).assignment
+        good_run = BSPEngine(web_graph, good).run(_BroadcastOnce())
+        bad_run = BSPEngine(web_graph, bad).run(_BroadcastOnce())
+        assert good_run.comm.estimated_makespan() < \
+            bad_run.comm.estimated_makespan()

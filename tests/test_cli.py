@@ -1,0 +1,129 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "g.adj", "out"])
+        assert args.method == "spnl"
+        assert args.k == 32
+        assert args.shards == "auto"
+
+    def test_bench_targets_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "g.adj"
+        assert main(["generate", str(out), "--vertices", "500",
+                     "--seed", "2"]) == 0
+        assert out.exists()
+        assert "|V|=500" in capsys.readouterr().out
+
+    def test_generate_named_dataset(self, tmp_path, capsys):
+        out = tmp_path / "uk.adj"
+        assert main(["generate", str(out), "--dataset", "uk2005"]) == 0
+        assert "uk2005" in capsys.readouterr().out
+
+
+class TestPartitionEvaluateInfo:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        out = tmp_path / "g.adj"
+        main(["generate", str(out), "--vertices", "800", "--seed", "4"])
+        return out
+
+    def test_partition_writes_routes(self, graph_file, tmp_path, capsys):
+        routes = tmp_path / "routes.txt"
+        assert main(["partition", str(graph_file), str(routes),
+                     "--method", "spnl", "-k", "4"]) == 0
+        table = np.loadtxt(routes, dtype=int)
+        assert len(table) == 800
+        assert set(np.unique(table)) <= set(range(4))
+        assert "ECR=" in capsys.readouterr().out
+
+    def test_every_method_runs(self, graph_file, tmp_path):
+        for method in ("ldg", "fennel", "spn", "spnl", "hash", "range",
+                       "metis", "xtrapulp"):
+            routes = tmp_path / f"{method}.txt"
+            assert main(["partition", str(graph_file), str(routes),
+                         "--method", method, "-k", "4"]) == 0
+
+    def test_threaded_partition(self, graph_file, tmp_path):
+        routes = tmp_path / "routes.txt"
+        assert main(["partition", str(graph_file), str(routes),
+                     "--method", "spnl", "-k", "4",
+                     "--threads", "2"]) == 0
+        assert len(np.loadtxt(routes, dtype=int)) == 800
+
+    def test_evaluate_roundtrip(self, graph_file, tmp_path, capsys):
+        routes = tmp_path / "routes.txt"
+        main(["partition", str(graph_file), str(routes), "-k", "4"])
+        capsys.readouterr()
+        assert main(["evaluate", str(graph_file), str(routes)]) == 0
+        assert "ECR=" in capsys.readouterr().out
+
+    def test_info(self, graph_file, capsys):
+        assert main(["info", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "|V|" in out
+
+    def test_analyze(self, graph_file, tmp_path, capsys):
+        routes = tmp_path / "routes.txt"
+        main(["partition", str(graph_file), str(routes), "-k", "4"])
+        capsys.readouterr()
+        assert main(["analyze", str(graph_file), str(routes),
+                     "--bins", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cut fraction by id-distance" in out
+        assert "boundary vertices" in out
+        assert "partition connectivity" in out
+
+    def test_named_dataset_partition(self, tmp_path):
+        routes = tmp_path / "routes.txt"
+        assert main(["partition", "uk2005", str(routes), "--method",
+                     "ldg", "-k", "8"]) == 0
+
+    def test_missing_graph_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["info", str(tmp_path / "missing.adj")])
+
+
+class TestEdgePartition:
+    def test_edgepartition_writes_assignment(self, tmp_path, capsys):
+        graph = tmp_path / "g.adj"
+        main(["generate", str(graph), "--vertices", "600", "--seed", "6"])
+        out = tmp_path / "edges.txt"
+        assert main(["edgepartition", str(graph), str(out),
+                     "--method", "hdrf", "-k", "4"]) == 0
+        table = np.loadtxt(out, dtype=int)
+        assert set(np.unique(table)) <= set(range(4))
+        assert "RF=" in capsys.readouterr().out
+
+    def test_every_edge_method_runs(self, tmp_path):
+        graph = tmp_path / "g.adj"
+        main(["generate", str(graph), "--vertices", "400", "--seed", "6"])
+        for method in ("random", "dbh", "greedy", "hdrf", "spnl-e"):
+            out = tmp_path / f"{method}.txt"
+            assert main(["edgepartition", str(graph), str(out),
+                         "--method", method, "-k", "4"]) == 0
+
+
+class TestBenchCommand:
+    def test_table2(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        assert "stanford" in capsys.readouterr().out
+
+    def test_fig3_small_k(self, capsys):
+        assert main(["bench", "fig3", "-k", "4"]) == 0
+        assert "lambda" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Cross-cutting matrix tests: every partitioner × every mode/edge case.
+
+Single-behavior tests live next to their modules; this file sweeps the
+combinations that are easy to break one-sidedly — balance modes, K
+extremes, degenerate graphs — across the whole partitioner roster at
+once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, GraphStream, from_edges
+from repro.offline import (
+    LabelPropagationPartitioner,
+    MultilevelPartitioner,
+)
+from repro.partitioning import (
+    BalanceMode,
+    ChunkedPartitioner,
+    FennelPartitioner,
+    HashPartitioner,
+    LDGPartitioner,
+    RandomPartitioner,
+    RangePartitioner,
+    SPNLPartitioner,
+    SPNPartitioner,
+    evaluate,
+)
+
+STREAMING = [
+    HashPartitioner,
+    RandomPartitioner,
+    RangePartitioner,
+    ChunkedPartitioner,
+    LDGPartitioner,
+    FennelPartitioner,
+    SPNPartitioner,
+    SPNLPartitioner,
+]
+
+
+@pytest.mark.parametrize("cls", STREAMING)
+class TestEveryStreamingPartitioner:
+    def test_k_equals_one(self, cls, web_graph):
+        result = cls(1).partition(GraphStream(web_graph))
+        q = evaluate(web_graph, result.assignment)
+        assert q.ecr == 0.0
+        assert q.delta_v == 1.0
+
+    def test_k_equals_vertices(self, cls):
+        g = from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+        result = cls(4, slack=1.0).partition(GraphStream(g))
+        result.assignment.validate(4)
+        # with K == |V| and δ = 1 every vertex sits alone
+        assert result.assignment.vertex_counts().max() == 1
+
+    def test_edgeless_graph(self, cls):
+        g = DiGraph.empty(32)
+        result = cls(4).partition(GraphStream(g))
+        result.assignment.validate(32)
+        assert evaluate(g, result.assignment).ecr == 0.0
+
+    def test_single_vertex(self, cls):
+        g = DiGraph.empty(1)
+        result = cls(2).partition(GraphStream(g))
+        result.assignment.validate(1)
+
+    def test_edge_balance_mode(self, cls, web_graph):
+        partitioner = cls(8, balance=BalanceMode.EDGE, slack=1.1)
+        result = partitioner.partition(GraphStream(web_graph))
+        q = evaluate(web_graph, result.assignment)
+        # the edge-capacity rule must bind δ_e (+ rounding headroom)
+        assert q.delta_e <= 1.15, cls.__name__
+
+    def test_star_graph(self, cls):
+        """A hub pointing at everyone — the degenerate skew case."""
+        n = 64
+        g = from_edges([(0, i) for i in range(1, n)], num_vertices=n)
+        result = cls(4).partition(GraphStream(g))
+        result.assignment.validate(n)
+
+
+@pytest.mark.parametrize("cls", [MultilevelPartitioner,
+                                 LabelPropagationPartitioner])
+class TestEveryOfflinePartitioner:
+    def test_k_equals_one(self, cls, web_graph):
+        result = cls(1).partition(web_graph)
+        assert evaluate(web_graph, result.assignment).ecr == 0.0
+
+    def test_edgeless_graph(self, cls):
+        g = DiGraph.empty(16)
+        result = cls(4).partition(g)
+        result.assignment.validate(16)
+
+    def test_two_vertices(self, cls):
+        g = from_edges([(0, 1)], num_vertices=2)
+        result = cls(2).partition(g)
+        result.assignment.validate(2)
+
+
+class TestSelfConsistencyAcrossModes:
+    def test_vertex_and_edge_mode_same_domain(self, web_graph):
+        """Both balance modes produce complete assignments over the
+        same vertex set — only the capacity measure differs."""
+        v_mode = LDGPartitioner(8, balance="vertex").partition(
+            GraphStream(web_graph))
+        e_mode = LDGPartitioner(8, balance="edge").partition(
+            GraphStream(web_graph))
+        v_mode.assignment.validate(web_graph.num_vertices)
+        e_mode.assignment.validate(web_graph.num_vertices)
+
+    def test_all_partitioners_nonempty_partitions_when_k_small(
+            self, web_graph):
+        for cls in STREAMING:
+            result = cls(2).partition(GraphStream(web_graph))
+            counts = result.assignment.vertex_counts()
+            assert (counts > 0).all(), cls.__name__

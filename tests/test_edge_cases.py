@@ -1,0 +1,93 @@
+"""Edge-case batch: small but sharp corners across the library."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    GraphStream,
+    from_edges,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.partitioning import (
+    PartitionAssignment,
+    SPNLPartitioner,
+    cut_distance_histogram,
+    evaluate,
+)
+from repro.runtime import run_pagerank
+
+
+class TestGraphCorners:
+    def test_declared_vertices_smaller_than_ids(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 9\n")
+        with pytest.raises(ValueError, match="num_vertices"):
+            read_edge_list(path, num_vertices=5)
+
+    def test_large_sparse_ids(self):
+        g = from_edges([(0, 99_999)], num_vertices=100_000)
+        assert g.num_vertices == 100_000
+        assert g.out_degree(0) == 1
+
+    def test_write_edge_list_empty_graph(self, tmp_path):
+        g = DiGraph.empty(3)
+        path = tmp_path / "empty.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path, num_vertices=3) == g
+
+    def test_self_loop_only_input(self):
+        g = from_edges([(1, 1), (2, 2)], num_vertices=3)
+        assert g.num_edges == 0  # loops dropped by default
+
+
+class TestPartitioningCorners:
+    def test_histogram_more_bins_than_edges(self, tiny_graph):
+        a = PartitionAssignment([0, 0, 1, 1, 1], 2)
+        rows = cut_distance_histogram(tiny_graph, a, bins=100)
+        assert sum(r["edges"] for r in rows) == tiny_graph.num_edges
+
+    def test_spnl_on_two_vertices(self):
+        g = from_edges([(0, 1)], num_vertices=2)
+        result = SPNLPartitioner(2, slack=1.0).partition(GraphStream(g))
+        result.assignment.validate(2)
+
+    def test_k_larger_than_vertices(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=3)
+        result = SPNLPartitioner(8).partition(GraphStream(g))
+        result.assignment.validate(3)
+        # only 3 of the 8 partitions can be non-empty
+        assert (result.assignment.vertex_counts() > 0).sum() <= 3
+
+    def test_evaluate_single_vertex_graph(self):
+        g = DiGraph.empty(1)
+        q = evaluate(g, PartitionAssignment([0], 1))
+        assert q.ecr == 0.0
+        assert q.delta_v == 1.0
+
+
+class TestRuntimeCorners:
+    def test_pagerank_with_dangling_vertices(self):
+        """Sinks redistribute their mass; ranks must stay a
+        distribution and favor the sink everyone points at."""
+        g = from_edges([(0, 2), (1, 2)], num_vertices=3)  # 2 is a sink
+        a = PartitionAssignment([0, 0, 1], 2)
+        run = run_pagerank(g, a, iterations=30)
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-9)
+        assert run.values[2] > run.values[0]
+
+    def test_pagerank_on_edgeless_graph(self):
+        g = DiGraph.empty(4)
+        a = PartitionAssignment([0, 0, 1, 1], 2)
+        run = run_pagerank(g, a, iterations=5)
+        # nothing sends → one silent superstep → uniform ranks
+        assert np.allclose(run.values, 0.25)
+        assert run.comm.total_messages == 0
+
+    def test_isolated_vertex_keeps_base_rank(self):
+        g = from_edges([(0, 1)], num_vertices=3)  # vertex 2 isolated
+        a = PartitionAssignment([0, 0, 1], 2)
+        run = run_pagerank(g, a, iterations=20)
+        assert run.values[2] > 0
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,87 @@
+"""Golden regression tests.
+
+Every partitioner in this library is deterministic given its seed, so
+exact outputs on a fixed graph are stable signatures: a change in any
+scoring rule, tie-break, window rotation, or generator shows up here as
+an exact-count diff even when the aggregate quality barely moves.
+These counts were recorded from the implementation that produced the
+results in EXPERIMENTS.md; a legitimate algorithm change should update
+them *consciously* alongside the experiment records.
+
+(The web4k fixture: ``community_web_graph(4000, avg_community_size=50,
+seed=42)`` → |E| = 42 789.)
+"""
+
+import pytest
+
+from repro.edgepart import (
+    HDRFPartitioner,
+    SPNLEdgePartitioner,
+    evaluate_edges,
+)
+from repro.graph import GraphStream
+from repro.parallel import SimulatedParallelPartitioner
+from repro.partitioning import (
+    FennelPartitioner,
+    HashPartitioner,
+    LDGPartitioner,
+    SPNLPartitioner,
+    SPNPartitioner,
+    evaluate,
+)
+
+K = 8
+
+
+def _cut(partitioner, graph):
+    result = partitioner.partition(GraphStream(graph))
+    return evaluate(graph, result.assignment).num_cut_edges
+
+
+class TestGraphGenerator:
+    def test_web4k_signature(self, web_graph):
+        assert web_graph.num_vertices == 4000
+        assert web_graph.num_edges == 42789
+        assert web_graph.max_out_degree() == 231
+        assert int(web_graph.in_degrees().max()) == 300
+
+
+class TestVertexPartitioners:
+    def test_hash(self, web_graph):
+        assert _cut(HashPartitioner(K), web_graph) == 38335
+
+    def test_ldg(self, web_graph):
+        assert _cut(LDGPartitioner(K), web_graph) == 18639
+
+    def test_fennel(self, web_graph):
+        assert _cut(FennelPartitioner(K), web_graph) == 22030
+
+    def test_spn(self, web_graph):
+        assert _cut(SPNPartitioner(K), web_graph) == 7221
+
+    def test_spnl(self, web_graph):
+        assert _cut(SPNLPartitioner(K), web_graph) == 4718
+
+    def test_spnl_windowed(self, web_graph):
+        assert _cut(SPNLPartitioner(K, num_shards=4), web_graph) == 4162
+
+    def test_simulated_parallel(self, web_graph):
+        partitioner = SimulatedParallelPartitioner(SPNLPartitioner(K),
+                                                   parallelism=4)
+        result = partitioner.partition(GraphStream(web_graph))
+        assert evaluate(web_graph,
+                        result.assignment).num_cut_edges == 6701
+
+
+class TestEdgePartitioners:
+    def test_hdrf(self, web_graph):
+        result = HDRFPartitioner(K).partition(web_graph)
+        rf = evaluate_edges(web_graph, result.assignment
+                            ).replication_factor
+        assert rf == pytest.approx(2.79225, abs=1e-9)
+
+    def test_spnl_e(self, web_graph):
+        result = SPNLEdgePartitioner(K).partition(web_graph)
+        rf = evaluate_edges(web_graph, result.assignment
+                            ).replication_factor
+        assert rf == pytest.approx(1.74275, abs=1e-9)

@@ -1,0 +1,128 @@
+"""Property-based tests for the extension subsystems.
+
+Edge partitioning, the buffered hybrid, and dynamic maintenance each
+have their own invariants worth pinning across arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.edgepart import (
+    DBHPartitioner,
+    GreedyEdgePartitioner,
+    HDRFPartitioner,
+    RandomEdgePartitioner,
+    SPNLEdgePartitioner,
+    evaluate_edges,
+)
+from repro.graph import GraphStream, from_edges
+from repro.partitioning import (
+    BufferedHybridPartitioner,
+    DynamicPartitioner,
+    LDGPartitioner,
+    UNASSIGNED,
+)
+
+_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def graphs(draw, max_vertices=50, max_edges=200):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    return from_edges(zip(src[keep].tolist(), dst[keep].tolist()),
+                      num_vertices=n, name=f"hyp{seed % 997}")
+
+
+_EDGE_FACTORIES = [
+    lambda k: RandomEdgePartitioner(k),
+    lambda k: DBHPartitioner(k),
+    lambda k: GreedyEdgePartitioner(k),
+    lambda k: HDRFPartitioner(k),
+    lambda k: SPNLEdgePartitioner(k, num_shards=1),
+]
+
+
+class TestEdgePartitioningInvariants:
+    @_SETTINGS
+    @given(graph=graphs(), k=st.integers(1, 6),
+           idx=st.integers(0, len(_EDGE_FACTORIES) - 1))
+    def test_every_edge_assigned_once(self, graph, k, idx):
+        result = _EDGE_FACTORIES[idx](k).partition(graph)
+        assert result.assignment.num_edges == graph.num_edges
+        assert result.assignment.edge_counts().sum() == graph.num_edges
+
+    @_SETTINGS
+    @given(graph=graphs(), k=st.integers(1, 6),
+           idx=st.integers(0, len(_EDGE_FACTORIES) - 1))
+    def test_replicas_cover_exactly_touched_partitions(self, graph, k,
+                                                       idx):
+        """A vertex is replicated in partition p iff some incident edge
+        was assigned to p — the defining identity of edge partitioning."""
+        result = _EDGE_FACTORIES[idx](k).partition(graph)
+        expected = np.zeros((graph.num_vertices, k), dtype=bool)
+        for (src, dst), pid in zip(graph.edges(),
+                                   result.assignment.edge_pids):
+            expected[src, pid] = True
+            expected[dst, pid] = True
+        assert np.array_equal(result.assignment.replicas, expected)
+
+    @_SETTINGS
+    @given(graph=graphs(), k=st.integers(1, 6))
+    def test_rf_bounds(self, graph, k):
+        if graph.num_edges == 0:
+            return  # RF undefined (0 by convention) with no edges
+        result = HDRFPartitioner(k).partition(graph)
+        rf = evaluate_edges(graph, result.assignment).replication_factor
+        assert 1.0 <= rf <= k
+
+
+class TestBufferedInvariants:
+    @_SETTINGS
+    @given(graph=graphs(), k=st.integers(1, 6),
+           buffer=st.integers(2, 64))
+    def test_complete_and_consistent(self, graph, k, buffer):
+        p = BufferedHybridPartitioner(lambda: LDGPartitioner(k),
+                                      buffer_size=buffer)
+        result = p.partition(GraphStream(graph))
+        result.assignment.validate(graph.num_vertices)
+        counts = np.bincount(result.assignment.route, minlength=k)
+        assert np.array_equal(counts,
+                              result.assignment.vertex_counts())
+
+
+class TestDynamicInvariants:
+    @_SETTINGS
+    @given(graph=graphs(max_vertices=40, max_edges=120),
+           k=st.integers(1, 4))
+    def test_incremental_equals_streaming_domain(self, graph, k):
+        """Feeding a whole graph incrementally leaves every vertex
+        placed and all tallies consistent."""
+        dp = DynamicPartitioner(k, capacity_vertices=graph.num_vertices)
+        for record in graph.records():
+            dp.add_vertex(record.vertex, record.neighbors.tolist())
+        assignment = dp.assignment()
+        assignment.validate(graph.num_vertices)
+        assert dp.graph() == graph
+
+    @_SETTINGS
+    @given(graph=graphs(max_vertices=40, max_edges=120),
+           k=st.integers(1, 4))
+    def test_restream_completeness(self, graph, k):
+        dp = DynamicPartitioner(k, capacity_vertices=graph.num_vertices)
+        for record in graph.records():
+            dp.add_vertex(record.vertex, record.neighbors.tolist())
+        quality = dp.restream()
+        assert 0.0 <= quality.ecr <= 1.0
+        dp.assignment().validate(graph.num_vertices)

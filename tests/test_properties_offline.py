@@ -1,0 +1,119 @@
+"""Property-based tests for the offline substrate.
+
+The multilevel pipeline has the most internal moving parts (matching →
+contraction → growing → refinement → projection); hypothesis sweeps
+arbitrary graphs through the whole chain and checks the end-to-end
+contracts, plus the intermediate invariants that make the chain sound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.offline import (
+    LabelPropagationPartitioner,
+    MultilevelPartitioner,
+    WeightedGraph,
+    coarsen,
+    contract,
+    heavy_edge_matching,
+)
+from repro.partitioning import evaluate
+from repro.partitioning.eta import ETA_SCHEDULES
+
+_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def graphs(draw, max_vertices=60, max_edges=240):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    return from_edges(zip(src[keep].tolist(), dst[keep].tolist()),
+                      num_vertices=n, name=f"hyp{seed % 991}")
+
+
+class TestMatchingProperties:
+    @_SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 2**31 - 1))
+    def test_matching_is_involution(self, graph, seed):
+        wg = WeightedGraph.from_digraph(graph)
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(seed))
+        assert np.array_equal(match[match], np.arange(wg.num_vertices))
+
+    @_SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 2**31 - 1))
+    def test_contraction_conserves_weight_and_cut_upper_bound(
+            self, graph, seed):
+        wg = WeightedGraph.from_digraph(graph)
+        match = heavy_edge_matching(wg, rng=np.random.default_rng(seed))
+        coarse, coarse_of = contract(wg, match)
+        assert coarse.total_vertex_weight == wg.total_vertex_weight
+        # cross-super-vertex edge weight never grows under contraction
+        assert coarse.edge_weights.sum() <= wg.edge_weights.sum()
+
+    @_SETTINGS
+    @given(graph=graphs(), seed=st.integers(0, 2**31 - 1))
+    def test_hierarchy_projects_to_full_cover(self, graph, seed):
+        wg = WeightedGraph.from_digraph(graph)
+        levels = coarsen(wg, target_vertices=8, seed=seed)
+        labels = np.arange(levels[-1].graph.num_vertices)
+        for level in reversed(levels[:-1]):
+            labels = labels[level.coarse_of]
+        assert len(labels) == graph.num_vertices
+
+
+class TestOfflinePartitionerProperties:
+    @_SETTINGS
+    @given(graph=graphs(), k=st.integers(1, 6),
+           which=st.sampled_from(["multilevel", "lp"]))
+    def test_complete_and_within_quota(self, graph, k, which):
+        if which == "multilevel":
+            partitioner = MultilevelPartitioner(k, slack=1.2)
+        else:
+            partitioner = LabelPropagationPartitioner(k, slack=1.2)
+        result = partitioner.partition(graph)
+        result.assignment.validate(graph.num_vertices)
+        q = evaluate(graph, result.assignment)
+        assert 0.0 <= q.ecr <= 1.0
+        # quota + one vertex of rounding headroom on tiny graphs
+        assert q.delta_v <= 1.2 + k / max(1, graph.num_vertices) + 0.01
+
+
+class TestEtaScheduleProperties:
+    @_SETTINGS
+    @given(seed=st.integers(0, 2**31 - 1),
+           name=st.sampled_from(sorted(ETA_SCHEDULES)))
+    def test_all_schedules_stay_in_unit_interval(self, seed, name):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 16))
+        sizes = rng.integers(1, 1000, size=k)
+        lt = np.array([int(rng.integers(0, s + 1)) for s in sizes])
+        pt = rng.integers(0, 2000, size=k)
+        eta = ETA_SCHEDULES[name](lt.astype(np.int64),
+                                  pt.astype(np.int64),
+                                  sizes.astype(np.int64))
+        assert eta.shape == (k,)
+        assert (eta >= 0.0).all() and (eta <= 1.0).all()
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_schedules_vanish_with_exhausted_ranges(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 8))
+        sizes = rng.integers(1, 100, size=k).astype(np.int64)
+        lt = np.zeros(k, dtype=np.int64)
+        pt = sizes.copy()
+        for name in ("paper", "linear", "sqrt"):
+            eta = ETA_SCHEDULES[name](lt, pt, sizes)
+            assert np.allclose(eta, 0.0), name
