@@ -9,12 +9,26 @@ Graphs (substrate)::
     graph = community_web_graph(10_000, seed=7)
     stream = GraphStream(graph)
 
-Partitioners (the paper's contribution + baselines)::
+Partitioners (the paper's contribution + baselines), via the stable
+three-call facade (:mod:`repro.api`)::
+
+    from repro import make_partitioner, partition_stream, evaluate
+    result = partition_stream(graph, method="spnl", num_partitions=32,
+                              num_shards="auto")
+    print(evaluate(graph, result.assignment))
+
+or explicitly (deep import paths keep working)::
 
     from repro.partitioning import SPNLPartitioner, evaluate
     result = SPNLPartitioner(num_partitions=32, num_shards="auto")\
         .partition(stream)
-    print(evaluate(graph, result.assignment))
+
+Observability (:mod:`repro.observability`) traces a pass mid-stream::
+
+    from repro.observability import Instrumentation, JsonlSink
+    hub = Instrumentation([JsonlSink("trace.jsonl")], probe_every=1000)
+    result = partition_stream(graph, "spnl", 32, instrumentation=hub)
+    hub.close()
 
 Offline baselines (METIS-like multilevel, XtraPuLP-like label propagation)
 live in :mod:`repro.offline`; the parallel streaming technique with RCT
@@ -38,6 +52,14 @@ from .partitioning import (  # noqa: E402
     evaluate,
 )
 
+# The stable facade (documented in repro.api): build by name, partition in
+# one call, evaluate.  Old deep-module import paths stay valid aliases.
+from .api import (  # noqa: E402
+    available_partitioners,
+    make_partitioner,
+    partition_stream,
+)
+
 __all__ = [
     "DiGraph",
     "FennelPartitioner",
@@ -46,9 +68,12 @@ __all__ = [
     "PartitionAssignment",
     "SPNLPartitioner",
     "SPNPartitioner",
+    "available_partitioners",
     "community_web_graph",
     "evaluate",
     "graph",
+    "make_partitioner",
+    "partition_stream",
     "partitioning",
     "__version__",
 ]

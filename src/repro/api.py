@@ -1,0 +1,110 @@
+"""Top-level facade: the stable three-call API for notebooks and scripts.
+
+Everything a typical user needs lives behind three names, re-exported at
+package top level so deep module paths never leak into user code::
+
+    from repro import make_partitioner, partition_stream, evaluate
+
+    result = partition_stream(graph, method="spnl", num_partitions=32,
+                              slack=1.1)
+    print(evaluate(graph, result.assignment))
+
+Stable signatures (the documented contract; deep module paths keep
+working but these are what notebooks should use):
+
+``make_partitioner(name, num_partitions, **kwargs)``
+    Build any registered partitioner by short name; see
+    :mod:`repro.partitioning.registry`.
+
+``partition_stream(graph, method="spnl", num_partitions=32, *,
+order=None, threads=1, instrumentation=None, **kwargs)``
+    One-call partitioning of a :class:`~repro.graph.digraph.DiGraph`
+    (or an existing :class:`~repro.graph.stream.VertexStream`), returning
+    a :class:`~repro.partitioning.base.StreamingResult` whatever the
+    method — streaming heuristics consume a stream, offline baselines the
+    graph; the difference is handled here.
+
+``evaluate(graph, assignment)``
+    The paper's full quality metric set
+    (:func:`repro.partitioning.metrics.evaluate`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .graph.digraph import DiGraph
+from .graph.stream import GraphStream, VertexStream
+from .partitioning.base import StreamingResult
+from .partitioning.metrics import evaluate
+from .partitioning.registry import (
+    available_partitioners,
+    make_partitioner,
+    resolve,
+)
+
+__all__ = ["available_partitioners", "evaluate", "make_partitioner",
+           "partition_stream"]
+
+
+def partition_stream(graph: DiGraph | VertexStream,
+                     method: str = "spnl",
+                     num_partitions: int = 32, *,
+                     order: Any = None,
+                     threads: int = 1,
+                     instrumentation: Any = None,
+                     **kwargs: Any) -> StreamingResult:
+    """Partition ``graph`` with the named method, end to end.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`DiGraph` (wrapped in a fresh id-ordered
+        :class:`GraphStream`) or an existing stream.  Offline methods
+        (``"metis"``, ``"xtrapulp"``) require a ``DiGraph`` (or a
+        ``GraphStream`` exposing ``.graph``) and return an
+        :class:`~repro.offline.multilevel.OfflineResult`, which carries
+        the same ``assignment``/``elapsed_seconds``/``stats`` fields.
+    method:
+        A registered partitioner name (``repro.available_partitioners()``
+        lists them); unknown names raise with that list.
+    num_partitions:
+        ``K``.
+    order:
+        Optional arrival order forwarded to :class:`GraphStream` when a
+        ``DiGraph`` is given.
+    threads:
+        ``> 1`` wraps a streaming method in the shared-memory
+        :class:`~repro.parallel.executor.ThreadedParallelPartitioner`.
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation` hub; when
+        given, the pass emits windowed trace records (see
+        ``docs/observability.md``).  ``None`` keeps the bit-exact
+        uninstrumented path.
+    **kwargs:
+        Heuristic parameters (``slack``, ``lam``, ``num_shards``, …)
+        forwarded to the constructor; unknown ones are dropped so the
+        same call shape works across methods.
+    """
+    entry = resolve(method)
+    partitioner = make_partitioner(method, num_partitions,
+                                   ignore_unknown=True, **kwargs)
+    if not entry.is_streaming:
+        target = graph.graph if isinstance(graph, GraphStream) else graph
+        if not isinstance(target, DiGraph):
+            raise TypeError(
+                f"offline method {method!r} needs a DiGraph, got "
+                f"{type(graph).__name__}")
+        if instrumentation is not None:
+            with instrumentation.timer(f"partition.{method}"):
+                return partitioner.partition(target)
+        return partitioner.partition(target)
+    if threads > 1:
+        from .parallel.executor import ThreadedParallelPartitioner
+        partitioner = ThreadedParallelPartitioner(partitioner,
+                                                  parallelism=threads)
+    stream = graph if not isinstance(graph, DiGraph) \
+        else GraphStream(graph, order=order)
+    if instrumentation is None:
+        return partitioner.partition(stream)
+    return partitioner.partition(stream, instrumentation=instrumentation)

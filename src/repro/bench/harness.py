@@ -17,8 +17,10 @@ the paper's PT ratios.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Protocol
 
 from ..graph.digraph import DiGraph
@@ -26,8 +28,9 @@ from ..graph.stream import GraphStream
 from ..memory.tracker import measure_peak
 from ..offline.multilevel import OutOfMemoryError
 from ..partitioning.metrics import evaluate
+from ..partitioning.registry import make_partitioner
 
-__all__ = ["BenchRecord", "run_partitioner", "run_many"]
+__all__ = ["BenchRecord", "run_partitioner", "run_named", "run_many"]
 
 
 class _Partitioner(Protocol):
@@ -50,6 +53,7 @@ class BenchRecord:
     mc_bytes: int | None = None
     work_units: int | None = None
     stats: dict[str, Any] = field(default_factory=dict)
+    trace_path: str | None = None
 
     def as_row(self) -> dict:
         """Flat dict for the report tables ('F' marks simulated OOM)."""
@@ -101,9 +105,19 @@ def _estimate_work_units(partitioner: Any, graph: DiGraph,
     return 1  # LDG/FENNEL/Hash/Range: one scan
 
 
+def _supports_instrumentation(partitioner: Any) -> bool:
+    """Whether ``partitioner.partition`` accepts ``instrumentation=``."""
+    try:
+        sig = inspect.signature(partitioner.partition)
+    except (TypeError, ValueError, AttributeError):
+        return False
+    return "instrumentation" in sig.parameters
+
+
 def run_partitioner(partitioner: Any, graph: DiGraph, *,
                     measure_memory: bool = False,
-                    order=None) -> BenchRecord:
+                    order=None, instrumentation: Any = None,
+                    trace_path: str | Path | None = None) -> BenchRecord:
     """Run one partitioner on one graph and evaluate every metric.
 
     Streaming partitioners receive a fresh :class:`GraphStream` (id order
@@ -114,14 +128,34 @@ def run_partitioner(partitioner: Any, graph: DiGraph, *,
     ``measure_memory=True`` wraps the run in tracemalloc: the recorded
     ``pt_seconds`` then carries tracing overhead, so tables measuring
     both PT and MC issue two separate runs.
+
+    ``trace_path`` makes the run a traced one: a fresh
+    :class:`~repro.observability.Instrumentation` hub with a
+    :class:`~repro.observability.JsonlSink` is wired through the
+    partitioner, and the resulting JSONL trace is recorded on the
+    returned record (``trace_path``) as a first-class bench artifact
+    alongside the metric row.  Alternatively pass an existing hub via
+    ``instrumentation`` to aggregate several runs into shared sinks.
+    Either is silently skipped for partitioners whose ``partition`` does
+    not take the hook (the offline baselines).
     """
-    is_streaming = hasattr(partitioner, "make_state") or hasattr(
-        getattr(partitioner, "base", None), "make_state") or hasattr(
-        partitioner, "base_factory")
+    owned_hub = None
+    if trace_path is not None and instrumentation is None:
+        from ..observability import Instrumentation, JsonlSink
+        owned_hub = instrumentation = Instrumentation(
+            [JsonlSink(trace_path)])
+    instrumented = (instrumentation is not None
+                    and _supports_instrumentation(partitioner))
 
     def _run():
-        if is_streaming:
-            return partitioner.partition(GraphStream(graph, order=order))
+        if hasattr(partitioner, "make_state") or hasattr(
+                getattr(partitioner, "base", None), "make_state") or hasattr(
+                partitioner, "base_factory"):
+            stream = GraphStream(graph, order=order)
+            if instrumented:
+                return partitioner.partition(
+                    stream, instrumentation=instrumentation)
+            return partitioner.partition(stream)
         return partitioner.partition(graph)
 
     record = BenchRecord(graph=graph.name, partitioner=partitioner.name,
@@ -136,6 +170,9 @@ def run_partitioner(partitioner: Any, graph: DiGraph, *,
         record.failed = True
         record.mc_bytes = exc.needed_bytes
         return record
+    finally:
+        if owned_hub is not None:
+            owned_hub.close()
 
     quality = evaluate(graph, result.assignment)
     record.ecr = quality.ecr
@@ -145,7 +182,29 @@ def run_partitioner(partitioner: Any, graph: DiGraph, *,
     record.stats = dict(result.stats)
     record.work_units = _estimate_work_units(partitioner, graph,
                                              record.stats)
+    if trace_path is not None and instrumented:
+        record.trace_path = str(trace_path)
     return record
+
+
+def run_named(name: str, graph: DiGraph, num_partitions: int, *,
+              measure_memory: bool = False, order=None,
+              instrumentation: Any = None,
+              trace_path: str | Path | None = None,
+              **kwargs: Any) -> BenchRecord:
+    """Registry-driven :func:`run_partitioner`: build by name, then run.
+
+    ``kwargs`` are heuristic parameters (``slack``, ``lam``,
+    ``num_shards``, …); unknown ones are dropped per factory so one
+    sweep loop can drive heterogeneous methods.  Unknown *names* raise
+    with the registered list.
+    """
+    partitioner = make_partitioner(name, num_partitions,
+                                   ignore_unknown=True, **kwargs)
+    return run_partitioner(partitioner, graph,
+                           measure_memory=measure_memory, order=order,
+                           instrumentation=instrumentation,
+                           trace_path=trace_path)
 
 
 def run_many(partitioners: list[Any], graphs: list[DiGraph],

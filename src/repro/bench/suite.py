@@ -54,24 +54,22 @@ def _figure_sections(quick: bool) -> list[tuple[str, Callable[[], Any]]]:
 
 
 def _edge_partitioning_rows(datasets) -> list[dict]:
-    from ..edgepart import (
-        DBHPartitioner,
-        GreedyEdgePartitioner,
-        HDRFPartitioner,
-        RandomEdgePartitioner,
-        SPNLEdgePartitioner,
-        evaluate_edges,
+    from ..edgepart import evaluate_edges
+    from ..partitioning.registry import (
+        available_partitioners,
+        make_partitioner,
     )
     from .datasets import load
 
     rows = []
     for name in datasets:
         graph = load(name)
-        for partitioner in [RandomEdgePartitioner(32),
-                            DBHPartitioner(32),
-                            GreedyEdgePartitioner(32),
-                            HDRFPartitioner(32),
-                            SPNLEdgePartitioner(32)]:
+        # Every registered edge heuristic, baselines first (registration
+        # order is definition order in the modules, which already runs
+        # random → dbh → greedy → hdrf → spnl-e).
+        for method in ("random", "dbh", "greedy", "hdrf", "spnl-e"):
+            assert method in available_partitioners("edge")
+            partitioner = make_partitioner(method, 32, kind="edge")
             result = partitioner.partition(graph)
             report = evaluate_edges(graph, result.assignment)
             rows.append({"graph": name, "method": result.partitioner,
@@ -81,23 +79,19 @@ def _edge_partitioning_rows(datasets) -> list[dict]:
 
 
 def _hybrid_rows(dataset: str) -> list[dict]:
-    from ..partitioning import (
-        BufferedHybridPartitioner,
-        LDGPartitioner,
-        SPNLPartitioner,
-    )
+    from ..partitioning import BufferedHybridPartitioner, make_partitioner
     from .datasets import load
     from .harness import run_partitioner
 
     graph = load(dataset)
     rows = []
     for partitioner in [
-        LDGPartitioner(32),
-        BufferedHybridPartitioner(lambda: LDGPartitioner(32),
+        make_partitioner("ldg", 32),
+        BufferedHybridPartitioner(lambda: make_partitioner("ldg", 32),
                                   buffer_size=2048),
-        SPNLPartitioner(32, num_shards="auto"),
+        make_partitioner("spnl", 32, num_shards="auto"),
         BufferedHybridPartitioner(
-            lambda: SPNLPartitioner(32, num_shards="auto"),
+            lambda: make_partitioner("spnl", 32, num_shards="auto"),
             buffer_size=2048),
     ]:
         record = run_partitioner(partitioner, graph)

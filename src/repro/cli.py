@@ -26,9 +26,6 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-_PARTITIONERS = ("ldg", "fennel", "spn", "spnl", "hash", "range", "metis",
-                 "xtrapulp")
-
 
 def _load_graph(path_or_name: str):
     """Resolve a CLI graph argument: a file path or a stand-in name."""
@@ -59,34 +56,45 @@ def _load_graph(path_or_name: str):
 
 
 def _make_partitioner(method: str, k: int, args: argparse.Namespace):
-    from .offline.label_propagation import LabelPropagationPartitioner
-    from .offline.multilevel import MultilevelPartitioner
-    from .partitioning.fennel import FennelPartitioner
-    from .partitioning.hashing import HashPartitioner, RangePartitioner
-    from .partitioning.ldg import LDGPartitioner
-    from .partitioning.spn import SPNPartitioner
-    from .partitioning.spnl import SPNLPartitioner
+    """Build the chosen method through the registry.
 
-    slack = args.slack
-    if method == "ldg":
-        return LDGPartitioner(k, slack=slack)
-    if method == "fennel":
-        return FennelPartitioner(k, slack=slack)
-    if method == "spn":
-        return SPNPartitioner(k, slack=slack, lam=args.lam,
-                              num_shards=args.shards)
-    if method == "spnl":
-        return SPNLPartitioner(k, slack=slack, lam=args.lam,
-                               num_shards=args.shards)
-    if method == "hash":
-        return HashPartitioner(k, slack=slack)
-    if method == "range":
-        return RangePartitioner(k, slack=slack)
-    if method == "metis":
-        return MultilevelPartitioner(k)
-    if method == "xtrapulp":
-        return LabelPropagationPartitioner(k)
-    raise SystemExit(f"unknown method {method!r}")
+    Every method shares the CLI's one flag namespace
+    (``--slack/--lam/--shards``); ``ignore_unknown=True`` lets each
+    factory bind only the parameters it takes.
+    """
+    from .partitioning.registry import make_partitioner
+
+    try:
+        return make_partitioner(method, k, ignore_unknown=True,
+                                slack=args.slack, lam=args.lam,
+                                num_shards=args.shards)
+    except ValueError as exc:  # unknown name: exit with the full list
+        raise SystemExit(f"error: {exc}")
+
+
+def _make_instrumentation(args: argparse.Namespace):
+    """Build the trace hub from ``--trace``/``--probe-every`` (or None).
+
+    ``--trace out.jsonl`` writes the windowed JSONL trace;
+    ``--probe-every N`` sets the window (and, given without ``--trace``,
+    streams human-readable probe lines to stderr instead).
+    """
+    trace = getattr(args, "trace", None)
+    probe_every = getattr(args, "probe_every", None)
+    if trace is None and probe_every is None:
+        return None
+    if probe_every is not None and probe_every < 1:
+        raise SystemExit("error: --probe-every must be >= 1")
+    from .observability import Instrumentation, JsonlSink, ProgressSink
+
+    sinks = []
+    if trace is not None:
+        sinks.append(JsonlSink(trace))
+    else:
+        sinks.append(ProgressSink())
+    return Instrumentation(sinks,
+                           probe_every=probe_every
+                           if probe_every is not None else 1000)
 
 
 # ----------------------------------------------------------------------
@@ -114,15 +122,24 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     from .graph.stream import GraphStream
     from .parallel.executor import ThreadedParallelPartitioner
     from .partitioning.metrics import evaluate
+    from .partitioning.registry import resolve
 
     graph = _load_graph(args.graph)
     partitioner = _make_partitioner(args.method, args.k, args)
-    is_offline = args.method in ("metis", "xtrapulp")
+    is_offline = not resolve(args.method).is_streaming
     if args.threads > 1 and not is_offline:
         partitioner = ThreadedParallelPartitioner(
             partitioner, parallelism=args.threads)
+    instrumentation = _make_instrumentation(args)
     if is_offline:
+        if instrumentation is not None:
+            print(f"note: {args.method} is offline; streaming trace "
+                  "flags are ignored", file=sys.stderr)
         result = partitioner.partition(graph)
+    elif instrumentation is not None:
+        with instrumentation:
+            result = partitioner.partition(
+                GraphStream(graph), instrumentation=instrumentation)
     else:
         result = partitioner.partition(GraphStream(graph))
     quality = evaluate(graph, result.assignment)
@@ -131,6 +148,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                     partitioner=result.partitioner)
     print(f"{result.partitioner}: {quality} PT={result.elapsed_seconds:.3f}s")
     print(f"route table -> {args.output}")
+    if instrumentation is not None and not is_offline:
+        for sink, exc in instrumentation.sink_errors:
+            print(f"warning: trace sink {type(sink).__name__} failed: "
+                  f"{exc}", file=sys.stderr)
+        if args.trace is not None and not instrumentation.sink_errors:
+            print(f"trace -> {args.trace}")
     return 0
 
 
@@ -146,28 +169,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-_EDGE_PARTITIONERS = ("random", "dbh", "greedy", "hdrf", "spnl-e")
-
-
 def _cmd_edgepartition(args: argparse.Namespace) -> int:
-    from .edgepart import (
-        DBHPartitioner,
-        GreedyEdgePartitioner,
-        HDRFPartitioner,
-        RandomEdgePartitioner,
-        SPNLEdgePartitioner,
-        evaluate_edges,
-    )
+    from .edgepart import evaluate_edges
+    from .partitioning.registry import make_partitioner
 
     graph = _load_graph(args.graph)
-    factory = {
-        "random": RandomEdgePartitioner,
-        "dbh": DBHPartitioner,
-        "greedy": GreedyEdgePartitioner,
-        "hdrf": HDRFPartitioner,
-        "spnl-e": SPNLEdgePartitioner,
-    }[args.method]
-    partitioner = factory(args.k, slack=args.slack)
+    try:
+        partitioner = make_partitioner(args.method, args.k, kind="edge",
+                                       ignore_unknown=True,
+                                       slack=args.slack)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     result = partitioner.partition(graph)
     report = evaluate_edges(graph, result.assignment)
     np.savetxt(args.output, result.assignment.edge_pids, fmt="%d")
@@ -289,10 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_generate)
 
+    from .partitioning.registry import available_partitioners
+
     p = sub.add_parser("partition", help="partition a graph")
     p.add_argument("graph", help="graph file or named dataset")
     p.add_argument("output", help="route-table output path")
-    p.add_argument("--method", choices=_PARTITIONERS, default="spnl")
+    p.add_argument("--method", choices=available_partitioners(),
+                   default="spnl")
     p.add_argument("-k", type=int, default=32, help="number of partitions")
     p.add_argument("--slack", type=float, default=1.1,
                    help="balance threshold δ")
@@ -302,13 +317,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sliding-window X (int or 'auto')")
     p.add_argument("--threads", type=int, default=1,
                    help="parallel placement workers")
+    p.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                   help="write a windowed JSONL stream trace")
+    p.add_argument("--probe-every", type=int, default=None, metavar="N",
+                   help="probe window size in placements (default 1000; "
+                        "without --trace, prints progress to stderr)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("edgepartition",
                        help="streaming edge partitioning (extension)")
     p.add_argument("graph", help="graph file or named dataset")
     p.add_argument("output", help="per-edge partition-id output path")
-    p.add_argument("--method", choices=_EDGE_PARTITIONERS,
+    p.add_argument("--method", choices=available_partitioners("edge"),
                    default="spnl-e")
     p.add_argument("-k", type=int, default=32)
     p.add_argument("--slack", type=float, default=1.1)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..partitioning.registry import register
 from .base import EdgePartitionState, StreamingEdgePartitioner
 
 __all__ = ["RandomEdgePartitioner", "DBHPartitioner",
@@ -28,6 +29,7 @@ def _hash(value: int, k: int) -> int:
     return int((value * _HASH_MULT) % 2**32 % k)
 
 
+@register("random", kind="edge", summary="random edge placement")
 class RandomEdgePartitioner(StreamingEdgePartitioner):
     """Hash of the edge pair — the zero-knowledge floor."""
 
@@ -40,6 +42,7 @@ class RandomEdgePartitioner(StreamingEdgePartitioner):
         return _hash(src * 1_000_003 + dst, self.num_partitions)
 
 
+@register("dbh", kind="edge", summary="degree-based hashing")
 class DBHPartitioner(StreamingEdgePartitioner):
     """Degree-Based Hashing: hash the endpoint with smaller partial
     degree (ties → smaller id), replicating hubs preferentially."""
@@ -59,6 +62,7 @@ class DBHPartitioner(StreamingEdgePartitioner):
         return _hash(anchor, self.num_partitions)
 
 
+@register("greedy", kind="edge", summary="PowerGraph greedy")
 class GreedyEdgePartitioner(StreamingEdgePartitioner):
     """PowerGraph's greedy heuristic.
 
@@ -97,6 +101,7 @@ class GreedyEdgePartitioner(StreamingEdgePartitioner):
                               capacity)
 
 
+@register("hdrf", kind="edge", summary="high-degree replicated first")
 class HDRFPartitioner(StreamingEdgePartitioner):
     """High-Degree Replicated First (Petroni et al.).
 

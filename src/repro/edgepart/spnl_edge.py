@@ -35,6 +35,7 @@ import numpy as np
 
 from ..graph.digraph import DiGraph
 from ..partitioning.hashing import range_boundaries
+from ..partitioning.registry import register
 from ..partitioning.window import SlidingWindowStore, default_num_shards
 from .base import EdgePartitionState
 from .classic import HDRFPartitioner
@@ -42,6 +43,7 @@ from .classic import HDRFPartitioner
 __all__ = ["SPNLEdgePartitioner"]
 
 
+@register("spnl-e", kind="edge", summary="HDRF + SPNL locality")
 class SPNLEdgePartitioner(HDRFPartitioner):
     """HDRF enriched with SPNL's multiplicity + locality knowledge.
 

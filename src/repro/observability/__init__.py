@@ -1,0 +1,44 @@
+"""Streaming observability: counters, probes, and trace sinks.
+
+The paper's evidence for SPN/SPNL is end-of-run aggregates (Tables III–IV),
+but the *trajectory* of a streaming pass — how ECR, load skew, and the Γ
+expectation-table footprint evolve placement by placement — is what guides
+optimisation (2PS and the web-graph clustering partitioners both motivate
+their designs with mid-stream curves).  This package provides that
+instrumentation for the whole pipeline:
+
+* :class:`Instrumentation` — the hub: named counters, gauges, monotonic
+  timers, and a fan-out ``emit()`` to pluggable sinks;
+* :class:`StreamProbe` — a windowed probe that snapshots per-partition
+  loads, a running ECR estimate, the score margin (argmax vs. runner-up),
+  and the Γ-table footprint every N placements;
+* sinks — :class:`MemorySink` (ring buffer), :class:`JsonlSink`
+  (JSON-lines trace file, a first-class bench artifact), and
+  :class:`ProgressSink` (human-readable progress lines);
+* :mod:`~repro.observability.schema` — the documented trace-record schema
+  plus :func:`validate_record`, which the test suite runs over every
+  emitted record.
+
+Instrumentation is strictly opt-in: every hook in the pipeline accepts
+``instrumentation=None`` (the default) and takes the exact pre-existing
+code path when absent, so uninstrumented runs are byte-identical to the
+un-instrumented implementation.
+"""
+
+from .instrumentation import Instrumentation, Timer
+from .probe import StreamProbe
+from .schema import TRACE_SCHEMA, TraceSchemaError, validate_record
+from .sinks import JsonlSink, MemorySink, ProgressSink, TraceSink
+
+__all__ = [
+    "Instrumentation",
+    "JsonlSink",
+    "MemorySink",
+    "ProgressSink",
+    "StreamProbe",
+    "TRACE_SCHEMA",
+    "Timer",
+    "TraceSchemaError",
+    "TraceSink",
+    "validate_record",
+]

@@ -1,0 +1,132 @@
+"""The documented trace-record schema and its validator.
+
+Every record the pipeline emits is a flat JSON object with a ``type``
+discriminator.  The schema below is the contract consumed by trace
+tooling (and enforced by the test suite over every emitted record):
+
+``stream_probe`` — one windowed snapshot of a streaming pass:
+    seq, placements, window, elapsed_seconds, loads, edge_loads,
+    load_skew, ecr_estimate, resolved_edges, cut_edges,
+    score_margin_mean, score_margin_min, partitioner, plus optional
+    gauges (``expectation_table_entries``, ``expectation_table_bytes``).
+
+``stream_summary`` — one terminal record per instrumented pass:
+    seq, placements, elapsed_seconds, ecr_estimate, capacity_overflows,
+    partitioner.
+
+``bsp_superstep`` — one record per BSP superstep:
+    seq, superstep, active_vertices, local_messages, remote_messages,
+    elapsed_seconds, program.
+
+``parallel_batch`` — one record per simulated-parallel batch:
+    seq, batch, batch_size, delayed, placements.
+
+Field specs are ``(types, required)``.  ``validate_record`` raises
+:class:`TraceSchemaError` on an unknown type, a missing required field,
+an unknown field, or a type mismatch; ``None`` is allowed exactly for
+the fields marked nullable below.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["TRACE_SCHEMA", "TraceSchemaError", "validate_record"]
+
+_NUM = (int, float)
+_INT = (int,)
+_STR = (str,)
+_LIST = (list,)
+
+#: record type -> field -> (allowed value types, required, nullable)
+TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
+    "stream_probe": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "placements": (_INT, True, False),
+        "window": (_INT, True, False),
+        "elapsed_seconds": (_NUM, True, False),
+        "loads": (_LIST, True, False),
+        "edge_loads": (_LIST, True, False),
+        "load_skew": (_NUM, True, False),
+        "ecr_estimate": (_NUM, True, True),
+        "resolved_edges": (_INT, True, False),
+        "cut_edges": (_INT, True, False),
+        "score_margin_mean": (_NUM, True, True),
+        "score_margin_min": (_NUM, True, True),
+        "partitioner": (_STR, True, False),
+        "expectation_table_entries": (_INT, False, True),
+        "expectation_table_bytes": (_INT, False, True),
+        "eta_mean": (_NUM, False, True),
+    },
+    "stream_summary": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "placements": (_INT, True, False),
+        "elapsed_seconds": (_NUM, True, False),
+        "ecr_estimate": (_NUM, True, True),
+        "resolved_edges": (_INT, True, False),
+        "cut_edges": (_INT, True, False),
+        "capacity_overflows": (_INT, True, False),
+        "partitioner": (_STR, True, False),
+        "expectation_table_entries": (_INT, False, True),
+        "expectation_table_bytes": (_INT, False, True),
+    },
+    "bsp_superstep": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "superstep": (_INT, True, False),
+        "active_vertices": (_INT, True, False),
+        "local_messages": (_INT, True, False),
+        "remote_messages": (_INT, True, False),
+        "elapsed_seconds": (_NUM, True, False),
+        "program": (_STR, True, False),
+    },
+    "parallel_batch": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "batch": (_INT, True, False),
+        "batch_size": (_INT, True, False),
+        "delayed": (_INT, True, False),
+        "placements": (_INT, True, False),
+    },
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not conform to :data:`TRACE_SCHEMA`."""
+
+
+def validate_record(record: dict[str, Any]) -> None:
+    """Check one emitted record against the documented schema.
+
+    Raises :class:`TraceSchemaError` with a precise message on the first
+    violation; returns ``None`` for a conforming record.
+    """
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"record must be a dict, got {type(record)}")
+    kind = record.get("type")
+    if kind not in TRACE_SCHEMA:
+        raise TraceSchemaError(
+            f"unknown record type {kind!r}; known: "
+            f"{sorted(TRACE_SCHEMA)}")
+    spec = TRACE_SCHEMA[kind]
+    for field, (types, required, _nullable) in spec.items():
+        if required and field not in record:
+            raise TraceSchemaError(
+                f"{kind}: missing required field {field!r}")
+    for field, value in record.items():
+        if field not in spec:
+            raise TraceSchemaError(f"{kind}: unknown field {field!r}")
+        types, _required, nullable = spec[field]
+        if value is None:
+            if not nullable:
+                raise TraceSchemaError(
+                    f"{kind}: field {field!r} may not be null")
+            continue
+        # bool is an int subclass; never accept it for numeric fields.
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise TraceSchemaError(
+                f"{kind}: field {field!r} has type "
+                f"{type(value).__name__}, expected one of "
+                f"{[t.__name__ for t in types]}")

@@ -30,12 +30,15 @@ import numpy as np
 
 from ..graph.digraph import DiGraph
 from ..partitioning.assignment import PartitionAssignment
+from ..partitioning.registry import register
 from .multilevel import OfflineResult, OutOfMemoryError
 from .wgraph import WeightedGraph
 
 __all__ = ["LabelPropagationPartitioner"]
 
 
+@register("xtrapulp", kind="offline",
+          summary="XtraPuLP-like label propagation baseline")
 class LabelPropagationPartitioner:
     """The XtraPuLP-like offline baseline.
 

@@ -19,6 +19,7 @@ from typing import Any
 
 from ..graph.digraph import DiGraph
 from ..partitioning.assignment import PartitionAssignment
+from ..partitioning.registry import register
 from .coarsen import coarsen
 from .initial import region_growing_partition
 from .refine import partition_edge_cut, refine
@@ -57,6 +58,8 @@ class OfflineResult:
                 f"{self.elapsed_seconds:.3f}s")
 
 
+@register("metis", kind="offline",
+          summary="METIS-like multilevel baseline")
 class MultilevelPartitioner:
     """The METIS-like offline baseline.
 

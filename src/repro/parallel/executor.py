@@ -66,8 +66,9 @@ class _ParallelBase:
         return self.base.num_partitions
 
     def _stats(self, rct: ReversedCountingTable | None,
-               delayed_total: int) -> dict[str, Any]:
-        stats = dict(self.base._extra_stats())
+               delayed_total: int, state: PartitionState
+               ) -> dict[str, Any]:
+        stats = self.base.result_stats(state)
         stats.update(
             parallelism=self.parallelism,
             use_rct=self.use_rct,
@@ -94,7 +95,8 @@ class SimulatedParallelPartitioner(_ParallelBase):
     def name(self) -> str:
         return f"{self.base.name}-par{self.parallelism}(sim)"
 
-    def partition(self, stream: VertexStream) -> StreamingResult:
+    def partition(self, stream: VertexStream, *,
+                  instrumentation=None) -> StreamingResult:
         base = self.base
         state = base.make_state(stream)
         base._setup(stream, state)
@@ -102,6 +104,9 @@ class SimulatedParallelPartitioner(_ParallelBase):
                                     epsilon=self.epsilon) \
             if self.use_rct else None
         delayed_total = 0
+        probe = instrumentation.stream_probe(base, state) \
+            if instrumentation is not None else None
+        batch_index = 0
 
         start = time.perf_counter()
         carried: list[tuple[AdjacencyRecord, int]] = []  # (record, delays)
@@ -133,26 +138,51 @@ class SimulatedParallelPartitioner(_ParallelBase):
                 scored.append((record, delays, scores))
 
             # Phase 2 — commit, deferring heavy-dependency records.
+            batch_delayed = 0
             for record, delays, scores in scored:
                 if (rct is not None and delays < self.max_delays
                         and rct.should_delay(record.vertex)):
                     carried.append((record, delays + 1))
                     delayed_total += 1
+                    batch_delayed += 1
                     continue
-                pid = base.choose(scores, state)
+                if probe is None:
+                    pid = base.choose(scores, state)
+                else:
+                    pid, margin = base.choose_with_margin(scores, state)
                 state.commit(record, pid)
                 base._after_commit(record, pid, state)
+                if probe is not None:
+                    # The batch-stale scores mean the cached neighbor tally
+                    # (if any) predates other commits in this batch; the
+                    # probe recomputes when the memo has been consumed.
+                    probe.observe(record, pid, margin)
                 if rct is not None:
                     rct.remove(record.vertex)
                     rct.release_references(record.neighbors)
+            if instrumentation is not None:
+                batch_index += 1
+                instrumentation.emit({
+                    "type": "parallel_batch",
+                    "batch": batch_index,
+                    "batch_size": len(scored),
+                    "delayed": batch_delayed,
+                    "placements": int(state.placed_vertices),
+                })
 
         elapsed = time.perf_counter() - start
+        if probe is not None:
+            probe.finish(elapsed)
+            instrumentation.count("parallel.delayed", delayed_total)
+            if rct is not None:
+                instrumentation.gauge("parallel.conflicts",
+                                      rct.total_conflicts)
         return StreamingResult(
             assignment=state.to_assignment(),
             partitioner=self.name,
             elapsed_seconds=elapsed,
             num_partitions=base.num_partitions,
-            stats=self._stats(rct, delayed_total),
+            stats=self._stats(rct, delayed_total, state),
         )
 
 
@@ -177,13 +207,18 @@ class ThreadedParallelPartitioner(_ParallelBase):
     def name(self) -> str:
         return f"{self.base.name}-par{self.parallelism}"
 
-    def partition(self, stream: VertexStream) -> StreamingResult:
+    def partition(self, stream: VertexStream, *,
+                  instrumentation=None) -> StreamingResult:
         base = self.base
         state = base.make_state(stream)
         base._setup(stream, state)
         rct = ReversedCountingTable(self.parallelism,
                                     epsilon=self.epsilon) \
             if self.use_rct else None
+        # The probe's counters are only touched under the commit lock, so
+        # the instrumented threaded run needs no extra synchronisation.
+        probe = instrumentation.stream_probe(base, state) \
+            if instrumentation is not None else None
         commit_lock = threading.Lock()
         count_lock = threading.Lock()
         # Delayed records are re-queued, so completion cannot be signalled
@@ -237,9 +272,15 @@ class ThreadedParallelPartitioner(_ParallelBase):
                         except queue.Full:
                             pass
                     with commit_lock:
-                        pid = base.choose(scores, state)
+                        if probe is None:
+                            pid = base.choose(scores, state)
+                        else:
+                            pid, margin = base.choose_with_margin(
+                                scores, state)
                         state.commit(record, pid)
                         base._after_commit(record, pid, state)
+                        if probe is not None:
+                            probe.observe(record, pid, margin)
                     if rct is not None:
                         rct.remove(record.vertex)
                         rct.release_references(record.neighbors)
@@ -261,11 +302,17 @@ class ThreadedParallelPartitioner(_ParallelBase):
         elapsed = time.perf_counter() - start
         if errors:
             raise errors[0]
+        if probe is not None:
+            probe.finish(elapsed)
+            instrumentation.count("parallel.delayed", delayed_counter[0])
+            if rct is not None:
+                instrumentation.gauge("parallel.conflicts",
+                                      rct.total_conflicts)
 
         return StreamingResult(
             assignment=state.to_assignment(),
             partitioner=self.name,
             elapsed_seconds=elapsed,
             num_partitions=base.num_partitions,
-            stats=self._stats(rct, delayed_counter[0]),
+            stats=self._stats(rct, delayed_counter[0], state),
         )

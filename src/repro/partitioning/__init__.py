@@ -38,6 +38,12 @@ from .metrics import (
     evaluate,
     vertex_balance,
 )
+from .registry import (
+    RegistryEntry,
+    available_partitioners,
+    make_partitioner,
+    register,
+)
 from .restreaming import RestreamingPartitioner, RestreamState
 from .spn import SPNPartitioner
 from .spnl import SPNLPartitioner
@@ -61,6 +67,7 @@ __all__ = [
     "QualityReport",
     "RandomPartitioner",
     "RangePartitioner",
+    "RegistryEntry",
     "RestreamState",
     "RestreamingPartitioner",
     "SPNLPartitioner",
@@ -70,6 +77,7 @@ __all__ = [
     "StreamingResult",
     "UNASSIGNED",
     "agreement",
+    "available_partitioners",
     "boundary_profile",
     "cut_distance_histogram",
     "cut_matrix",
@@ -79,8 +87,10 @@ __all__ = [
     "edge_cut_ratio",
     "evaluate",
     "load_assignment",
+    "make_partitioner",
     "partition_connectivity",
     "range_boundaries",
+    "register",
     "resolve_eta_schedule",
     "range_partition_of",
     "save_assignment",

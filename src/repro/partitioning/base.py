@@ -61,7 +61,8 @@ class PartitionState:
 
     __slots__ = ("num_partitions", "num_vertices", "num_edges", "balance",
                  "capacity", "edge_capacity", "route", "vertex_counts",
-                 "edge_counts", "placed_vertices", "placed_edges")
+                 "edge_counts", "placed_vertices", "placed_edges",
+                 "capacity_overflows", "_nc_memo")
 
     def __init__(self, num_partitions: int, num_vertices: int,
                  num_edges: int, *, balance: BalanceMode = BalanceMode.VERTEX,
@@ -93,6 +94,13 @@ class PartitionState:
         self.edge_counts = np.zeros(num_partitions, dtype=np.int64)
         self.placed_vertices = 0
         self.placed_edges = 0
+        self.capacity_overflows = 0
+        # Memo of the last neighbor tally, so an attached probe can reuse
+        # what scoring already computed (see consume_neighbor_counts).
+        # One attribute holding a (neighbors, counts) pair: a single
+        # assignment keeps the pairing atomic under the GIL even when
+        # threaded workers score concurrently.
+        self._nc_memo = None
 
     # ------------------------------------------------------------------
     def loads(self) -> np.ndarray:
@@ -135,8 +143,26 @@ class PartitionState:
             return np.zeros(self.num_partitions, dtype=np.int64)
         parts = self.route[neighbors]
         placed = parts[parts != UNASSIGNED]
-        return np.bincount(placed, minlength=self.num_partitions
-                           ).astype(np.int64)
+        counts = np.bincount(placed, minlength=self.num_partitions
+                             ).astype(np.int64)
+        self._nc_memo = (neighbors, counts, placed.size)
+        return counts
+
+    def consume_neighbor_counts(self, neighbors: np.ndarray
+                                ) -> tuple[np.ndarray, int] | None:
+        """One-shot read of the memoized tally for exactly ``neighbors``.
+
+        Returns ``(counts, num_placed)`` from the most recent
+        :meth:`neighbor_partition_counts` call *iff* it was for the same
+        array object (identity, not equality — the streamed record hands
+        the same array to scoring and to the probe), else ``None``.  The
+        memo is cleared on read so a stale tally can never be replayed.
+        """
+        memo = self._nc_memo
+        if memo is None or memo[0] is not neighbors:
+            return None
+        self._nc_memo = None
+        return memo[1], memo[2]
 
     def commit(self, record: AdjacencyRecord, pid: int) -> None:
         """Apply a placement decision (Algorithm 1, lines 2–4)."""
@@ -226,11 +252,45 @@ class StreamingPartitioner(ABC):
         masked = np.where(state.eligible(), scores, -np.inf)
         best = masked.max()
         if not np.isfinite(best):
+            state.capacity_overflows += 1
             return int(np.argmin(loads))  # all partitions full
         candidates = np.nonzero(masked == best)[0]
         if len(candidates) == 1:
             return int(candidates[0])
         return int(candidates[np.argmin(loads[candidates])])
+
+    def choose_with_margin(self, scores: np.ndarray, state: PartitionState
+                           ) -> tuple[int, float | None]:
+        """:meth:`choose`, plus the argmax-vs-runner-up score margin.
+
+        Must pick the *identical* partition as :meth:`choose` for any
+        input (the no-instrumentation byte-identity guarantee rests on
+        this; a regression test enforces it).  The margin is ``0.0`` on a
+        tied argmax, ``None`` when fewer than two partitions were
+        eligible (no runner-up to compare against), and finite otherwise
+        — callers may skip NaN/inf checks.
+
+        The argmax/scrub/second-max order below makes the instrumented
+        decision no dearer than :meth:`choose` in the common untied case
+        (one argmax + one max, versus choose's max + equality scan), so
+        the margin is effectively free; only a tied argmax pays for the
+        full candidate reconstruction.
+        """
+        loads = state.loads()
+        masked = np.where(state.eligible(), scores, -np.inf)
+        pid = int(masked.argmax())
+        best = masked[pid]
+        if not np.isfinite(best):
+            state.capacity_overflows += 1
+            return int(np.argmin(loads)), None
+        masked[pid] = -np.inf  # masked is fresh from np.where; safe to scrub
+        runner_up = masked.max()
+        if runner_up == best:  # tied argmax: replay choose's tiebreak
+            masked[pid] = best
+            candidates = np.nonzero(masked == best)[0]
+            return int(candidates[np.argmin(loads[candidates])]), 0.0
+        margin = float(best - runner_up) if np.isfinite(runner_up) else None
+        return pid, margin
 
     def place(self, record: AdjacencyRecord, state: PartitionState) -> int:
         """Score + choose + commit + heuristic update for one record."""
@@ -240,26 +300,66 @@ class StreamingPartitioner(ABC):
         return pid
 
     # -- the one-pass driver ----------------------------------------------
-    def partition(self, stream: VertexStream) -> StreamingResult:
+    def partition(self, stream: VertexStream, *,
+                  instrumentation=None) -> StreamingResult:
         """Run the single streaming pass over ``stream``.
 
         Timing covers exactly the paper's ``PT`` window: from consuming the
         first adjacency record to producing the final route table.
+
+        ``instrumentation`` (an
+        :class:`~repro.observability.Instrumentation` hub, or ``None``)
+        opts the pass into windowed tracing: a
+        :class:`~repro.observability.StreamProbe` observes every
+        placement and emits snapshot records through the hub's sinks.
+        When absent the original uninstrumented loop runs, so the
+        produced assignment is byte-identical either way.
         """
         state = self.make_state(stream)
         self._setup(stream, state)
-        start = time.perf_counter()
-        for record in stream:
-            self.place(record, state)
-        elapsed = time.perf_counter() - start
+        if instrumentation is None:
+            start = time.perf_counter()
+            for record in stream:
+                self.place(record, state)
+            elapsed = time.perf_counter() - start
+        else:
+            probe = instrumentation.stream_probe(self, state)
+            observe = probe.observe
+            start = time.perf_counter()
+            for record in stream:
+                scores = self._score(record, state)
+                pid, margin = self.choose_with_margin(scores, state)
+                state.commit(record, pid)
+                self._after_commit(record, pid, state)
+                observe(record, pid, margin)
+            elapsed = time.perf_counter() - start
+            probe.finish(elapsed)
         assignment = state.to_assignment()
         return StreamingResult(
             assignment=assignment,
             partitioner=self.name,
             elapsed_seconds=elapsed,
             num_partitions=self.num_partitions,
-            stats=self._extra_stats(),
+            stats=self.result_stats(state),
         )
+
+    def result_stats(self, state: PartitionState) -> dict[str, Any]:
+        """Normalised stats shared by every heuristic, plus extras.
+
+        The common keys (``placements``, ``capacity_overflows``,
+        ``expectation_table_entries``) are always present so sinks and
+        bench tables can consume results without per-heuristic casing;
+        :meth:`_extra_stats` may override the defaults (SPN/SPNL report
+        their real Γ-table sizes).
+        """
+        stats: dict[str, Any] = {
+            "placements": int(state.placed_vertices),
+            "capacity_overflows": int(state.capacity_overflows),
+            "expectation_table_entries": 0,
+            "expectation_table_bytes": 0,
+        }
+        stats.update(self._extra_stats())
+        return stats
 
     def make_state(self, stream: VertexStream) -> PartitionState:
         """Build the shared state sized for ``stream``."""

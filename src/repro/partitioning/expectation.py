@@ -52,6 +52,9 @@ class ExpectationStore(Protocol):
     def nbytes(self) -> int:
         """Bytes held by the counter storage (for the memory model)."""
 
+    def num_entries(self) -> int:
+        """Live counter cells (K × tracked-id-range), for observability."""
+
 
 class FullExpectationStore:
     """Dense K×|V| expectation counters — maximal knowledge, O(K|V|) space.
@@ -87,6 +90,9 @@ class FullExpectationStore:
 
     def nbytes(self) -> int:
         return int(self._table.nbytes)
+
+    def num_entries(self) -> int:
+        return int(self._table.size)
 
     @property
     def window_size(self) -> int:

@@ -18,10 +18,12 @@ import numpy as np
 from ..graph.digraph import AdjacencyRecord
 from ..graph.stream import VertexStream
 from .base import PartitionState, StreamingPartitioner
+from .registry import register
 
 __all__ = ["FennelPartitioner"]
 
 
+@register("fennel", summary="FENNEL — additive load penalty")
 class FennelPartitioner(StreamingPartitioner):
     """The FENNEL heuristic with its canonical (γ, α) tuning.
 

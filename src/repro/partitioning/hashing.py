@@ -13,6 +13,7 @@ import numpy as np
 from ..graph.digraph import AdjacencyRecord
 from ..graph.stream import VertexStream
 from .base import PartitionState, StreamingPartitioner
+from .registry import register
 
 __all__ = ["HashPartitioner", "RandomPartitioner", "RangePartitioner",
            "ChunkedPartitioner", "range_boundaries", "range_partition_of"]
@@ -39,6 +40,7 @@ def range_partition_of(vertices: np.ndarray | int,
         else int(min(max(pids, 0), k))
 
 
+@register("hash", summary="modulo-hash placement baseline")
 class HashPartitioner(StreamingPartitioner):
     """Deterministic modulo-hash placement: ``pid = hash(v) mod K``.
 
@@ -60,6 +62,7 @@ class HashPartitioner(StreamingPartitioner):
         return scores
 
 
+@register("random", summary="seeded uniform random placement")
 class RandomPartitioner(StreamingPartitioner):
     """Uniformly random placement (seeded, capacity-respecting)."""
 
@@ -83,6 +86,7 @@ class RandomPartitioner(StreamingPartitioner):
         return scores
 
 
+@register("range", summary="consecutive id-range placement")
 class RangePartitioner(StreamingPartitioner):
     """Consecutive-range placement — the paper's Range policy as a
     standalone partitioner.
@@ -107,6 +111,7 @@ class RangePartitioner(StreamingPartitioner):
         return scores
 
 
+@register("chunked", summary="round-robin over arrival chunks")
 class ChunkedPartitioner(StreamingPartitioner):
     """Round-robin over fixed-size chunks of the arrival order.
 

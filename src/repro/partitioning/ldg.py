@@ -16,10 +16,12 @@ import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
 from .base import PartitionState, StreamingPartitioner
+from .registry import register
 
 __all__ = ["LDGPartitioner"]
 
 
+@register("ldg", summary="LDG — linear deterministic greedy (Eq. 3)")
 class LDGPartitioner(StreamingPartitioner):
     """Eq. 3 of the paper — the linear deterministic greedy heuristic."""
 

@@ -42,11 +42,13 @@ from ..graph.digraph import AdjacencyRecord
 from ..graph.stream import VertexStream
 from .base import PartitionState, StreamingPartitioner
 from .expectation import ExpectationStore, FullExpectationStore
+from .registry import register
 from .window import SlidingWindowStore, default_num_shards
 
 __all__ = ["SPNPartitioner"]
 
 
+@register("spn", summary="SPN — in&out-neighbor knowledge (Eq. 5)")
 class SPNPartitioner(StreamingPartitioner):
     """The SPN heuristic (Eq. 5).
 
@@ -148,7 +150,10 @@ class SPNPartitioner(StreamingPartitioner):
         store = self._store
         stats: dict[str, Any] = {"lambda": self.lam}
         if store is not None:
-            stats["expectation_bytes"] = store.nbytes()
+            nbytes = store.nbytes()
+            stats["expectation_bytes"] = nbytes  # legacy key, kept stable
+            stats["expectation_table_bytes"] = nbytes
+            stats["expectation_table_entries"] = store.num_entries()
             if isinstance(store, SlidingWindowStore):
                 stats.update(
                     num_shards=store.num_shards,
@@ -157,3 +162,13 @@ class SPNPartitioner(StreamingPartitioner):
                     skipped_past=store.skipped_past,
                 )
         return stats
+
+    def _probe_gauges(self) -> dict[str, Any]:
+        """Γ-table footprint for :class:`StreamProbe` snapshots."""
+        store = self._store
+        if store is None:
+            return {}
+        return {
+            "expectation_table_entries": store.num_entries(),
+            "expectation_table_bytes": store.nbytes(),
+        }

@@ -34,11 +34,13 @@ from .assignment import UNASSIGNED
 from .base import PartitionState
 from .eta import EtaSchedule, resolve_eta_schedule
 from .hashing import range_boundaries
+from .registry import register
 from .spn import SPNPartitioner
 
 __all__ = ["SPNLPartitioner"]
 
 
+@register("spnl", summary="SPNL — SPN + topology locality (Eq. 6)")
 class SPNLPartitioner(SPNPartitioner):
     """The SPNL heuristic (Eq. 6) — the paper's headline partitioner.
 
@@ -71,6 +73,7 @@ class SPNLPartitioner(SPNPartitioner):
         self._logical_pid: np.ndarray | None = None
         self._lt_counts: np.ndarray | None = None
         self._range_sizes: np.ndarray | None = None
+        self._live_state: PartitionState | None = None
 
     @property
     def name(self) -> str:
@@ -79,6 +82,7 @@ class SPNLPartitioner(SPNPartitioner):
     # ------------------------------------------------------------------
     def _setup(self, stream: VertexStream, state: PartitionState) -> None:
         super()._setup(stream, state)
+        self._live_state = state  # lets _probe_gauges read the live η
         n = stream.num_vertices
         self._boundaries = range_boundaries(n, self.num_partitions)
         # Precomputing each id's logical partition trades O(|V|) ints for
@@ -130,3 +134,12 @@ class SPNLPartitioner(SPNPartitioner):
         stats["eta_schedule"] = getattr(self.eta_schedule, "__name__",
                                         str(self.eta_schedule))
         return stats
+
+    def _probe_gauges(self) -> dict[str, Any]:
+        gauges = super()._probe_gauges()
+        if self._live_state is not None and self._lt_counts is not None:
+            # Mean decay factor: how much the heuristic still leans on the
+            # logical pre-assignment at this point of the stream.
+            eta = np.asarray(self._eta(self._live_state), dtype=np.float64)
+            gauges["eta_mean"] = float(eta.mean()) if eta.ndim else float(eta)
+        return gauges

@@ -159,3 +159,7 @@ class SlidingWindowStore:
     def nbytes(self) -> int:
         """Bytes held by the rotating counter array."""
         return int(self._table.nbytes)
+
+    def num_entries(self) -> int:
+        """Live counter cells: K × the window span."""
+        return int(self._table.size)

@@ -18,6 +18,7 @@ broadcast-to-out-neighbors pattern with a commutative combiner.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -113,14 +114,25 @@ class BSPEngine:
         raise ValueError(f"unknown combiner {combiner!r}")
 
     def run(self, program: VertexProgram, *,
-            max_supersteps: int = 100) -> BSPRun:
-        """Execute ``program`` to quiescence (or ``max_supersteps``)."""
+            max_supersteps: int = 100, instrumentation=None) -> BSPRun:
+        """Execute ``program`` to quiescence (or ``max_supersteps``).
+
+        ``instrumentation`` (an
+        :class:`~repro.observability.Instrumentation` hub) opts the run
+        into per-superstep ``bsp_superstep`` trace records plus
+        local/remote message counters — the observable version of the
+        "cut edges become network messages" story this engine exists to
+        tell.
+        """
         graph = self.graph
         n = graph.num_vertices
         values = program.initial_values(graph)
         comm = CommReport(num_partitions=self.assignment.num_partitions)
         incoming: np.ndarray | None = None
         received = np.zeros(self.assignment.num_partitions, dtype=np.int64)
+        program_name = type(program).__name__
+        run_start = time.perf_counter()
+        step_started = run_start
 
         for superstep in range(max_supersteps):
             values, payloads, sends = program.compute(
@@ -146,7 +158,25 @@ class BSPEngine:
             incoming = self._combine(
                 self._dst[edge_sel], payloads[self._src[edge_sel]],
                 program.combiner, n)
+            if instrumentation is not None:
+                now = time.perf_counter()
+                instrumentation.emit({
+                    "type": "bsp_superstep",
+                    "superstep": superstep,
+                    "active_vertices": active,
+                    "local_messages": local,
+                    "remote_messages": remote,
+                    "elapsed_seconds": now - step_started,
+                    "program": program_name,
+                })
+                step_started = now
+                instrumentation.count("bsp.local_messages", local)
+                instrumentation.count("bsp.remote_messages", remote)
         comm.received_per_partition = received
+        if instrumentation is not None:
+            instrumentation.count("bsp.supersteps", comm.num_supersteps)
+            instrumentation.gauge("bsp.elapsed_seconds",
+                                  time.perf_counter() - run_start)
         return BSPRun(values=values, comm=comm,
                       supersteps=comm.num_supersteps,
                       program=type(program).__name__)

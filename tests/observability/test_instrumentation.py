@@ -1,0 +1,170 @@
+"""Unit tests for the instrumentation hub, its instruments, and sinks."""
+
+import json
+import time
+
+import pytest
+
+from repro.observability import (
+    Instrumentation,
+    JsonlSink,
+    MemorySink,
+    ProgressSink,
+    Timer,
+    TraceSink,
+)
+
+
+class TestCounters:
+    def test_count_accumulates_and_returns_total(self):
+        hub = Instrumentation()
+        assert hub.count("placements") == 1
+        assert hub.count("placements", 4) == 5
+        assert hub.counters["placements"] == 5
+
+    def test_independent_names(self):
+        hub = Instrumentation()
+        hub.count("a")
+        hub.count("b", 3)
+        assert hub.counters == {"a": 1, "b": 3}
+
+
+class TestGauges:
+    def test_gauge_keeps_latest(self):
+        hub = Instrumentation()
+        hub.gauge("bytes", 10)
+        hub.gauge("bytes", 7)
+        assert hub.gauges["bytes"] == 7
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        hub = Instrumentation()
+        with hub.timer("region"):
+            time.sleep(0.001)
+        with hub.timer("region"):
+            pass
+        t = hub.timers["region"]
+        assert t.count == 2
+        assert t.total_seconds > 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("x").stop()
+
+    def test_timer_accumulates_on_exception(self):
+        hub = Instrumentation()
+        with pytest.raises(ValueError):
+            with hub.timer("r"):
+                raise ValueError("boom")
+        assert hub.timers["r"].count == 1
+
+
+class TestEmit:
+    def test_emit_assigns_sequence_numbers(self):
+        sink = MemorySink()
+        hub = Instrumentation([sink])
+        hub.emit({"type": "parallel_batch", "batch": 1})
+        hub.emit({"type": "parallel_batch", "batch": 2})
+        assert [r["seq"] for r in sink.records] == [1, 2]
+
+    def test_failing_sink_is_detached_not_fatal(self):
+        class Broken:
+            def emit(self, record):
+                raise RuntimeError("disk full")
+
+            def close(self):
+                pass
+
+        good = MemorySink()
+        broken = Broken()
+        hub = Instrumentation([broken, good])
+        hub.emit({"type": "x"})
+        hub.emit({"type": "y"})
+        assert len(good.records) == 2  # good sink unaffected
+        assert broken not in hub.sinks
+        assert len(hub.sink_errors) == 1
+        assert isinstance(hub.sink_errors[0][1], RuntimeError)
+
+    def test_snapshot_flattens_everything(self):
+        hub = Instrumentation()
+        hub.count("c", 2)
+        hub.gauge("g", 1.5)
+        with hub.timer("t"):
+            pass
+        snap = hub.snapshot()
+        assert snap["counter.c"] == 2
+        assert snap["gauge.g"] == 1.5
+        assert snap["timer.t.count"] == 1
+        assert snap["timer.t.seconds"] >= 0.0
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Instrumentation([JsonlSink(path)]) as hub:
+            hub.emit({"type": "x"})
+        assert path.exists()
+
+
+class TestMemorySink:
+    def test_ring_buffer_drops_oldest(self):
+        sink = MemorySink(capacity=2)
+        for i in range(5):
+            sink.emit({"i": i})
+        assert [r["i"] for r in sink.records] == [3, 4]
+
+    def test_satisfies_protocol(self):
+        assert isinstance(MemorySink(), TraceSink)
+        assert isinstance(ProgressSink(), TraceSink)
+
+
+class TestJsonlSink:
+    def test_lazy_open_and_valid_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # nothing written until first emit
+        sink.emit({"type": "a", "n": 1})
+        sink.emit({"type": "b", "xs": [1, 2]})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["a", "b"]
+        assert sink.records_written == 2
+
+    def test_numpy_values_serialized(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "a", "arr": np.arange(3), "x": np.float64(1.5)})
+        sink.close()
+        rec = json.loads(path.read_text())
+        assert rec["arr"] == [0, 1, 2]
+        assert rec["x"] == 1.5
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"type": "a"})
+        sink.close()
+        sink.close()
+
+
+class TestProgressSink:
+    def test_probe_line_format(self):
+        lines = []
+
+        class Stream:
+            def write(self, text):
+                lines.append(text)
+
+            def flush(self):
+                pass
+
+        sink = ProgressSink(stream=Stream())
+        sink.emit({"type": "stream_probe", "partitioner": "SPNL",
+                   "placements": 1000, "ecr_estimate": 0.25,
+                   "load_skew": 1.1, "score_margin_mean": 0.5})
+        sink.emit({"type": "stream_summary", "partitioner": "SPNL",
+                   "placements": 2000, "elapsed_seconds": 0.5})
+        text = "".join(lines)
+        assert "SPNL" in text
+        assert "1000 placed" in text
+        assert "ecr~0.2500" in text
+        assert "done: 2000 placed" in text

@@ -151,3 +151,46 @@ class TestPartitionDriver:
 
     def test_repr(self):
         assert "LDG" in repr(LDGPartitioner(4))
+
+
+class TestChooseWithMargin:
+    """choose_with_margin must pick exactly what choose picks."""
+
+    def test_identical_picks_randomized(self):
+        rng = np.random.default_rng(7)
+        p = LDGPartitioner(8)
+        for trial in range(500):
+            state = PartitionState(8, 40, 0)
+            for v in range(int(rng.integers(0, 30))):
+                state.commit(record(v), int(rng.integers(0, 8)))
+            # quantized scores force frequent exact ties
+            scores = rng.integers(0, 4, size=8).astype(float)
+            overflow_before = state.capacity_overflows
+            pid, margin = p.choose_with_margin(scores.copy(), state)
+            state.capacity_overflows = overflow_before
+            assert pid == p.choose(scores.copy(), state), trial
+            if margin is not None:
+                assert margin >= 0.0
+                assert np.isfinite(margin)
+
+    def test_margin_values(self):
+        p = LDGPartitioner(3)
+        state = PartitionState(3, 10, 0)
+        pid, margin = p.choose_with_margin(np.array([0.1, 0.9, 0.3]), state)
+        assert (pid, margin) == (1, pytest.approx(0.6))
+        pid, margin = p.choose_with_margin(np.array([1.0, 1.0, 0.2]), state)
+        assert margin == 0.0  # tied argmax
+        p1 = LDGPartitioner(1)
+        state1 = PartitionState(1, 10, 0)
+        pid, margin = p1.choose_with_margin(np.array([0.5]), state1)
+        assert (pid, margin) == (0, None)  # no runner-up exists
+
+    def test_all_full_counts_overflow_and_matches_choose(self):
+        p = LDGPartitioner(2, slack=1.0)
+        state = PartitionState(2, 2, 0, slack=1.0)
+        state.commit(record(0), 0)
+        state.commit(record(1), 1)
+        pid, margin = p.choose_with_margin(np.array([0.0, 0.0]), state)
+        assert pid in (0, 1)
+        assert margin is None
+        assert state.capacity_overflows == 1

@@ -127,3 +127,80 @@ class TestBenchCommand:
     def test_fig3_small_k(self, capsys):
         assert main(["bench", "fig3", "-k", "4"]) == 0
         assert "lambda" in capsys.readouterr().out
+
+
+class TestTraceFlags:
+    """The observability CLI surface: --trace and --probe-every."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        out = tmp_path / "g.adj"
+        main(["generate", str(out), "--vertices", "800", "--seed", "4"])
+        return out
+
+    def test_trace_writes_schema_valid_jsonl(self, graph_file, tmp_path,
+                                             capsys):
+        import json
+
+        from repro.observability import validate_record
+
+        routes = tmp_path / "routes.txt"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["partition", str(graph_file), str(routes),
+                     "--method", "spnl", "-k", "4",
+                     "--trace", str(trace), "--probe-every", "100"]) == 0
+        assert f"trace -> {trace}" in capsys.readouterr().out
+        lines = trace.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 800 // 100 + 1  # windows + summary
+        for record in records:
+            validate_record(record)
+        assert records[-1]["type"] == "stream_summary"
+        assert records[-1]["placements"] == 800
+
+    def test_trace_does_not_change_assignment(self, graph_file, tmp_path):
+        plain = tmp_path / "plain.txt"
+        traced = tmp_path / "traced.txt"
+        main(["partition", str(graph_file), str(plain),
+              "--method", "spnl", "-k", "4"])
+        main(["partition", str(graph_file), str(traced),
+              "--method", "spnl", "-k", "4",
+              "--trace", str(tmp_path / "t.jsonl")])
+        np.testing.assert_array_equal(np.loadtxt(plain, dtype=int),
+                                      np.loadtxt(traced, dtype=int))
+
+    def test_probe_every_without_trace_prints_progress(
+            self, graph_file, tmp_path, capsys):
+        routes = tmp_path / "routes.txt"
+        assert main(["partition", str(graph_file), str(routes),
+                     "--method", "ldg", "-k", "4",
+                     "--probe-every", "200"]) == 0
+        err = capsys.readouterr().err
+        assert "[probe LDG]" in err
+        assert "200 placed" in err
+
+    def test_threaded_trace(self, graph_file, tmp_path):
+        import json
+
+        from repro.observability import validate_record
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["partition", str(graph_file),
+                     str(tmp_path / "r.txt"), "--method", "spnl",
+                     "-k", "4", "--threads", "2",
+                     "--trace", str(trace), "--probe-every", "200"]) == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        for record in records:
+            validate_record(record)
+        assert records[-1]["type"] == "stream_summary"
+        assert records[-1]["placements"] == 800
+
+    def test_offline_method_ignores_trace_flags(self, graph_file,
+                                                tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["partition", str(graph_file),
+                     str(tmp_path / "r.txt"), "--method", "metis",
+                     "-k", "4", "--trace", str(trace)]) == 0
+        assert not trace.exists()
+        assert "ignored" in capsys.readouterr().err

@@ -150,3 +150,55 @@ class TestAdvancedFlows:
             SPNLPartitioner(8).partition(
                 GraphStream(scrambled)).assignment).ecr
         assert spnl_scrambled > spnl_local
+
+
+class TestModuleInvocation:
+    """`python -m repro` end to end, as a real subprocess."""
+
+    def test_partition_with_probe_every(self, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        from repro.observability import validate_record
+
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(repo_src),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        routes = tmp_path / "routes.txt"
+        trace = tmp_path / "trace.jsonl"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "partition", "uk2005",
+             str(routes), "--method", "spnl", "-k", "8",
+             "--probe-every", "500", "--trace", str(trace)],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "ECR=" in proc.stdout
+        assert routes.exists()
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert records, "trace file is empty"
+        for record in records:
+            validate_record(record)
+        assert records[-1]["type"] == "stream_summary"
+
+    def test_probe_every_alone_streams_progress(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(repo_src),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "partition", "uk2005",
+             str(tmp_path / "r.txt"), "--method", "ldg", "-k", "8",
+             "--probe-every", "1000"],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "[probe LDG]" in proc.stderr
