@@ -14,6 +14,12 @@ from .figures import (
     fig12_thread_sweep,
 )
 from .harness import BenchRecord, run_many, run_partitioner
+from .micro import (
+    DEFAULT_METHODS,
+    bench_method,
+    machine_fingerprint,
+    run_streaming_microbench,
+)
 from .report import format_markdown, format_series, format_table
 from .suite import run_full_suite
 from .sweep import SweepResult, sweep
@@ -29,6 +35,10 @@ from .tables import (
 __all__ = [
     "BenchRecord",
     "DATASETS",
+    "DEFAULT_METHODS",
+    "bench_method",
+    "machine_fingerprint",
+    "run_streaming_microbench",
     "DatasetSpec",
     "FigureData",
     "PAPER_MEMORY_BUDGET_BYTES",

@@ -1,0 +1,157 @@
+"""Microbenchmark harness for the vectorized streaming hot path.
+
+Measures the fused CSR fast loop against the seed record-at-a-time loop
+(``partition(..., fast=False)``) for every heuristic that ships a fused
+kernel, in the style of redisbench-admin: explicit warmup runs, a fixed
+number of timed repeats, median + stdev reporting, and a machine
+fingerprint embedded in the artifact so numbers from different hosts are
+never compared blindly.
+
+The artifact (``BENCH_streaming.json`` at the repo root by default)
+records per-run times for both paths, the median speedup, and whether
+the two paths produced byte-identical assignments on every repeat — a
+benchmark run that loses identity is a correctness bug, not a perf win,
+and is flagged in the artifact.
+
+Timing uses each run's ``elapsed_seconds`` — the paper's ``PT`` window
+(first record consumed → route table complete) — so stream construction
+and result assembly are excluded from both sides equally.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["DEFAULT_METHODS", "machine_fingerprint",
+           "bench_method", "run_streaming_microbench"]
+
+#: Heuristics with fused kernels, benched fast-vs-seed by default.
+DEFAULT_METHODS = ("ldg", "fennel", "spn", "spnl")
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Host description embedded in every benchmark artifact."""
+    import os
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _paired_runs(factory, stream_factory, *, warmup: int, repeats: int
+                 ) -> tuple[list[float], list[float], bool]:
+    """Interleaved fast/seed passes: warmup each, then paired repeats.
+
+    Pairing the two paths inside every repeat makes the speedup ratio
+    robust against slow machine drift (frequency scaling, cache state)
+    that would bias an all-fast-then-all-seed schedule.  Returns
+    ``(fast_times, seed_times, identical)`` where ``identical`` is True
+    iff every pair produced byte-equal route tables.
+    """
+    for _ in range(warmup):
+        factory().partition(stream_factory(), fast=True)
+        factory().partition(stream_factory(), fast=False)
+    fast_times: list[float] = []
+    seed_times: list[float] = []
+    identical = True
+    for _ in range(repeats):
+        fast_result = factory().partition(stream_factory(), fast=True)
+        seed_result = factory().partition(stream_factory(), fast=False)
+        fast_times.append(fast_result.elapsed_seconds)
+        seed_times.append(seed_result.elapsed_seconds)
+        identical = identical and np.array_equal(
+            fast_result.assignment.route, seed_result.assignment.route)
+    return fast_times, seed_times, identical
+
+
+def _summary(times: list[float]) -> dict[str, Any]:
+    return {
+        "median_s": statistics.median(times),
+        "stdev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "min_s": min(times),
+        "max_s": max(times),
+        "runs_s": times,
+    }
+
+
+def bench_method(method: str, graph, k: int, *, warmup: int = 1,
+                 repeats: int = 5, **kwargs) -> dict[str, Any]:
+    """Bench one heuristic fast-vs-seed on ``graph``; returns a record.
+
+    ``kwargs`` are forwarded to the partitioner factory (e.g.
+    ``num_shards=1`` to pin SPN/SPNL to the dense Γ store).
+    """
+    from ..graph.stream import GraphStream
+    from ..partitioning.registry import make_partitioner
+
+    def factory():
+        return make_partitioner(method, k, **kwargs)
+
+    def stream_factory():
+        return GraphStream(graph)
+
+    fast_times, seed_times, identical = _paired_runs(
+        factory, stream_factory, warmup=warmup, repeats=repeats)
+    fast = _summary(fast_times)
+    seed = _summary(seed_times)
+    return {
+        "method": method,
+        "kwargs": {key: val for key, val in kwargs.items()},
+        "fast": fast,
+        "seed": seed,
+        "speedup_median": seed["median_s"] / fast["median_s"],
+        "identical": identical,
+        "records_per_s_fast": graph.num_vertices / fast["median_s"],
+        "records_per_s_seed": graph.num_vertices / seed["median_s"],
+    }
+
+
+def run_streaming_microbench(
+        *, n: int = 20000, k: int = 32, warmup: int = 1, repeats: int = 5,
+        seed: int = 11, methods: tuple[str, ...] = DEFAULT_METHODS,
+        out_path: str | Path | None = "BENCH_streaming.json"
+) -> dict[str, Any]:
+    """Full fast-vs-seed sweep on a synthetic web graph; optional JSON.
+
+    Returns the artifact dict; when ``out_path`` is given it is also
+    written there (UTF-8 JSON, trailing newline).
+    """
+    from ..graph.generators import community_web_graph
+
+    graph = community_web_graph(n, seed=seed)
+    results = []
+    for method in methods:
+        kwargs = {"num_shards": 1} if method in ("spn", "spnl") else {}
+        results.append(bench_method(method, graph, k, warmup=warmup,
+                                    repeats=repeats, **kwargs))
+    artifact = {
+        "benchmark": "streaming-hot-path",
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": {
+            "graph": "community_web",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "k": k,
+            "warmup": warmup,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "results": results,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(
+            json.dumps(artifact, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8")
+    return artifact

@@ -277,6 +277,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fig = figures.fig12_thread_sweep(k=args.k)
         print(report.format_table(fig.as_rows(),
                                   title="Fig. 12 — thread sweep"))
+    elif target == "streaming":
+        from .bench.micro import run_streaming_microbench
+        if args.quick:
+            artifact = run_streaming_microbench(
+                n=4000, k=args.k, warmup=1, repeats=3,
+                out_path=args.bench_out)
+        else:
+            artifact = run_streaming_microbench(
+                k=args.k, out_path=args.bench_out)
+        rows = [{
+            "method": r["method"],
+            "fast median (s)": f"{r['fast']['median_s']:.4f}",
+            "seed median (s)": f"{r['seed']['median_s']:.4f}",
+            "speedup": f"{r['speedup_median']:.2f}x",
+            "identical": r["identical"],
+        } for r in artifact["results"]]
+        print(report.format_table(
+            rows, title="Streaming hot path — fast vs seed"))
+        print(f"artifact written to {args.bench_out}")
     else:
         raise SystemExit(f"unknown bench target {target!r}")
     return 0
@@ -355,12 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target",
                    choices=["table2", "table3", "table4", "table5", "fig3",
                             "fig7", "fig8", "fig9", "fig10", "fig11",
-                            "fig12", "all"])
+                            "fig12", "streaming", "all"])
     p.add_argument("-k", type=int, default=32)
     p.add_argument("--output", default="reports",
                    help="output directory for 'all'")
     p.add_argument("--quick", action="store_true",
-                   help="shrunken sweeps for 'all'")
+                   help="shrunken sweeps for 'all'/'streaming'")
+    p.add_argument("--bench-out", default="BENCH_streaming.json",
+                   help="artifact path for the 'streaming' microbench")
     p.set_defaults(func=_cmd_bench)
     return parser
 

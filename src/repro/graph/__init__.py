@@ -28,10 +28,18 @@ from .relabel import (
     random_relabel,
 )
 from .stats import GraphStats, degree_histogram, describe, gini
-from .stream import FileStream, GraphStream, VertexStream, shuffled
+from .stream import (
+    ArrayStream,
+    FileStream,
+    GraphStream,
+    VertexStream,
+    as_array_stream,
+    shuffled,
+)
 
 __all__ = [
     "AdjacencyRecord",
+    "ArrayStream",
     "DiGraph",
     "FileStream",
     "GraphBuilder",
@@ -59,6 +67,7 @@ __all__ = [
     "read_metis",
     "ring_of_cliques",
     "rmat",
+    "as_array_stream",
     "shuffled",
     "write_adjacency",
     "write_edge_list",

@@ -192,6 +192,16 @@ class DiGraph:
     # ------------------------------------------------------------------
     # Iteration
     # ------------------------------------------------------------------
+    def array_stream(self, order: Sequence[int] | np.ndarray | None = None):
+        """A CSR-backed :class:`~repro.graph.stream.ArrayStream` view.
+
+        Zero-copy: the stream shares this graph's ``indptr``/``indices``
+        arrays, which lets streaming partitioners take the vectorized
+        fast path (no per-record allocations).
+        """
+        from .stream import ArrayStream
+        return ArrayStream.from_graph(self, order=order)
+
     def records(self) -> Iterator[AdjacencyRecord]:
         """Iterate adjacency records in vertex-id order (the stream order)."""
         for v in range(self.num_vertices):

@@ -7,11 +7,16 @@ per partitioning run.  Streams also expose ``num_vertices`` / ``num_edges``
 totals, which the paper's heuristics need up front to size capacities
 (``C = δ·|G|/K``), expectation windows, and Range pre-assignments.
 
-Three sources are provided:
+Four sources are provided:
 
 * :class:`GraphStream` — records of an in-memory :class:`DiGraph`, in id
   order (the paper's default: "vertices are consecutively numbered and
   serially streamed") or any explicit order;
+* :class:`ArrayStream` — the same records backed directly by contiguous
+  CSR ``indptr``/``indices`` arrays.  Iterating yields zero-copy
+  neighbor views, and the vectorized fast path in
+  :mod:`repro.partitioning.base` reads the arrays without constructing
+  per-record objects at all (see :func:`as_array_stream`);
 * :class:`FileStream` — records read lazily from an adjacency-list file, so
   graphs never have to fit in memory alongside the partitioner state;
 * :class:`shuffled` — a convenience wrapper producing a random arrival
@@ -28,7 +33,8 @@ import numpy as np
 from .digraph import AdjacencyRecord, DiGraph
 from .io import iter_adjacency_lines
 
-__all__ = ["VertexStream", "GraphStream", "FileStream", "shuffled"]
+__all__ = ["VertexStream", "GraphStream", "ArrayStream", "FileStream",
+           "as_array_stream", "shuffled"]
 
 
 class VertexStream(Protocol):
@@ -41,6 +47,31 @@ class VertexStream(Protocol):
     def num_edges(self) -> int: ...
 
     def __iter__(self) -> Iterator[AdjacencyRecord]: ...
+
+
+def _validate_order(order: Sequence[int] | np.ndarray,
+                    num_vertices: int) -> np.ndarray:
+    """Check ``order`` is a permutation of ``range(num_vertices)``.
+
+    Raises :class:`ValueError` for every malformed case — wrong length,
+    out-of-range ids, *negative* ids (which fancy indexing would silently
+    wrap around, letting a non-permutation stream the wrong vertices),
+    and duplicates.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    if order.ndim != 1 or len(order) != num_vertices:
+        raise ValueError("order must cover every vertex exactly once")
+    if len(order):
+        lo, hi = int(order.min()), int(order.max())
+        if lo < 0 or hi >= num_vertices:
+            raise ValueError(
+                f"order contains out-of-range vertex ids (min {lo}, "
+                f"max {hi}, valid range [0, {num_vertices}))")
+    seen = np.zeros(num_vertices, dtype=bool)
+    seen[order] = True
+    if not seen.all():
+        raise ValueError("order must be a permutation of vertex ids")
+    return order
 
 
 class GraphStream:
@@ -60,19 +91,18 @@ class GraphStream:
                  order: Sequence[int] | np.ndarray | None = None) -> None:
         self._graph = graph
         if order is not None:
-            order = np.asarray(order, dtype=np.int64)
-            if len(order) != graph.num_vertices:
-                raise ValueError("order must cover every vertex exactly once")
-            seen = np.zeros(graph.num_vertices, dtype=bool)
-            seen[order] = True
-            if not seen.all():
-                raise ValueError("order must be a permutation of vertex ids")
+            order = _validate_order(order, graph.num_vertices)
         self._order = order
 
     @property
     def graph(self) -> DiGraph:
         """Underlying graph (metrics are computed against it afterwards)."""
         return self._graph
+
+    @property
+    def order(self) -> np.ndarray | None:
+        """Explicit arrival order, or ``None`` for ascending id order."""
+        return self._order
 
     @property
     def num_vertices(self) -> int:
@@ -96,6 +126,133 @@ class GraphStream:
                 yield AdjacencyRecord(v, self._graph.out_neighbors(v))
 
 
+class ArrayStream:
+    """CSR-backed stream: contiguous ``indptr``/``indices`` + arrival order.
+
+    The array-first twin of :class:`GraphStream`.  Iterating yields
+    :class:`AdjacencyRecord` objects whose neighbor arrays are zero-copy
+    slices of ``indices``, so the stream is a drop-in
+    :class:`VertexStream`; but its real purpose is the vectorized hot
+    path: :meth:`StreamingPartitioner.partition
+    <repro.partitioning.base.StreamingPartitioner.partition>` detects
+    (via :func:`as_array_stream`) that the records live in two flat
+    arrays and runs a fused scoring loop over them with **no per-record
+    object or array allocations**.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *,
+                 order: Sequence[int] | np.ndarray | None = None,
+                 name: str = "array-stream") -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if len(indptr) == 0 or indptr[0] != 0:
+            raise ValueError("indptr must start with 0")
+        if indptr[-1] != len(indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        self._indptr = indptr
+        self._indices = indices
+        self._name = name
+        self._max_degree: int | None = None
+        if order is not None:
+            order = _validate_order(order, len(indptr) - 1)
+        self._order = order
+
+    @classmethod
+    def from_graph(cls, graph: DiGraph,
+                   order: Sequence[int] | np.ndarray | None = None
+                   ) -> "ArrayStream":
+        """Zero-copy stream over a graph's own CSR arrays."""
+        return cls(graph.indptr, graph.indices, order=order,
+                   name=graph.name)
+
+    @classmethod
+    def from_file(cls, path: str | Path,
+                  order: Sequence[int] | np.ndarray | None = None
+                  ) -> "ArrayStream":
+        """Materialize an adjacency-list file into CSR arrays once.
+
+        Trades the :class:`FileStream` memory guarantee for the fast
+        path; use when the graph fits in memory but arrives as a file.
+        """
+        from .io import read_adjacency
+        graph = read_adjacency(path)
+        return cls.from_graph(graph, order=order)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointers: neighbors of ``v`` are
+        ``indices[indptr[v]:indptr[v+1]]``."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Flat out-neighbor array."""
+        return self._indices
+
+    @property
+    def order(self) -> np.ndarray | None:
+        """Explicit arrival order, or ``None`` for ascending id order."""
+        return self._order
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._indices)
+
+    @property
+    def is_id_ordered(self) -> bool:
+        return self._order is None
+
+    @property
+    def max_degree(self) -> int:
+        """Largest out-degree (sizes the fast path's scratch buffers)."""
+        if self._max_degree is None:
+            if self.num_vertices == 0:
+                self._max_degree = 0
+            else:
+                self._max_degree = int(np.diff(self._indptr).max())
+        return self._max_degree
+
+    def __iter__(self) -> Iterator[AdjacencyRecord]:
+        indptr, indices = self._indptr, self._indices
+        if self._order is None:
+            for v in range(self.num_vertices):
+                yield AdjacencyRecord(v, indices[indptr[v]:indptr[v + 1]])
+        else:
+            for v in self._order:
+                v = int(v)
+                yield AdjacencyRecord(v, indices[indptr[v]:indptr[v + 1]])
+
+
+def as_array_stream(stream) -> ArrayStream | None:
+    """View ``stream`` as CSR arrays if that costs nothing, else ``None``.
+
+    :class:`ArrayStream` returns itself; :class:`GraphStream` wraps its
+    graph's CSR arrays zero-copy.  Sources without materialized arrays
+    (:class:`FileStream`, generators) return ``None`` and stay on the
+    record-at-a-time path — the conversion is never allowed to silently
+    load a disk stream into memory.  Only *exact* types convert:
+    subclasses may override ``__iter__`` (truncation, reordering, fault
+    injection), and the CSR view would silently bypass that.
+    """
+    if type(stream) is ArrayStream:
+        return stream
+    if type(stream) is GraphStream:
+        return ArrayStream.from_graph(stream.graph, order=stream.order)
+    return None
+
+
 class FileStream:
     """Stream adjacency records straight from a disk file.
 
@@ -108,13 +265,20 @@ class FileStream:
     def __init__(self, path: str | Path, *, num_vertices: int | None = None,
                  num_edges: int | None = None) -> None:
         self._path = Path(path)
+        self._ordered: bool | None = None
         if num_vertices is None or num_edges is None:
             max_id = -1
             edge_count = 0
+            prev = -1
+            ordered = True
             for vertex, neighbors in iter_adjacency_lines(self._path):
                 max_id = max(max_id, vertex,
                              int(neighbors.max()) if len(neighbors) else -1)
                 edge_count += len(neighbors)
+                if vertex <= prev:
+                    ordered = False
+                prev = vertex
+            self._ordered = ordered
             num_vertices = num_vertices if num_vertices is not None \
                 else max_id + 1
             num_edges = num_edges if num_edges is not None else edge_count
@@ -135,12 +299,46 @@ class FileStream:
 
     @property
     def is_id_ordered(self) -> bool:
-        """Adjacency files written by this library are id-ordered."""
+        """Whether vertex ids in the file are strictly increasing.
+
+        Determined during the constructor's pre-scan; when both totals
+        were supplied (no pre-scan happened) a dedicated id-only scan
+        runs once and is cached.  Unordered files used to be reported as
+        ordered unconditionally, which silently corrupted
+        :class:`~repro.partitioning.window.SlidingWindowStore` rotation;
+        now the sliding window refuses them at setup.
+        """
+        if self._ordered is None:
+            self._ordered = self._scan_id_order()
+        return self._ordered
+
+    def _scan_id_order(self) -> bool:
+        prev = -1
+        for vertex, _ in iter_adjacency_lines(self._path):
+            if vertex <= prev:
+                return False
+            prev = vertex
         return True
 
     def __iter__(self) -> Iterator[AdjacencyRecord]:
+        claim_ordered = self._ordered
+        prev = -1
+        ordered = True
         for vertex, neighbors in iter_adjacency_lines(self._path):
+            if vertex <= prev:
+                ordered = False
+                if claim_ordered:
+                    # The pre-scan saw an ordered file but iteration does
+                    # not: the file changed underneath us.  Consumers may
+                    # have sized windows from the stale claim — fail loud.
+                    raise ValueError(
+                        f"{self._path} is no longer id-ordered (vertex "
+                        f"{vertex} arrived after {prev}); the file changed "
+                        "since it was scanned")
+            prev = vertex
             yield AdjacencyRecord(vertex, neighbors)
+        if self._ordered is None:
+            self._ordered = ordered
 
 
 def shuffled(graph: DiGraph, seed: int = 0) -> GraphStream:

@@ -238,7 +238,21 @@ class ThreadedParallelPartitioner(_ParallelBase):
                         rct.register(record.vertex)
                     with count_lock:
                         pending[0] += 1
-                    buffer.put((record, 0))
+                    # Bounded-timeout put: an unbounded block would
+                    # deadlock the run if every worker has already died
+                    # on an error while the buffer is full (nobody will
+                    # ever drain it).  On each timeout check for worker
+                    # errors and abort the stream — the record is
+                    # un-counted so the drain invariant stays exact.
+                    while True:
+                        try:
+                            buffer.put((record, 0), timeout=0.05)
+                            break
+                        except queue.Full:
+                            if errors:
+                                with count_lock:
+                                    pending[0] -= 1
+                                return
             except BaseException as exc:
                 errors.append(exc)
             finally:
@@ -267,7 +281,11 @@ class ThreadedParallelPartitioner(_ParallelBase):
                             # would deadlock; placing immediately is the
                             # safe degradation.
                             buffer.put_nowait((record, delays + 1))
-                            delayed_counter[0] += 1
+                            # Guarded: `list[0] += 1` is a read-modify-
+                            # write that loses increments when workers
+                            # race on it.
+                            with count_lock:
+                                delayed_counter[0] += 1
                             continue
                         except queue.Full:
                             pass

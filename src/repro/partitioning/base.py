@@ -26,16 +26,62 @@ import math
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
-from ..graph.stream import VertexStream
+from ..graph.stream import ArrayStream, VertexStream, as_array_stream
 from .assignment import UNASSIGNED, PartitionAssignment
 
 __all__ = ["BalanceMode", "PartitionState", "StreamingResult",
-           "StreamingPartitioner"]
+           "StreamingPartitioner", "FastKernel", "make_weight_updater",
+           "make_shifted_counter"]
+
+#: A fused per-record kernel: ``(score_into(v, neighbors) -> scores,
+#: after_commit(v, neighbors, pid) | None)``.  ``score_into`` writes the
+#: length-K score vector into a preallocated buffer and returns it; the
+#: fast driver masks/argmaxes that buffer in place.
+FastKernel = tuple[Callable[[int, np.ndarray], np.ndarray],
+                   Callable[[int, np.ndarray, int], None] | None]
+
+
+class _Scratch:
+    """Reusable per-run buffers backing the vectorized fast path.
+
+    One instance is attached to a :class:`PartitionState` by
+    :meth:`PartitionState.ensure_scratch`; every ``*_into`` kernel and
+    every heuristic's fused scorer writes into these instead of
+    allocating per record.  ``zeros_k`` is a shared all-zero count
+    vector handed out for empty neighborhoods — callers must treat it
+    as read-only.
+    """
+
+    __slots__ = ("scores", "f1", "f2", "f3", "f4", "f5", "i1", "i2",
+                 "weights", "edge_weights", "inelig", "inelig2", "parts",
+                 "parts2", "mask", "idx", "zeros_k", "max_degree")
+
+    def __init__(self, num_partitions: int, max_degree: int) -> None:
+        k = num_partitions
+        d = max(1, max_degree)
+        self.scores = np.empty(k, dtype=np.float64)
+        self.f1 = np.empty(k, dtype=np.float64)
+        self.f2 = np.empty(k, dtype=np.float64)
+        self.f3 = np.empty(k, dtype=np.float64)
+        self.f4 = np.empty(k, dtype=np.float64)
+        self.f5 = np.empty(k, dtype=np.float64)
+        self.i1 = np.empty(k, dtype=np.int64)
+        self.i2 = np.empty(k, dtype=np.int64)
+        self.weights = np.empty(k, dtype=np.float64)
+        self.edge_weights = np.empty(k, dtype=np.float64)
+        self.inelig = np.empty(k, dtype=bool)
+        self.inelig2 = np.empty(k, dtype=bool)
+        self.parts = np.empty(d, dtype=np.int32)
+        self.parts2 = np.empty(d, dtype=np.int32)
+        self.mask = np.empty(d, dtype=bool)
+        self.idx = np.empty(d + 1, dtype=np.int64)
+        self.zeros_k = np.zeros(k, dtype=np.int64)
+        self.max_degree = max_degree
 
 
 class BalanceMode(str, enum.Enum):
@@ -62,7 +108,7 @@ class PartitionState:
     __slots__ = ("num_partitions", "num_vertices", "num_edges", "balance",
                  "capacity", "edge_capacity", "route", "vertex_counts",
                  "edge_counts", "placed_vertices", "placed_edges",
-                 "capacity_overflows", "_nc_memo")
+                 "capacity_overflows", "_nc_memo", "scratch")
 
     def __init__(self, num_partitions: int, num_vertices: int,
                  num_edges: int, *, balance: BalanceMode = BalanceMode.VERTEX,
@@ -101,6 +147,52 @@ class PartitionState:
         # assignment keeps the pairing atomic under the GIL even when
         # threaded workers score concurrently.
         self._nc_memo = None
+        self.scratch: _Scratch | None = None
+
+    # -- preallocated fast-path buffers --------------------------------
+    def ensure_scratch(self, max_degree: int) -> _Scratch:
+        """Allocate (or reuse) the reusable fast-path buffers.
+
+        ``max_degree`` sizes the neighbor-indexed buffers; a scratch
+        allocated for a smaller degree is re-grown.
+        """
+        if self.scratch is None or self.scratch.max_degree < max_degree:
+            self.scratch = _Scratch(self.num_partitions, max_degree)
+        return self.scratch
+
+    def penalty_weights_into(self, out: np.ndarray) -> np.ndarray:
+        """:meth:`penalty_weights` written into ``out`` — no temporaries.
+
+        Bit-identical to the allocating version (same elementwise
+        operations in the same order).
+        """
+        np.divide(self.loads(), self.capacity, out=out)
+        np.subtract(1.0, out, out=out)
+        np.maximum(out, 0.0, out=out)
+        if self.edge_capacity is not None:
+            ew = self.scratch.edge_weights
+            np.divide(self.edge_counts, self.edge_capacity, out=ew)
+            np.subtract(1.0, ew, out=ew)
+            np.maximum(ew, 0.0, out=ew)
+            np.minimum(out, ew, out=out)
+        return out
+
+    def neighbor_counts_fast(self, neighbors: np.ndarray) -> np.ndarray:
+        """:meth:`neighbor_partition_counts` without the filter pass.
+
+        Shifts partition ids by one so the ``UNASSIGNED`` sentinel lands
+        in bincount slot 0, then drops that slot — one ``bincount``
+        instead of mask + fancy-index + ``bincount``.  Returns a length-K
+        ``int64`` view; valid until the next call.  Does not feed the
+        probe memo (the fast path runs uninstrumented by construction).
+        """
+        d = len(neighbors)
+        if d == 0:
+            return self.scratch.zeros_k
+        parts = self.route.take(neighbors, out=self.scratch.parts[:d])
+        np.add(parts, 1, out=parts)
+        counts = np.bincount(parts, minlength=self.num_partitions + 1)
+        return counts[1:]
 
     # ------------------------------------------------------------------
     def loads(self) -> np.ndarray:
@@ -179,6 +271,135 @@ class PartitionState:
     def to_assignment(self) -> PartitionAssignment:
         """Snapshot the route table as an immutable assignment."""
         return PartitionAssignment(self.route.copy(), self.num_partitions)
+
+
+def _make_fast_choose(state: PartitionState) -> tuple[
+        Callable[[np.ndarray], int], Callable[[int], None]]:
+    """Build a fused, in-place variant of :meth:`StreamingPartitioner.choose`.
+
+    Returns ``(choose, note_commit)``.  ``choose`` destroys its input
+    buffer (masking ineligible partitions to ``-inf`` and scrubbing the
+    argmax) — callers hand it the per-record score scratch, never a
+    long-lived array.  It picks the *identical* partition as ``choose``
+    for any input: same capacity masking, same overflow safety valve,
+    same least-loaded-then-lowest-id tie-break (the byte-identity test
+    suite rests on this).
+
+    The ineligibility mask is maintained *incrementally*: loads are
+    monotone and only the committed lane changes per record, so the
+    caller reports each commit via ``note_commit(pid)`` and the K-wide
+    ``>=`` scans (plus the ``-inf`` scatter while every lane is still
+    eligible — the overwhelmingly common regime) disappear from the per
+    record cost.
+    """
+    scratch = state.scratch
+    loads = state.loads()  # stable array reference, mutated in place
+    capacity = state.capacity
+    edge_counts = state.edge_counts
+    edge_capacity = state.edge_capacity
+    inelig = scratch.inelig
+    neg_inf = -np.inf
+    isfinite = math.isfinite
+
+    np.greater_equal(loads, capacity, out=inelig)
+    if edge_capacity is not None:
+        np.greater_equal(edge_counts, edge_capacity, out=scratch.inelig2)
+        np.logical_or(inelig, scratch.inelig2, out=inelig)
+    num_inelig = [int(np.count_nonzero(inelig))]
+
+    def choose(scores: np.ndarray) -> int:
+        if num_inelig[0]:
+            np.copyto(scores, neg_inf, where=inelig)
+            pid = scores.argmax()
+            best = scores[pid]
+            if not isfinite(best):
+                state.capacity_overflows += 1
+                return int(loads.argmin())
+        else:
+            pid = scores.argmax()
+            best = scores[pid]
+        # Scrub-and-rescan: cheap uniqueness test in the common untied
+        # case (mirrors choose_with_margin's argument).
+        scores[pid] = neg_inf
+        if scores.max() == best:
+            scores[pid] = best
+            candidates = np.nonzero(scores == best)[0]
+            return int(candidates[loads[candidates].argmin()])
+        return int(pid)
+
+    def note_commit(pid: int) -> None:
+        if not inelig[pid]:
+            bad = loads[pid] >= capacity
+            if not bad and edge_capacity is not None:
+                bad = edge_counts[pid] >= edge_capacity
+            if bad:
+                inelig[pid] = True
+                num_inelig[0] += 1
+
+    return choose, note_commit
+
+
+def make_shifted_counter(state: PartitionState) -> tuple[
+        Callable[[np.ndarray], np.ndarray], Callable[[int, int], None]]:
+    """Neighbor tallies via a *maintained* shifted route table.
+
+    Returns ``(counts, note_commit)``.  ``counts(neighbors)`` equals
+    :meth:`PartitionState.neighbor_counts_fast` but against a persistent
+    ``route + 1`` image (``UNASSIGNED`` ⇒ slot 0), so the per-record cost
+    is one ``take`` plus one ``bincount`` — the ``+1`` shift moved to the
+    single committed lane via ``note_commit(v, pid)``.
+    """
+    scratch = state.scratch
+    shifted = (state.route + 1).astype(np.int32)
+    buf = scratch.parts
+    zeros_k = scratch.zeros_k
+    kp1 = state.num_partitions + 1
+
+    def counts(neighbors: np.ndarray) -> np.ndarray:
+        d = len(neighbors)
+        if d == 0:
+            return zeros_k
+        tally = np.bincount(shifted.take(neighbors, out=buf[:d]),
+                            minlength=kp1)
+        return tally[1:]
+
+    def note_commit(v: int, pid: int) -> None:
+        shifted[v] = pid + 1
+
+    return counts, note_commit
+
+
+def make_weight_updater(state: PartitionState,
+                        weights: np.ndarray) -> Callable[[int], None]:
+    """Incremental maintenance of the penalty-weight vector ``w^t``.
+
+    Fills ``weights`` via :meth:`PartitionState.penalty_weights_into`
+    once, then returns ``update(pid)`` which refreshes the single lane a
+    commit touched with scalar IEEE arithmetic — the same divide /
+    subtract / clamp (/ min) sequence as the vector kernel, applied to
+    one lane, so the maintained vector stays bit-identical to a full
+    recompute while the per-record cost drops from three-to-five K-wide
+    ufuncs to a couple of scalar ops.
+    """
+    state.penalty_weights_into(weights)
+    loads = state.loads()
+    capacity = state.capacity
+    edge_counts = state.edge_counts
+    edge_capacity = state.edge_capacity
+
+    def update(pid: int) -> None:
+        w = 1.0 - loads[pid] / capacity
+        if w < 0.0:
+            w = 0.0
+        if edge_capacity is not None:
+            we = 1.0 - edge_counts[pid] / edge_capacity
+            if we < 0.0:
+                we = 0.0
+            if we < w:
+                w = we
+        weights[pid] = w
+
+    return update
 
 
 @dataclass
@@ -299,9 +520,69 @@ class StreamingPartitioner(ABC):
         self._after_commit(record, pid, state)
         return pid
 
+    # -- the vectorized fast path ------------------------------------------
+    def _fast_kernel(self, state: PartitionState,
+                     stream: ArrayStream) -> FastKernel | None:
+        """Build the heuristic's fused scoring kernel, or ``None``.
+
+        Returning a kernel opts the heuristic into the zero-allocation
+        fast loop of :meth:`_run_fast`; the kernel **must** produce
+        bit-identical scores to :meth:`_score` (the registry-wide
+        byte-identity test enforces the resulting assignments match).
+        The default opts out, which keeps exotic heuristics correct on
+        the record-at-a-time path.
+        """
+        return None
+
+    def _run_fast(self, arrays: ArrayStream, state: PartitionState,
+                  kernel: FastKernel) -> float:
+        """The fused one-pass loop over CSR arrays; returns elapsed PT.
+
+        Per record: one kernel call (scores into a reusable buffer), one
+        in-place choose, three scalar counter updates, and the optional
+        after-commit hook — no ``AdjacencyRecord`` objects, no method
+        dispatch through ``place``, no temporary K-vectors.
+        """
+        score_into, after_commit = kernel
+        indptr = arrays.indptr
+        indices = arrays.indices
+        order = arrays.order
+        route = state.route
+        vertex_counts = state.vertex_counts
+        edge_counts = state.edge_counts
+        choose, note_commit = _make_fast_choose(state)
+        n = arrays.num_vertices
+
+        start = time.perf_counter()
+        vertices = range(n) if order is None else order
+        if after_commit is None:
+            for v in vertices:
+                lo = indptr[v]
+                hi = indptr[v + 1]
+                pid = choose(score_into(v, indices[lo:hi]))
+                route[v] = pid
+                vertex_counts[pid] += 1
+                edge_counts[pid] += hi - lo
+                note_commit(pid)
+        else:
+            for v in vertices:
+                lo = indptr[v]
+                hi = indptr[v + 1]
+                neighbors = indices[lo:hi]
+                pid = choose(score_into(v, neighbors))
+                route[v] = pid
+                vertex_counts[pid] += 1
+                edge_counts[pid] += hi - lo
+                after_commit(v, neighbors, pid)
+                note_commit(pid)
+        state.placed_vertices += n
+        state.placed_edges += arrays.num_edges
+        return time.perf_counter() - start
+
     # -- the one-pass driver ----------------------------------------------
     def partition(self, stream: VertexStream, *,
-                  instrumentation=None) -> StreamingResult:
+                  instrumentation=None,
+                  fast: bool | None = None) -> StreamingResult:
         """Run the single streaming pass over ``stream``.
 
         Timing covers exactly the paper's ``PT`` window: from consuming the
@@ -314,9 +595,44 @@ class StreamingPartitioner(ABC):
         placement and emits snapshot records through the hub's sinks.
         When absent the original uninstrumented loop runs, so the
         produced assignment is byte-identical either way.
+
+        ``fast`` selects the execution path: ``None`` (default) uses the
+        vectorized fast loop whenever the stream is CSR-backed
+        (:func:`~repro.graph.stream.as_array_stream`), the run is
+        uninstrumented, and the heuristic ships a fused kernel — falling
+        back to the record loop otherwise; ``False`` forces the record
+        loop (the microbench's seed baseline); ``True`` demands the fast
+        path and raises :class:`ValueError` when it is unavailable.
+        The two paths produce byte-identical assignments.
         """
         state = self.make_state(stream)
         self._setup(stream, state)
+        if fast is not False and instrumentation is None:
+            arrays = as_array_stream(stream)
+            kernel = None
+            if arrays is not None:
+                kernel = self._fast_kernel(state, arrays)
+            if kernel is not None:
+                elapsed = self._run_fast(arrays, state, kernel)
+                stats = self.result_stats(state)
+                stats["fast_path"] = True
+                return StreamingResult(
+                    assignment=state.to_assignment(),
+                    partitioner=self.name,
+                    elapsed_seconds=elapsed,
+                    num_partitions=self.num_partitions,
+                    stats=stats,
+                )
+            if fast is True:
+                reason = "stream is not CSR-backed" if arrays is None \
+                    else f"{self.name} has no fused kernel"
+                raise ValueError(
+                    f"fast=True but the vectorized path is unavailable: "
+                    f"{reason}")
+        elif fast is True:
+            raise ValueError(
+                "fast=True is incompatible with instrumentation; the "
+                "probe observes the record-at-a-time loop")
         if instrumentation is None:
             start = time.perf_counter()
             for record in stream:
@@ -335,12 +651,14 @@ class StreamingPartitioner(ABC):
             elapsed = time.perf_counter() - start
             probe.finish(elapsed)
         assignment = state.to_assignment()
+        stats = self.result_stats(state)
+        stats["fast_path"] = False
         return StreamingResult(
             assignment=assignment,
             partitioner=self.name,
             elapsed_seconds=elapsed,
             num_partitions=self.num_partitions,
-            stats=self.result_stats(state),
+            stats=stats,
         )
 
     def result_stats(self, state: PartitionState) -> dict[str, Any]:

@@ -218,7 +218,7 @@ class DynamicPartitioner:
         old_store = fresh.expectation_store
         store = FullExpectationStore(self.num_partitions,
                                      self.capacity_vertices)
-        store._table[:, :old_store.num_vertices] = old_store._table
+        store._table[:old_store.num_vertices] = old_store._table
         fresh._store = store
         fresh._logical_pid = (np.arange(self.capacity_vertices)
                               * self.num_partitions

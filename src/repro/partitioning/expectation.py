@@ -34,6 +34,10 @@ class ExpectationStore(Protocol):
     num_partitions: int
     num_vertices: int
 
+    #: Whether :meth:`advance_to` does real work.  The fast path skips
+    #: the per-record call entirely when ``False`` (the full store).
+    needs_advance: bool
+
     def advance_to(self, vertex: int) -> None:
         """Inform the store that ``vertex`` is now being streamed.
 
@@ -43,8 +47,19 @@ class ExpectationStore(Protocol):
     def expectation_of(self, vertex: int) -> np.ndarray:
         """``Γ_i(vertex)`` for every partition (length-K vector)."""
 
+    def expectation_of_into(self, vertex: int, out: np.ndarray) -> np.ndarray:
+        """:meth:`expectation_of` written into the preallocated ``out``."""
+
     def gather(self, neighbors: np.ndarray) -> np.ndarray:
         """``Σ_{u ∈ neighbors} Γ_i(u)`` for every partition."""
+
+    def gather_into(self, neighbors: np.ndarray,
+                    out: np.ndarray) -> np.ndarray:
+        """:meth:`gather` written into the preallocated ``out``.
+
+        Bit-identical values to :meth:`gather` — same reduction, no
+        fresh result vector.
+        """
 
     def record(self, pid: int, neighbors: np.ndarray) -> None:
         """Count the just-placed vertex's out-edges into ``Γ_pid``."""
@@ -64,29 +79,58 @@ class FullExpectationStore:
     windowed store is verified against.
     """
 
+    needs_advance = False
+
     def __init__(self, num_partitions: int, num_vertices: int) -> None:
         if num_partitions < 1 or num_vertices < 0:
             raise ValueError("invalid dimensions for expectation store")
         self.num_partitions = num_partitions
         self.num_vertices = num_vertices
-        self._table = np.zeros((num_partitions, num_vertices),
+        # Vertex-major layout: Γ(v) is one contiguous K-row, so the hot
+        # gather (sum over a neighborhood's rows) touches d contiguous
+        # chunks instead of K strided column picks.
+        self._table = np.zeros((num_vertices, num_partitions),
                                dtype=np.int32)
+        self._gather_buf: np.ndarray | None = None
 
     def advance_to(self, vertex: int) -> None:
         """No-op: every vertex is always tracked."""
 
     def expectation_of(self, vertex: int) -> np.ndarray:
-        return self._table[:, vertex].astype(np.int64)
+        return self._table[vertex].astype(np.int64)
+
+    def expectation_of_into(self, vertex: int, out: np.ndarray) -> np.ndarray:
+        np.copyto(out, self._table[vertex])
+        return out
 
     def gather(self, neighbors: np.ndarray) -> np.ndarray:
         if len(neighbors) == 0:
             return np.zeros(self.num_partitions, dtype=np.int64)
-        return self._table[:, neighbors].sum(axis=1, dtype=np.int64)
+        return self._table[neighbors].sum(axis=0, dtype=np.int64)
+
+    def gather_into(self, neighbors: np.ndarray,
+                    out: np.ndarray) -> np.ndarray:
+        d = len(neighbors)
+        if d == 0:
+            out[:] = 0
+            return out
+        # Row gather through a reusable buffer: ``take(out=)`` avoids
+        # the fancy-index temporary; the reduction is the same integer
+        # sum over the same rows, so the result is bit-identical.
+        buf = self._gather_buf
+        if buf is None or buf.shape[0] < d:
+            buf = np.empty((max(d, 64), self.num_partitions),
+                           dtype=self._table.dtype)
+            self._gather_buf = buf
+        rows = buf[:d]
+        self._table.take(neighbors, axis=0, out=rows)
+        rows.sum(axis=0, dtype=np.int64, out=out)
+        return out
 
     def record(self, pid: int, neighbors: np.ndarray) -> None:
         if len(neighbors) == 0:
             return
-        np.add.at(self._table[pid], neighbors, 1)
+        np.add.at(self._table[:, pid], neighbors, 1)
 
     def nbytes(self) -> int:
         return int(self._table.nbytes)

@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
-from ..graph.stream import VertexStream
-from .base import PartitionState, StreamingPartitioner
+from ..graph.stream import ArrayStream, VertexStream
+from .base import (FastKernel, PartitionState, StreamingPartitioner,
+                   make_shifted_counter)
 from .registry import register
 
 __all__ = ["FennelPartitioner"]
@@ -66,3 +67,34 @@ class FennelPartitioner(StreamingPartitioner):
         penalty = (self._alpha_effective * self.gamma
                    * loads ** (self.gamma - 1.0))
         return intersections - penalty
+
+    def _fast_kernel(self, state: PartitionState,
+                     stream: ArrayStream) -> FastKernel:
+        """Fused additive score: counts − (α·γ)·loads^(γ−1), in place.
+
+        The penalty vector is maintained incrementally: a commit changes
+        one partition's load, so only that lane's ``pow`` is recomputed
+        (scalar, same ufunc) instead of a K-wide ``np.power`` per record.
+        """
+        scratch = state.ensure_scratch(stream.max_degree)
+        scores, penalty = scratch.scores, scratch.f1
+        counts_fast, note_counts = make_shifted_counter(state)
+        vertex_counts = state.vertex_counts
+        exponent = self.gamma - 1.0
+        # _score evaluates (α·γ)·pow left-to-right; the scalar product is
+        # precomputed here and multiplication is commutative, so the
+        # fused result is bit-identical.
+        alpha_gamma = self._alpha_effective * self.gamma
+        np.power(vertex_counts, exponent, out=penalty)
+        np.multiply(penalty, alpha_gamma, out=penalty)
+
+        def score_into(v: int, neighbors: np.ndarray) -> np.ndarray:
+            np.subtract(counts_fast(neighbors), penalty, out=scores)
+            return scores
+
+        def after_commit(v: int, neighbors: np.ndarray, pid: int) -> None:
+            note_counts(v, pid)
+            penalty[pid] = np.power(vertex_counts[pid], exponent) \
+                * alpha_gamma
+
+        return score_into, after_commit

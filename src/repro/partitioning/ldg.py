@@ -15,7 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
-from .base import PartitionState, StreamingPartitioner
+from ..graph.stream import ArrayStream
+from .base import (FastKernel, PartitionState, StreamingPartitioner,
+                   make_shifted_counter, make_weight_updater)
 from .registry import register
 
 __all__ = ["LDGPartitioner"]
@@ -33,3 +35,26 @@ class LDGPartitioner(StreamingPartitioner):
                state: PartitionState) -> np.ndarray:
         intersections = state.neighbor_partition_counts(record.neighbors)
         return intersections * state.penalty_weights()
+
+    def _fast_kernel(self, state: PartitionState,
+                     stream: ArrayStream) -> FastKernel:
+        """Fused Eq. 3: one bincount, one multiply, one scalar lane update.
+
+        The penalty-weight vector is maintained incrementally (only the
+        committed lane changes per record), so scoring is a single
+        K-wide multiply on top of the neighbor tally.
+        """
+        scratch = state.ensure_scratch(stream.max_degree)
+        scores, weights = scratch.scores, scratch.weights
+        counts_fast, note_counts = make_shifted_counter(state)
+        update_weights = make_weight_updater(state, weights)
+
+        def score_into(v: int, neighbors: np.ndarray) -> np.ndarray:
+            np.multiply(counts_fast(neighbors), weights, out=scores)
+            return scores
+
+        def after_commit(v: int, neighbors: np.ndarray, pid: int) -> None:
+            note_counts(v, pid)
+            update_weights(pid)
+
+        return score_into, after_commit

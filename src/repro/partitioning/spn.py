@@ -39,8 +39,9 @@ from typing import Any
 import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
-from ..graph.stream import VertexStream
-from .base import PartitionState, StreamingPartitioner
+from ..graph.stream import ArrayStream, VertexStream
+from .base import (FastKernel, PartitionState, StreamingPartitioner,
+                   make_shifted_counter, make_weight_updater)
 from .expectation import ExpectationStore, FullExpectationStore
 from .registry import register
 from .window import SlidingWindowStore, default_num_shards
@@ -145,6 +146,70 @@ class SPNPartitioner(StreamingPartitioner):
                       state: PartitionState) -> None:
         # Algorithm 1, lines 5-7: traversing N_out(v) bumps Γ_pid.
         self.expectation_store.record(pid, record.neighbors)
+
+    # -- vectorized fast path ------------------------------------------
+    def _make_in_term_into(self, scratch) -> Any:
+        """Closure computing the in-neighbor term into ``scratch.i1``.
+
+        Mirrors :meth:`_in_term` estimator-for-estimator with the Γ
+        store's ``*_into`` kernels (integer sums — order-insensitive,
+        bit-identical).
+        """
+        store = self.expectation_store
+        in_buf = scratch.i1
+        gather_into = store.gather_into
+        expectation_of_into = store.expectation_of_into
+        if self.in_estimator == "self":
+            def in_term_into(v, neighbors):
+                return expectation_of_into(v, in_buf)
+        elif self.in_estimator == "neighborhood":
+            def in_term_into(v, neighbors):
+                return gather_into(neighbors, in_buf)
+        else:  # combined: Γ(v) + Σ_{u∈N_out(v)} Γ(u)
+            # One gather over neighbors+[v]: integer column sums are
+            # exact and order-free, so folding Γ(v) into the reduction
+            # is bit-identical to summing the two vectors.
+            idx_buf = scratch.idx
+
+            def in_term_into(v, neighbors):
+                d = len(neighbors)
+                idx = idx_buf[:d + 1]
+                idx[:d] = neighbors
+                idx[d] = v
+                return gather_into(idx, in_buf)
+        return in_term_into
+
+    def _fast_kernel(self, state: PartitionState,
+                     stream: ArrayStream) -> FastKernel:
+        """Fused Eq. 5: λ·|V∩N| + (1−λ)·Γ-term, zero temporaries."""
+        scratch = state.ensure_scratch(stream.max_degree)
+        store = self.expectation_store
+        in_term_into = self._make_in_term_into(scratch)
+        scores, weights, f1 = scratch.scores, scratch.weights, scratch.f1
+        counts_fast, note_counts = make_shifted_counter(state)
+        update_weights = make_weight_updater(state, weights)
+        lam = self.lam
+        one_minus_lam = 1.0 - self.lam
+        advance_to = store.advance_to if store.needs_advance else None
+        record_gamma = store.record
+
+        def score_into(v: int, neighbors: np.ndarray) -> np.ndarray:
+            if advance_to is not None:
+                advance_to(v)
+            out_term = counts_fast(neighbors)
+            in_term = in_term_into(v, neighbors)
+            np.multiply(out_term, lam, out=scores)
+            np.multiply(in_term, one_minus_lam, out=f1)
+            np.add(scores, f1, out=scores)
+            np.multiply(scores, weights, out=scores)
+            return scores
+
+        def after_commit(v: int, neighbors: np.ndarray, pid: int) -> None:
+            record_gamma(pid, neighbors)
+            note_counts(v, pid)
+            update_weights(pid)
+
+        return score_into, after_commit
 
     def _extra_stats(self) -> dict[str, Any]:
         store = self._store

@@ -29,10 +29,10 @@ from typing import Any
 import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
-from ..graph.stream import VertexStream
+from ..graph.stream import ArrayStream, VertexStream
 from .assignment import UNASSIGNED
-from .base import PartitionState
-from .eta import EtaSchedule, resolve_eta_schedule
+from .base import FastKernel, PartitionState, make_weight_updater
+from .eta import ETA_SCHEDULES, EtaSchedule, resolve_eta_schedule
 from .hashing import range_boundaries
 from .registry import register
 from .spn import SPNPartitioner
@@ -127,6 +127,119 @@ class SPNLPartitioner(SPNPartitioner):
         super()._after_commit(record, pid, state)
         # v leaves V^lt of its logical home the moment it is placed.
         self._lt_counts[self._logical_pid[record.vertex]] -= 1
+
+    # -- vectorized fast path ------------------------------------------
+    def _fast_kernel(self, state: PartitionState,
+                     stream: ArrayStream) -> FastKernel:
+        """Fused Eq. 6 with a single shared-bincount count pass.
+
+        Physical and logical intersections come from **one** bincount:
+        each neighbor's tally id is its partition when placed, else
+        ``K + logical_pid`` — the first K slots are ``|V_i^pt ∩ N|``,
+        the next K are ``|V_i^lt ∩ N|`` (an unplaced neighbor is exactly
+        one still logically assigned to its Range home).  Under the
+        paper's schedule both ``η`` and ``1-η`` are *maintained* rather
+        than recomputed: a commit changes |V^pt| on one lane and |V^lt|
+        on one lane, so at most two lanes are refreshed per record with
+        the same scalar IEEE sequence (``max(lt,1)`` in the denominator
+        stands in for the seed's ``np.errstate`` masking, bit-identical
+        since masked lanes clamp to 0).  Other schedules run unfused to
+        stay pluggable.
+        """
+        scratch = state.ensure_scratch(stream.max_degree)
+        store = self.expectation_store
+        k = self.num_partitions
+        route = state.route
+        in_term_into = self._make_in_term_into(scratch)
+        scores, weights = scratch.scores, scratch.weights
+        f1, f2, f3 = scratch.f1, scratch.f2, scratch.f3
+        update_weights = make_weight_updater(state, weights)
+        combo_buf = scratch.parts
+        zeros_k = scratch.zeros_k
+        lam = self.lam
+        one_minus_lam = 1.0 - self.lam
+        lt_counts = self._lt_counts
+        vertex_counts = state.vertex_counts
+        range_sizes = self._range_sizes
+        logical_pid = self._logical_pid
+        # Maintained tally image: a vertex's count slot is its partition
+        # once placed, else K + logical home.  A commit moves exactly one
+        # entry, so scoring needs one ``take`` + one ``bincount``.
+        combined = np.where(route >= 0, route,
+                            logical_pid + np.int32(k)).astype(np.int32)
+        paper_eta = self.eta_schedule is ETA_SCHEDULES["paper"]
+        eta_schedule = self.eta_schedule
+        advance_to = store.advance_to if store.needs_advance else None
+        record_gamma = store.record
+        two_k = 2 * k
+
+        if paper_eta:
+            # Maintained η and 1-η (scratch.f4/f5): full fused compute
+            # once, then per-commit scalar lane refreshes.
+            eta_vec, one_minus_eta = scratch.f4, scratch.f5
+            np.subtract(lt_counts, vertex_counts, out=eta_vec)
+            np.maximum(lt_counts, 1, out=one_minus_eta)
+            np.divide(eta_vec, one_minus_eta, out=eta_vec)
+            np.maximum(eta_vec, 0.0, out=eta_vec)
+            np.subtract(1.0, eta_vec, out=one_minus_eta)
+
+            def update_eta(i: int) -> None:
+                lt = lt_counts[i]
+                e = (lt - vertex_counts[i]) / (lt if lt > 1 else 1)
+                if e < 0.0:
+                    e = 0.0
+                eta_vec[i] = e
+                one_minus_eta[i] = 1.0 - e
+
+        def score_into(v: int, neighbors: np.ndarray) -> np.ndarray:
+            if advance_to is not None:
+                advance_to(v)
+            in_term = in_term_into(v, neighbors)
+            d = len(neighbors)
+            if d:
+                counts = np.bincount(
+                    combined.take(neighbors, out=combo_buf[:d]),
+                    minlength=two_k)
+                out_physical = counts[:k]
+                out_logical = counts[k:]
+            else:
+                out_physical = zeros_k
+                out_logical = zeros_k
+            if paper_eta:
+                eta = eta_vec
+                one_minus = one_minus_eta
+            else:
+                eta = eta_schedule(lt_counts, vertex_counts, range_sizes)
+                one_minus = np.subtract(1.0, eta, out=f3)
+            np.multiply(one_minus, out_physical, out=f3)
+            np.multiply(eta, out_logical, out=f2)
+            np.add(f3, f2, out=f3)  # Eq. 6's bracketed out-term
+            np.multiply(in_term, one_minus_lam, out=f1)
+            np.multiply(f3, lam, out=f3)
+            np.add(f1, f3, out=scores)
+            np.multiply(scores, weights, out=scores)
+            return scores
+
+        if paper_eta:
+            def after_commit(v: int, neighbors: np.ndarray,
+                             pid: int) -> None:
+                record_gamma(pid, neighbors)
+                combined[v] = pid
+                lv = logical_pid[v]
+                lt_counts[lv] -= 1
+                update_eta(lv)
+                if lv != pid:
+                    update_eta(pid)
+                update_weights(pid)
+        else:
+            def after_commit(v: int, neighbors: np.ndarray,
+                             pid: int) -> None:
+                record_gamma(pid, neighbors)
+                combined[v] = pid
+                lt_counts[logical_pid[v]] -= 1
+                update_weights(pid)
+
+        return score_into, after_commit
 
     def _extra_stats(self) -> dict[str, Any]:
         stats = super()._extra_stats()

@@ -65,6 +65,8 @@ class SlidingWindowStore:
     window arithmetic to be sound; :meth:`advance_to` enforces this.
     """
 
+    needs_advance = True
+
     def __init__(self, num_partitions: int, num_vertices: int,
                  num_shards: int = 1) -> None:
         if num_shards < 1:
@@ -128,6 +130,14 @@ class SlidingWindowStore:
             return np.zeros(self.num_partitions, dtype=np.int64)
         return self._table[:, vertex % self.window_size].astype(np.int64)
 
+    def expectation_of_into(self, vertex: int, out: np.ndarray) -> np.ndarray:
+        """:meth:`expectation_of` into a preallocated buffer."""
+        if not (self._low <= vertex < self._low + self.window_size):
+            out[:] = 0
+            return out
+        np.copyto(out, self._table[:, vertex % self.window_size])
+        return out
+
     def gather(self, neighbors: np.ndarray) -> np.ndarray:
         """Sum of in-window expectations over ``neighbors``, per partition."""
         if len(neighbors) == 0:
@@ -137,6 +147,20 @@ class SlidingWindowStore:
             return np.zeros(self.num_partitions, dtype=np.int64)
         cols = inside % self.window_size
         return self._table[:, cols].sum(axis=1, dtype=np.int64)
+
+    def gather_into(self, neighbors: np.ndarray,
+                    out: np.ndarray) -> np.ndarray:
+        """:meth:`gather` into a preallocated buffer (same reduction)."""
+        if len(neighbors) == 0:
+            out[:] = 0
+            return out
+        inside = neighbors[self._in_window(neighbors)]
+        if len(inside) == 0:
+            out[:] = 0
+            return out
+        cols = inside % self.window_size
+        self._table[:, cols].sum(axis=1, dtype=np.int64, out=out)
+        return out
 
     def record(self, pid: int, neighbors: np.ndarray) -> None:
         """Bump ``Γ_pid`` for every in-window out-neighbor.

@@ -1,0 +1,78 @@
+"""Tests for the streaming hot-path microbench harness.
+
+The ``benchsmoke`` marker selects the artifact-generating smoke tests
+(``pytest -m benchsmoke``) so CI can exercise BENCH_streaming.json
+production without running the full default suite.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_METHODS,
+    bench_method,
+    machine_fingerprint,
+    run_streaming_microbench,
+)
+from repro.bench.micro import _summary
+from repro.graph.generators import community_web_graph
+
+
+class TestPieces:
+    def test_machine_fingerprint_keys(self):
+        fp = machine_fingerprint()
+        assert {"platform", "machine", "python",
+                "numpy", "cpu_count"} <= set(fp)
+
+    def test_summary_stats(self):
+        s = _summary([3.0, 1.0, 2.0])
+        assert s["median_s"] == 2.0
+        assert s["min_s"] == 1.0
+        assert s["max_s"] == 3.0
+        assert s["runs_s"] == [3.0, 1.0, 2.0]
+
+    def test_summary_single_run_no_stdev_crash(self):
+        assert _summary([1.5])["stdev_s"] == 0.0
+
+    def test_bench_method_record(self):
+        graph = community_web_graph(600, seed=3)
+        rec = bench_method("ldg", graph, 4, warmup=0, repeats=2)
+        assert rec["method"] == "ldg"
+        assert rec["identical"] is True
+        assert len(rec["fast"]["runs_s"]) == 2
+        assert rec["speedup_median"] > 0
+
+
+@pytest.mark.benchsmoke
+class TestBenchSmoke:
+    def test_artifact_written_and_identical(self, tmp_path):
+        out = tmp_path / "BENCH_streaming.json"
+        artifact = run_streaming_microbench(
+            n=1200, k=4, warmup=0, repeats=2, out_path=out)
+        on_disk = json.loads(out.read_text(encoding="utf-8"))
+        assert on_disk["benchmark"] == artifact["benchmark"] \
+            == "streaming-hot-path"
+        assert {"machine", "config", "results"} <= set(on_disk)
+        assert [r["method"] for r in on_disk["results"]] \
+            == list(DEFAULT_METHODS)
+        for record in on_disk["results"]:
+            # A bench run that loses byte-identity is a correctness
+            # bug, not a perf result.
+            assert record["identical"] is True
+            assert record["fast"]["median_s"] > 0
+            assert record["seed"]["median_s"] > 0
+
+    def test_cli_quick_streaming(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        main(["bench", "streaming", "--quick", "-k", "4",
+              "--bench-out", str(out)])
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "Streaming hot path" in printed
+        assert str(out) in printed
+        artifact = json.loads(out.read_text(encoding="utf-8"))
+        assert artifact["config"]["k"] == 4
+        assert artifact["config"]["num_vertices"] == 4000

@@ -30,6 +30,36 @@ class TestGraphStream:
         with pytest.raises(ValueError, match="every vertex"):
             GraphStream(tiny_graph, order=[0, 1, 2])
 
+    def test_order_rejects_out_of_range(self, tiny_graph):
+        """Regression: an id >= |V| used to escape as a raw IndexError
+        from fancy indexing instead of a ValueError at construction."""
+        with pytest.raises(ValueError, match="out-of-range"):
+            GraphStream(tiny_graph, order=[0, 1, 2, 3, 7])
+
+    def test_order_rejects_negative_ids(self, tiny_graph):
+        """Regression: negative ids silently wrapped around (numpy
+        fancy indexing), streaming the wrong vertices without error."""
+        with pytest.raises(ValueError, match="out-of-range"):
+            GraphStream(tiny_graph, order=[0, 1, 2, 3, -1])
+
+    def test_order_rejects_wrong_shape(self, tiny_graph):
+        with pytest.raises(ValueError, match="every vertex"):
+            GraphStream(tiny_graph,
+                        order=np.array([[0, 1], [2, 3]]))
+
+    @pytest.mark.parametrize("bad", [
+        [5, 0, 1, 2, 3],          # out of range
+        [-5, 0, 1, 2, 3],         # negative
+        [4, 4, 3, 2, 1],          # duplicate
+        [],                        # wrong length
+    ])
+    def test_malformed_orders_never_raise_indexerror(self, tiny_graph,
+                                                     bad):
+        """Property: every malformed order is a ValueError, never a
+        bare IndexError or a silently-wrong stream."""
+        with pytest.raises(ValueError):
+            GraphStream(tiny_graph, order=bad)
+
     def test_reiterable(self, tiny_graph):
         stream = GraphStream(tiny_graph)
         first = [r.vertex for r in stream]
@@ -67,6 +97,44 @@ class TestFileStream:
         path = tmp_path / "g.adj"
         write_adjacency(tiny_graph, path)
         assert FileStream(path).is_id_ordered
+
+    def test_unordered_file_reported_unordered(self, tmp_path):
+        """Regression: is_id_ordered returned True unconditionally, so
+        sliding-window consumers rotated against out-of-order ids."""
+        path = tmp_path / "g.adj"
+        path.write_text("2 0\n0 1\n1 2\n")
+        assert not FileStream(path).is_id_ordered
+
+    def test_unordered_file_with_explicit_totals(self, tmp_path):
+        """Supplying totals skips the pre-scan; the ordering answer
+        must come from a dedicated lazy scan, not a hard-coded True."""
+        path = tmp_path / "g.adj"
+        path.write_text("2 0\n0 1\n1 2\n")
+        stream = FileStream(path, num_vertices=3, num_edges=3)
+        assert not stream.is_id_ordered
+
+    def test_duplicate_vertex_line_is_unordered(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("0 1\n1 0\n1 2\n")
+        assert not FileStream(path).is_id_ordered
+
+    def test_unordered_file_still_streams(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("2 0\n0 1\n1 2\n")
+        stream = FileStream(path)
+        assert [r.vertex for r in stream] == [2, 0, 1]
+
+    def test_file_mutated_after_ordered_prescan_fails_loud(self, tmp_path):
+        """If the pre-scan saw an ordered file but iteration later
+        observes disorder, the file changed underneath us — consumers
+        sized from the stale claim must not proceed silently."""
+        path = tmp_path / "g.adj"
+        path.write_text("0 1\n1 2\n2 0\n")
+        stream = FileStream(path)
+        assert stream.is_id_ordered
+        path.write_text("1 2\n0 1\n2 0\n")
+        with pytest.raises(ValueError, match="no longer id-ordered"):
+            list(stream)
 
 
 class TestShuffled:

@@ -1,5 +1,7 @@
 """Unit tests for the parallel streaming executors."""
 
+import threading
+
 import pytest
 
 from repro.graph import GraphStream
@@ -114,3 +116,94 @@ class TestThreadedExecutor:
         result = p.partition(GraphStream(web_graph))
         assert {"parallelism", "use_rct", "delayed",
                 "conflicts"} <= set(result.stats)
+
+
+class _ExplodingLDG(LDGPartitioner):
+    """Scoring raises on every record — simulates a poisoned worker."""
+
+    def _score(self, record, state):
+        raise RuntimeError("injected score failure")
+
+
+class _DelayOnceRCT:
+    """RCT stand-in that delays every vertex exactly once (thread-safe),
+    making the expected ``delayed`` total exact: one per vertex."""
+
+    def __init__(self, parallelism, epsilon=2):
+        self.total_conflicts = 0
+        self._lock = threading.Lock()
+        self._seen = set()
+
+    def register(self, vertex):
+        return True
+
+    def note_references(self, neighbors):
+        return 0
+
+    def release_references(self, neighbors):
+        pass
+
+    def should_delay(self, vertex):
+        with self._lock:
+            if vertex in self._seen:
+                return False
+            self._seen.add(vertex)
+            return True
+
+    def remove(self, vertex):
+        pass
+
+
+class TestThreadedExecutorRegressions:
+    def test_worker_errors_do_not_deadlock_producer(self, web_graph):
+        """Regression: when every worker dies on an error while the
+        bounded buffer is full, the producer used to block forever in
+        ``buffer.put`` — nobody was left to drain it.  The bounded-
+        timeout put must notice the errors, abort the stream, and let
+        ``partition`` surface the original exception."""
+        p = ThreadedParallelPartitioner(
+            _ExplodingLDG(8), parallelism=2, queue_capacity=2,
+            use_rct=False)
+        outcome = {}
+
+        def run():
+            try:
+                p.partition(GraphStream(web_graph))
+                outcome["exc"] = None
+            except BaseException as exc:
+                outcome["exc"] = exc
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        t.join(timeout=20.0)
+        assert not t.is_alive(), \
+            "partition() deadlocked after all workers errored"
+        assert isinstance(outcome["exc"], RuntimeError)
+        assert "injected score failure" in str(outcome["exc"])
+
+    def test_worker_error_surfaces_with_roomy_queue(self, web_graph):
+        """Even without buffer pressure the injected error must reach
+        the caller, not vanish into a worker thread."""
+        p = ThreadedParallelPartitioner(
+            _ExplodingLDG(8), parallelism=2,
+            queue_capacity=web_graph.num_vertices + 8, use_rct=False)
+        with pytest.raises(RuntimeError, match="injected score failure"):
+            p.partition(GraphStream(web_graph))
+
+    def test_delayed_count_exact_under_contention(self, web_graph,
+                                                  monkeypatch):
+        """Regression: ``delayed_counter[0] += 1`` was an unguarded
+        read-modify-write, so racing workers lost increments.  With an
+        RCT that delays each vertex exactly once and a queue big enough
+        that every re-queue succeeds, the reported total must equal
+        |V| exactly — not approximately."""
+        from repro.parallel import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "ReversedCountingTable",
+                            _DelayOnceRCT)
+        p = ThreadedParallelPartitioner(
+            LDGPartitioner(8), parallelism=8,
+            queue_capacity=web_graph.num_vertices + 16)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+        assert result.stats["delayed"] == web_graph.num_vertices

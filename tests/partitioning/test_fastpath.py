@@ -1,0 +1,155 @@
+"""Byte-identity tests for the vectorized streaming fast path.
+
+The fused CSR loop in :mod:`repro.partitioning.base` must be a pure
+performance change: for **every** registered vertex partitioner, on
+ordered and shuffled streams, the fast path's route table must be
+byte-equal to the seed record-at-a-time loop (``fast=False``).  These
+tests are the acceptance gate for the hot-path rewrite — any elementwise
+reassociation, tie-break drift, or capacity-mask divergence shows up as
+a route mismatch here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphStream, shuffled
+from repro.graph.generators import community_web_graph
+from repro.graph.stream import ArrayStream, as_array_stream
+from repro.partitioning.registry import (
+    available_partitioners,
+    make_partitioner,
+)
+
+#: Heuristics that ship a fused kernel (everything else falls back).
+FUSED = ("fennel", "ldg", "spn", "spnl")
+
+ALL_VERTEX = available_partitioners(kind="vertex")
+
+
+@pytest.fixture(scope="module")
+def ident_graph():
+    return community_web_graph(1500, seed=9)
+
+
+def _both_paths(name, stream_factory, k=8, **kwargs):
+    fast = make_partitioner(name, k, **kwargs).partition(stream_factory())
+    slow = make_partitioner(name, k, **kwargs).partition(
+        stream_factory(), fast=False)
+    return fast, slow
+
+
+class TestRegistryByteIdentity:
+    @pytest.mark.parametrize("name", ALL_VERTEX)
+    def test_ordered_stream(self, ident_graph, name):
+        fast, slow = _both_paths(name, lambda: GraphStream(ident_graph))
+        assert np.array_equal(fast.assignment.route, slow.assignment.route)
+        assert slow.stats["fast_path"] is False
+        assert fast.stats["fast_path"] is (name in FUSED)
+
+    @pytest.mark.parametrize("name", ALL_VERTEX)
+    def test_shuffled_stream(self, ident_graph, name):
+        fast, slow = _both_paths(name,
+                                 lambda: shuffled(ident_graph, seed=5))
+        assert np.array_equal(fast.assignment.route, slow.assignment.route)
+
+    @pytest.mark.parametrize("name", ALL_VERTEX)
+    def test_array_stream(self, ident_graph, name):
+        """Explicit CSR streams take the same fast path as GraphStream."""
+        fast, slow = _both_paths(
+            name, lambda: ArrayStream.from_graph(ident_graph))
+        assert np.array_equal(fast.assignment.route, slow.assignment.route)
+        assert fast.stats["fast_path"] is (name in FUSED)
+
+
+#: Config variants that exercise every branch the fused kernels
+#: maintain incrementally: the Γ window rotation, tight capacities
+#: (overflow valve + ineligibility mask), the edge-balance mode, the
+#: η decay schedules, and each in-degree estimator.
+VARIANTS = [
+    ("spn", {"num_shards": 4}),
+    ("spn", {"in_estimator": "self"}),
+    ("spn", {"in_estimator": "neighborhood"}),
+    ("spnl", {"num_shards": 4}),
+    ("spnl", {"eta_schedule": "frozen"}),
+    ("spnl", {"eta_schedule": "linear"}),
+    ("spnl", {"eta_schedule": 0.4}),
+    ("spnl", {"slack": 1.0}),
+    ("ldg", {"slack": 1.0}),
+    ("fennel", {"slack": 1.0}),
+    ("spnl", {"balance": "both"}),
+]
+
+
+class TestVariantByteIdentity:
+    @pytest.mark.parametrize("name,kwargs", VARIANTS,
+                             ids=[f"{n}-{kw}" for n, kw in VARIANTS])
+    def test_variant_identity(self, ident_graph, name, kwargs):
+        fast, slow = _both_paths(name, lambda: GraphStream(ident_graph),
+                                 **kwargs)
+        assert fast.stats["fast_path"] is True
+        assert np.array_equal(fast.assignment.route, slow.assignment.route)
+        # The tight-slack variants exist to hit the overflow valve; the
+        # two paths must agree on how often it fired, not just where
+        # vertices landed.
+        assert fast.stats.get("capacity_overflows") == \
+            slow.stats.get("capacity_overflows")
+
+
+class TestFastDispatch:
+    def test_fast_true_requires_csr_stream(self, ident_graph):
+        """A non-CSR source cannot honour fast=True."""
+        with pytest.raises(ValueError, match="fast=True"):
+            make_partitioner("spnl", 8).partition(
+                _GeneratorStream(ident_graph), fast=True)
+
+    def test_fast_true_requires_fused_kernel(self, ident_graph):
+        """Heuristics without a fused kernel refuse fast=True loudly."""
+        with pytest.raises(ValueError, match="fast=True"):
+            make_partitioner("hash", 8).partition(
+                GraphStream(ident_graph), fast=True)
+
+    def test_subclassed_stream_falls_back(self, ident_graph):
+        """A GraphStream subclass overriding __iter__ must NOT be
+        hijacked by the CSR conversion — its custom iteration is the
+        whole point of subclassing."""
+
+        class _Truncating(GraphStream):
+            def __iter__(self):
+                for i, record in enumerate(super().__iter__()):
+                    if i >= 10:
+                        return
+                    yield record
+
+        assert as_array_stream(_Truncating(ident_graph)) is None
+        result = make_partitioner("ldg", 4).partition(
+            _Truncating(ident_graph))
+        assert result.stats["fast_path"] is False
+
+    def test_as_array_stream_exact_types(self, ident_graph):
+        gs = GraphStream(ident_graph)
+        arr = as_array_stream(gs)
+        assert type(arr) is ArrayStream
+        assert as_array_stream(arr) is arr
+        assert as_array_stream(object()) is None
+
+
+class _GeneratorStream:
+    """Minimal VertexStream with no materialized arrays."""
+
+    def __init__(self, graph):
+        self._graph = graph
+
+    @property
+    def num_vertices(self):
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self):
+        return self._graph.num_edges
+
+    @property
+    def is_id_ordered(self):
+        return True
+
+    def __iter__(self):
+        yield from self._graph.records()
