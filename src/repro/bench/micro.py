@@ -29,6 +29,8 @@ from typing import Any
 
 import numpy as np
 
+from ..recovery.atomic import atomic_write_text
+
 __all__ = ["DEFAULT_METHODS", "machine_fingerprint",
            "bench_method", "run_streaming_microbench"]
 
@@ -151,7 +153,9 @@ def run_streaming_microbench(
         "results": results,
     }
     if out_path is not None:
-        Path(out_path).write_text(
-            json.dumps(artifact, indent=2, sort_keys=False) + "\n",
-            encoding="utf-8")
+        # Atomic write: never leave a truncated artifact where a prior
+        # complete one stood (CI diffs these files across runs).
+        atomic_write_text(
+            Path(out_path),
+            json.dumps(artifact, indent=2, sort_keys=False) + "\n")
     return artifact

@@ -27,7 +27,7 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
-def _load_graph(path_or_name: str):
+def _load_graph(path_or_name: str, *, policy=None):
     """Resolve a CLI graph argument: a file path or a stand-in name."""
     from .bench.datasets import DATASETS, load
     from .graph.io import read_adjacency, read_edge_list
@@ -51,8 +51,8 @@ def _load_graph(path_or_name: str):
     # ambiguous, so default to edge list only for .edges files.
     if path.suffixes[:1] in ([".edges"], [".el"]) \
             or len(first_data_line.split()) == 2:
-        return read_edge_list(path)
-    return read_adjacency(path)
+        return read_edge_list(path, policy=policy)
+    return read_adjacency(path, policy=policy)
 
 
 def _make_partitioner(method: str, k: int, args: argparse.Namespace):
@@ -124,30 +124,78 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     from .partitioning.metrics import evaluate
     from .partitioning.registry import resolve
 
-    graph = _load_graph(args.graph)
+    policy = None
+    if args.lenient:
+        from .recovery.lenient import IngestionPolicy
+        policy = IngestionPolicy(
+            mode="lenient",
+            quarantine=str(args.output) + ".quarantine",
+            max_errors=args.error_budget)
+    graph = _load_graph(args.graph, policy=policy)
+    if policy is not None:
+        policy.close()
+        if policy.errors_total:
+            print(f"warning: quarantined {policy.errors_total} malformed "
+                  f"records -> {args.output}.quarantine", file=sys.stderr)
     partitioner = _make_partitioner(args.method, args.k, args)
     is_offline = not resolve(args.method).is_streaming
+    checkpointing = (args.checkpoint_every is not None
+                     or args.resume_from is not None)
+    if checkpointing and is_offline:
+        raise SystemExit(
+            f"error: {args.method} is offline; checkpoint/resume applies "
+            "to streaming passes only")
+    if checkpointing and args.threads > 1:
+        raise SystemExit(
+            "error: --checkpoint-every/--resume-from are incompatible "
+            "with --threads (snapshots capture a single-writer pass)")
     if args.threads > 1 and not is_offline:
         partitioner = ThreadedParallelPartitioner(
             partitioner, parallelism=args.threads)
     instrumentation = _make_instrumentation(args)
-    if is_offline:
-        if instrumentation is not None:
-            print(f"note: {args.method} is offline; streaming trace "
-                  "flags are ignored", file=sys.stderr)
-        result = partitioner.partition(graph)
-    elif instrumentation is not None:
+    ckpt_dir = args.checkpoint_dir or str(args.output) + ".ckpt"
+
+    def _run():
+        if is_offline:
+            if instrumentation is not None:
+                print(f"note: {args.method} is offline; streaming trace "
+                      "flags are ignored", file=sys.stderr)
+            return partitioner.partition(graph)
+        stream = GraphStream(graph)
+        if checkpointing:
+            from .recovery.checkpoint import (
+                partition_with_checkpoints,
+                resume_partition,
+            )
+            every = args.checkpoint_every
+            if args.resume_from is not None:
+                return resume_partition(
+                    partitioner, stream, args.resume_from,
+                    config=ckpt_dir, every=every,
+                    instrumentation=instrumentation)
+            return partition_with_checkpoints(
+                partitioner, stream, ckpt_dir, every=every,
+                instrumentation=instrumentation)
+        return partitioner.partition(stream,
+                                     instrumentation=instrumentation)
+
+    if instrumentation is not None and not is_offline:
         with instrumentation:
-            result = partitioner.partition(
-                GraphStream(graph), instrumentation=instrumentation)
+            result = _run()
     else:
-        result = partitioner.partition(GraphStream(graph))
+        result = _run()
     quality = evaluate(graph, result.assignment)
     from .partitioning.persistence import save_assignment
     save_assignment(result.assignment, args.output, graph=graph,
                     partitioner=result.partitioner)
     print(f"{result.partitioner}: {quality} PT={result.elapsed_seconds:.3f}s")
     print(f"route table -> {args.output}")
+    if checkpointing:
+        written = result.stats.get("checkpoints_written", 0)
+        resumed = result.stats.get("resumed_from")
+        if resumed:
+            print(f"resumed from {resumed}")
+        print(f"checkpoints ({written} written) -> {ckpt_dir}")
     if instrumentation is not None and not is_offline:
         for sink, exc in instrumentation.sink_errors:
             print(f"warning: trace sink {type(sink).__name__} failed: "
@@ -341,6 +389,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe-every", type=int, default=None, metavar="N",
                    help="probe window size in placements (default 1000; "
                         "without --trace, prints progress to stderr)")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="snapshot partitioner state every N records "
+                        "(resumable with --resume-from)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="snapshot directory (default: <output>.ckpt)")
+    p.add_argument("--resume-from", default=None, metavar="SNAP",
+                   help="resume a crashed pass from a snapshot file or "
+                        "its checkpoint directory")
+    p.add_argument("--lenient", action="store_true",
+                   help="quarantine malformed graph lines to "
+                        "<output>.quarantine instead of aborting")
+    p.add_argument("--error-budget", type=int, default=100, metavar="N",
+                   help="max malformed lines tolerated under --lenient "
+                        "(default 100)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("edgepartition",

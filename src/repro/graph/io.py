@@ -50,17 +50,31 @@ def _is_comment(line: str) -> bool:
 # Edge list
 # ----------------------------------------------------------------------
 def read_edge_list(path: str | Path, *, num_vertices: int | None = None,
-                   name: str | None = None) -> DiGraph:
-    """Read a directed edge-list file (``src dst`` per line)."""
+                   name: str | None = None, policy=None) -> DiGraph:
+    """Read a directed edge-list file (``src dst`` per line).
+
+    Malformed lines raise :class:`ValueError` carrying the file path and
+    1-based line number; a lenient
+    :class:`~repro.recovery.lenient.IngestionPolicy` quarantines them
+    instead (up to its error budget).
+    """
     builder = GraphBuilder(num_vertices)
+    if policy is not None:
+        policy.begin_scan(path)
     with _open_text(path, "r") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             if _is_comment(line):
                 continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            builder.add_edge(int(parts[0]), int(parts[1]))
+            try:
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ValueError(f"malformed edge line: {line!r}")
+                builder.add_edge(int(parts[0]), int(parts[1]))
+            except ValueError as exc:
+                if policy is None:
+                    raise ValueError(
+                        f"{path}, line {lineno}: {exc}") from exc
+                policy.handle(path, lineno, line, exc)
     return builder.build(name or Path(path).stem)
 
 
@@ -76,29 +90,50 @@ def write_edge_list(graph: DiGraph, path: str | Path) -> None:
 # ----------------------------------------------------------------------
 # Adjacency list (the streamed format)
 # ----------------------------------------------------------------------
-def iter_adjacency_lines(path: str | Path) -> Iterator[tuple[int, np.ndarray]]:
+def iter_adjacency_lines(path: str | Path,
+                         *, policy=None) -> Iterator[tuple[int, np.ndarray]]:
     """Stream ``(vertex, out-neighbors)`` rows from an adjacency-list file.
 
     This is the disk-streaming entry point used by
     :class:`repro.graph.stream.FileStream` — it never materializes the
     whole graph, matching the paper's one-pass design.
+
+    Malformed rows raise :class:`ValueError` naming the file and the
+    1-based line number.  With a lenient
+    :class:`~repro.recovery.lenient.IngestionPolicy` the bad row is
+    quarantined and skipped instead, until the policy's error budget is
+    exhausted.
     """
+    if policy is not None:
+        policy.begin_scan(path)
     with _open_text(path, "r") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             if _is_comment(line):
                 continue
-            parts = line.split()
-            vertex = int(parts[0])
-            neighbors = np.asarray([int(p) for p in parts[1:]],
-                                   dtype=np.int64)
+            try:
+                parts = line.split()
+                vertex = int(parts[0])
+                if vertex < 0:
+                    raise ValueError(f"negative vertex id {vertex}")
+                neighbors = np.asarray([int(p) for p in parts[1:]],
+                                       dtype=np.int64)
+                if len(neighbors) and neighbors.min() < 0:
+                    raise ValueError(
+                        f"negative neighbor id {int(neighbors.min())}")
+            except ValueError as exc:
+                if policy is None:
+                    raise ValueError(
+                        f"{path}, line {lineno}: {exc}") from exc
+                policy.handle(path, lineno, line, exc)
+                continue
             yield vertex, neighbors
 
 
 def read_adjacency(path: str | Path, *, num_vertices: int | None = None,
-                   name: str | None = None) -> DiGraph:
+                   name: str | None = None, policy=None) -> DiGraph:
     """Read an adjacency-list file fully into a :class:`DiGraph`."""
     builder = GraphBuilder(num_vertices)
-    for vertex, neighbors in iter_adjacency_lines(path):
+    for vertex, neighbors in iter_adjacency_lines(path, policy=policy):
         builder.add_adjacency(vertex, neighbors)
     return builder.build(name or Path(path).stem)
 
@@ -129,14 +164,17 @@ def read_metis(path: str | Path, *, name: str | None = None) -> DiGraph:
     with _open_text(path, "r") as fh:
         header: list[str] | None = None
         rows: list[list[int]] = []
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             if _is_comment(line):
                 continue
             parts = line.split()
             if header is None:
                 header = parts
                 continue
-            rows.append([int(p) - 1 for p in parts])
+            try:
+                rows.append([int(p) - 1 for p in parts])
+            except ValueError as exc:
+                raise ValueError(f"{path}, line {lineno}: {exc}") from exc
         if header is None:
             raise ValueError("METIS file missing header line")
         declared_n, declared_m = int(header[0]), int(header[1])

@@ -25,6 +25,7 @@ Four sources are provided:
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Iterator, Protocol, Sequence
 
@@ -35,6 +36,37 @@ from .io import iter_adjacency_lines
 
 __all__ = ["VertexStream", "GraphStream", "ArrayStream", "FileStream",
            "as_array_stream", "shuffled"]
+
+
+class _Seekable:
+    """``tell()``/``seek()`` in *record* units, shared by every source.
+
+    The position is the index (into the stream's arrival order) of the
+    first record the next iteration will yield; ``seek`` sets it and
+    ``tell`` reads it back.  Iteration itself does not move the cursor —
+    streams stay re-iterable, and the checkpointing driver (which knows
+    exactly how many records it consumed) owns progress accounting.
+    Resuming a crashed run is therefore: build a fresh stream over the
+    same source, ``seek(position)`` from the snapshot, and continue.
+    """
+
+    _position = 0
+
+    def tell(self) -> int:
+        """Index of the record the next iteration starts from."""
+        return self._position
+
+    def seek(self, position: int) -> None:
+        """Start subsequent iterations at record ``position``."""
+        if position < 0:
+            raise ValueError(f"stream position must be >= 0, "
+                             f"got {position}")
+        limit = getattr(self, "num_vertices", None)
+        if limit is not None and position > limit:
+            raise ValueError(
+                f"stream position {position} is past the end of the "
+                f"{limit}-record stream")
+        self._position = int(position)
 
 
 class VertexStream(Protocol):
@@ -74,7 +106,7 @@ def _validate_order(order: Sequence[int] | np.ndarray,
     return order
 
 
-class GraphStream:
+class GraphStream(_Seekable):
     """Stream an in-memory graph's adjacency records.
 
     Parameters
@@ -118,15 +150,20 @@ class GraphStream:
         return self._order is None
 
     def __iter__(self) -> Iterator[AdjacencyRecord]:
+        pos = self._position
         if self._order is None:
-            yield from self._graph.records()
+            if pos == 0:
+                yield from self._graph.records()
+            else:
+                for v in range(pos, self._graph.num_vertices):
+                    yield AdjacencyRecord(v, self._graph.out_neighbors(v))
         else:
-            for v in self._order:
+            for v in self._order[pos:]:
                 v = int(v)
                 yield AdjacencyRecord(v, self._graph.out_neighbors(v))
 
 
-class ArrayStream:
+class ArrayStream(_Seekable):
     """CSR-backed stream: contiguous ``indptr``/``indices`` + arrival order.
 
     The array-first twin of :class:`GraphStream`.  Iterating yields
@@ -226,11 +263,12 @@ class ArrayStream:
 
     def __iter__(self) -> Iterator[AdjacencyRecord]:
         indptr, indices = self._indptr, self._indices
+        pos = self._position
         if self._order is None:
-            for v in range(self.num_vertices):
+            for v in range(pos, self.num_vertices):
                 yield AdjacencyRecord(v, indices[indptr[v]:indptr[v + 1]])
         else:
-            for v in self._order:
+            for v in self._order[pos:]:
                 v = int(v)
                 yield AdjacencyRecord(v, indices[indptr[v]:indptr[v + 1]])
 
@@ -249,29 +287,45 @@ def as_array_stream(stream) -> ArrayStream | None:
     if type(stream) is ArrayStream:
         return stream
     if type(stream) is GraphStream:
-        return ArrayStream.from_graph(stream.graph, order=stream.order)
+        arrays = ArrayStream.from_graph(stream.graph, order=stream.order)
+        arrays.seek(stream.tell())  # a resumed stream keeps its position
+        return arrays
     return None
 
 
-class FileStream:
+class FileStream(_Seekable):
     """Stream adjacency records straight from a disk file.
 
     The file is scanned once per iteration; totals are taken from the
     constructor (or discovered by a cheap pre-scan when omitted), mirroring
     how the paper's implementation learns ``|V|``/``|E|`` from dataset
     metadata rather than a full load.
+
+    ``retries``/``retry_backoff`` add supervision against *transient*
+    ``OSError`` s (NFS hiccups, flaky block devices): a failed pass is
+    reopened after an exponentially backed-off sleep and fast-forwarded
+    past the records already delivered, so consumers never see a
+    duplicate.  Persistent failures still surface after the budget.
+    ``policy`` (an :class:`~repro.recovery.lenient.IngestionPolicy`)
+    selects strict or lenient handling of malformed lines.
     """
 
     def __init__(self, path: str | Path, *, num_vertices: int | None = None,
-                 num_edges: int | None = None) -> None:
+                 num_edges: int | None = None, retries: int = 2,
+                 retry_backoff: float = 0.05, policy=None) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self._path = Path(path)
         self._ordered: bool | None = None
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._policy = policy
         if num_vertices is None or num_edges is None:
             max_id = -1
             edge_count = 0
             prev = -1
             ordered = True
-            for vertex, neighbors in iter_adjacency_lines(self._path):
+            for vertex, neighbors in self._lines():
                 max_id = max(max_id, vertex,
                              int(neighbors.max()) if len(neighbors) else -1)
                 edge_count += len(neighbors)
@@ -284,6 +338,9 @@ class FileStream:
             num_edges = num_edges if num_edges is not None else edge_count
         self._num_vertices = num_vertices
         self._num_edges = num_edges
+
+    def _lines(self):
+        return iter_adjacency_lines(self._path, policy=self._policy)
 
     @property
     def path(self) -> Path:
@@ -314,17 +371,19 @@ class FileStream:
 
     def _scan_id_order(self) -> bool:
         prev = -1
-        for vertex, _ in iter_adjacency_lines(self._path):
+        for vertex, _ in self._lines():
             if vertex <= prev:
                 return False
             prev = vertex
         return True
 
-    def __iter__(self) -> Iterator[AdjacencyRecord]:
+    def _iterate_from(self, skip: int) -> Iterator[AdjacencyRecord]:
+        """One pass over the file, dropping the first ``skip`` records."""
         claim_ordered = self._ordered
         prev = -1
         ordered = True
-        for vertex, neighbors in iter_adjacency_lines(self._path):
+        index = 0
+        for vertex, neighbors in self._lines():
             if vertex <= prev:
                 ordered = False
                 if claim_ordered:
@@ -336,9 +395,29 @@ class FileStream:
                         f"{vertex} arrived after {prev}); the file changed "
                         "since it was scanned")
             prev = vertex
-            yield AdjacencyRecord(vertex, neighbors)
+            if index >= skip:
+                yield AdjacencyRecord(vertex, neighbors)
+            index += 1
         if self._ordered is None:
             self._ordered = ordered
+
+    def __iter__(self) -> Iterator[AdjacencyRecord]:
+        delivered = 0
+        attempts = 0
+        while True:
+            try:
+                for record in self._iterate_from(self._position + delivered):
+                    yield record
+                    delivered += 1
+                return
+            except OSError:
+                # Transient read failures are retried from where the
+                # consumer left off: the reopened pass skips every record
+                # already delivered, so downstream sees each exactly once.
+                attempts += 1
+                if attempts > self._retries:
+                    raise
+                time.sleep(self._retry_backoff * 2 ** (attempts - 1))
 
 
 def shuffled(graph: DiGraph, seed: int = 0) -> GraphStream:

@@ -21,6 +21,19 @@ tooling (and enforced by the test suite over every emitted record):
 ``parallel_batch`` — one record per simulated-parallel batch:
     seq, batch, batch_size, delayed, placements.
 
+``checkpoint`` — one record per snapshot written by the checkpointing
+    driver: seq, position, placements, path, elapsed_seconds,
+    partitioner.
+
+``resume`` — one record when a pass restarts from a snapshot:
+    seq, position, placements, path, partitioner.
+
+``worker_restart`` — a supervised parallel worker died and was
+    restarted: seq, worker, restarts, error, backoff_seconds.
+
+``quarantine`` — a malformed input record was diverted by a lenient
+    ingestion policy: seq, source, line, reason.
+
 Field specs are ``(types, required)``.  ``validate_record`` raises
 :class:`TraceSchemaError` on an unknown type, a missing required field,
 an unknown field, or a type mismatch; ``None`` is allowed exactly for
@@ -89,6 +102,38 @@ TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
         "batch_size": (_INT, True, False),
         "delayed": (_INT, True, False),
         "placements": (_INT, True, False),
+    },
+    "checkpoint": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "position": (_INT, True, False),
+        "placements": (_INT, True, False),
+        "path": (_STR, True, False),
+        "elapsed_seconds": (_NUM, True, False),
+        "partitioner": (_STR, True, False),
+    },
+    "resume": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "position": (_INT, True, False),
+        "placements": (_INT, True, False),
+        "path": (_STR, True, False),
+        "partitioner": (_STR, True, False),
+    },
+    "worker_restart": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "worker": (_INT, True, False),
+        "restarts": (_INT, True, False),
+        "error": (_STR, True, False),
+        "backoff_seconds": (_NUM, True, False),
+    },
+    "quarantine": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "source": (_STR, True, False),
+        "line": (_INT, True, False),
+        "reason": (_STR, True, False),
     },
 }
 

@@ -193,15 +193,34 @@ class ThreadedParallelPartitioner(_ParallelBase):
     buffer); M workers score lock-free (NumPy reads of the shared route
     table may be stale — the very effect the RCT mitigates) and commit
     under one lock.  Delayed records are re-queued with a retry budget.
+
+    Workers are **supervised**: a worker that dies scoring a record hands
+    the in-flight record back to the queue (no placement is lost) and is
+    replaced by a fresh thread, up to ``max_worker_restarts`` per run
+    with exponential backoff between restarts.  Each restart is counted
+    in the result stats and emitted as a ``worker_restart`` trace record.
+    Once the budget is exhausted — or a worker dies *inside* the commit
+    section, where shared state may be half-updated and a retry could
+    double-place — the run aborts and the original error surfaces.
+    (A requeued record whose RCT references were already noted may be
+    noted again on retry; the table then over-counts dependencies, which
+    at worst delays a few extra placements — never corrupts them.)
     """
 
     def __init__(self, base: StreamingPartitioner, *, parallelism: int = 4,
                  epsilon: int = 2, use_rct: bool = True,
-                 max_delays: int = 3, queue_capacity: int | None = None
-                 ) -> None:
+                 max_delays: int = 3, queue_capacity: int | None = None,
+                 max_worker_restarts: int = 2,
+                 restart_backoff: float = 0.01) -> None:
         super().__init__(base, parallelism=parallelism, epsilon=epsilon,
                          use_rct=use_rct, max_delays=max_delays)
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
         self.queue_capacity = queue_capacity or 4 * parallelism
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_backoff = restart_backoff
 
     @property
     def name(self) -> str:
@@ -227,9 +246,14 @@ class ThreadedParallelPartitioner(_ParallelBase):
         # is pending (produced but not yet committed).
         buffer: queue.Queue = queue.Queue(maxsize=self.queue_capacity)
         producer_done = threading.Event()
+        abort = threading.Event()
         pending = [0]
         delayed_counter = [0]
-        errors: list[BaseException] = []
+        # Unrecoverable failures (producer death, commit-section death,
+        # restart budget exhaustion): first one wins and is re-raised.
+        fatal: list[BaseException] = []
+        # Restartable worker deaths, consumed by the supervisor loop.
+        failure_q: queue.Queue = queue.Queue()
 
         def producer() -> None:
             try:
@@ -241,54 +265,73 @@ class ThreadedParallelPartitioner(_ParallelBase):
                     # Bounded-timeout put: an unbounded block would
                     # deadlock the run if every worker has already died
                     # on an error while the buffer is full (nobody will
-                    # ever drain it).  On each timeout check for worker
-                    # errors and abort the stream — the record is
+                    # ever drain it).  On each timeout check for an
+                    # abort and stop the stream — the record is
                     # un-counted so the drain invariant stays exact.
                     while True:
                         try:
                             buffer.put((record, 0), timeout=0.05)
                             break
                         except queue.Full:
-                            if errors:
+                            if fatal or abort.is_set():
                                 with count_lock:
                                     pending[0] -= 1
                                 return
             except BaseException as exc:
-                errors.append(exc)
+                fatal.append(exc)
+                abort.set()
             finally:
                 producer_done.set()
 
-        def worker() -> None:
-            try:
-                while True:
-                    try:
-                        record, delays = buffer.get(timeout=0.02)
-                    except queue.Empty:
-                        if producer_done.is_set():
-                            with count_lock:
-                                drained = pending[0] == 0
-                            if drained or errors:
-                                break
-                        continue
+        def worker(index: int) -> None:
+            while True:
+                try:
+                    record, delays = buffer.get(timeout=0.02)
+                except queue.Empty:
+                    if abort.is_set():
+                        return
+                    if producer_done.is_set():
+                        with count_lock:
+                            drained = pending[0] == 0
+                        if drained or fatal:
+                            return
+                    continue
+                try:
                     if rct is not None and delays == 0:
                         rct.note_references(record.neighbors)
                     scores = base._score(record, state)
-                    if (rct is not None and delays < self.max_delays
-                            and rct.should_delay(record.vertex)):
+                    delay = (rct is not None and delays < self.max_delays
+                             and rct.should_delay(record.vertex))
+                except BaseException as exc:
+                    # Scoring touched nothing the commit path depends on;
+                    # hand the record back (so no placement is lost) and
+                    # report for a supervised restart.  The put blocks
+                    # with an abort check: dropping the record would
+                    # leave ``pending`` permanently non-zero.
+                    while not abort.is_set():
                         try:
-                            # Never block here: if every worker tried to
-                            # re-queue into a full buffer at once they
-                            # would deadlock; placing immediately is the
-                            # safe degradation.
-                            buffer.put_nowait((record, delays + 1))
-                            # Guarded: `list[0] += 1` is a read-modify-
-                            # write that loses increments when workers
-                            # race on it.
-                            with count_lock:
-                                delayed_counter[0] += 1
-                            continue
+                            buffer.put((record, delays), timeout=0.05)
+                            break
                         except queue.Full:
-                            pass
+                            continue
+                    failure_q.put((index, exc))
+                    return
+                if delay:
+                    try:
+                        # Never block here: if every worker tried to
+                        # re-queue into a full buffer at once they
+                        # would deadlock; placing immediately is the
+                        # safe degradation.
+                        buffer.put_nowait((record, delays + 1))
+                        # Guarded: `list[0] += 1` is a read-modify-
+                        # write that loses increments when workers
+                        # race on it.
+                        with count_lock:
+                            delayed_counter[0] += 1
+                        continue
+                    except queue.Full:
+                        pass
+                try:
                     with commit_lock:
                         if probe is None:
                             pid = base.choose(scores, state)
@@ -299,27 +342,72 @@ class ThreadedParallelPartitioner(_ParallelBase):
                         base._after_commit(record, pid, state)
                         if probe is not None:
                             probe.observe(record, pid, margin)
-                    if rct is not None:
-                        rct.remove(record.vertex)
-                        rct.release_references(record.neighbors)
-                    with count_lock:
-                        pending[0] -= 1
-            except BaseException as exc:  # surfaced after join
-                errors.append(exc)
+                except BaseException as exc:
+                    # Shared state may be half-updated; a retry could
+                    # place the vertex twice.  Not survivable.
+                    fatal.append(exc)
+                    abort.set()
+                    return
+                if rct is not None:
+                    rct.remove(record.vertex)
+                    rct.release_references(record.neighbors)
+                with count_lock:
+                    pending[0] -= 1
 
         start = time.perf_counter()
-        threads = [threading.Thread(target=worker, name=f"spnl-worker-{i}")
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"spnl-worker-{i}")
                    for i in range(self.parallelism)]
         feeder = threading.Thread(target=producer, name="spnl-producer")
         for t in threads:
             t.start()
         feeder.start()
+
+        # Supervisor: replace dead workers until the restart budget runs
+        # out, then convert the next death into a fatal abort.  A dying
+        # worker enqueues its failure *before* exiting, so once every
+        # thread is dead one final non-blocking drain sees all reports.
+        restarts_used = 0
+        while True:
+            try:
+                index, exc = failure_q.get(timeout=0.05)
+            except queue.Empty:
+                if any(t.is_alive() for t in threads):
+                    continue
+                try:
+                    index, exc = failure_q.get_nowait()
+                except queue.Empty:
+                    break
+            if restarts_used >= self.max_worker_restarts:
+                fatal.append(exc)
+                abort.set()
+                continue
+            restarts_used += 1
+            backoff = self.restart_backoff * 2 ** (restarts_used - 1)
+            if backoff:
+                time.sleep(backoff)
+            replacement = threading.Thread(
+                target=worker, args=(index,),
+                name=f"spnl-worker-{index}r{restarts_used}")
+            threads[index] = replacement
+            replacement.start()
+            if instrumentation is not None:
+                # commit_lock serializes against probe emissions so the
+                # trace's seq numbering stays consistent.
+                with commit_lock:
+                    instrumentation.count("parallel.worker_restarts")
+                    instrumentation.emit({
+                        "type": "worker_restart",
+                        "worker": index,
+                        "restarts": restarts_used,
+                        "error": repr(exc),
+                        "backoff_seconds": backoff,
+                    })
+
         feeder.join()
-        for t in threads:
-            t.join()
         elapsed = time.perf_counter() - start
-        if errors:
-            raise errors[0]
+        if fatal:
+            raise fatal[0]
         if probe is not None:
             probe.finish(elapsed)
             instrumentation.count("parallel.delayed", delayed_counter[0])
@@ -327,10 +415,12 @@ class ThreadedParallelPartitioner(_ParallelBase):
                 instrumentation.gauge("parallel.conflicts",
                                       rct.total_conflicts)
 
+        stats = self._stats(rct, delayed_counter[0], state)
+        stats["worker_restarts"] = restarts_used
         return StreamingResult(
             assignment=state.to_assignment(),
             partitioner=self.name,
             elapsed_seconds=elapsed,
             num_partitions=base.num_partitions,
-            stats=self._stats(rct, delayed_counter[0], state),
+            stats=stats,
         )

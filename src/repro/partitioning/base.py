@@ -34,9 +34,22 @@ from ..graph.digraph import AdjacencyRecord
 from ..graph.stream import ArrayStream, VertexStream, as_array_stream
 from .assignment import UNASSIGNED, PartitionAssignment
 
-__all__ = ["BalanceMode", "PartitionState", "StreamingResult",
-           "StreamingPartitioner", "FastKernel", "make_weight_updater",
-           "make_shifted_counter"]
+__all__ = ["BalanceMode", "CapacityOverflowError", "PartitionState",
+           "StreamingResult", "StreamingPartitioner", "FastKernel",
+           "make_weight_updater", "make_shifted_counter"]
+
+#: Valid values for the all-partitions-full overflow policy.
+OVERFLOW_POLICIES = ("least-loaded", "strict")
+
+
+class CapacityOverflowError(RuntimeError):
+    """Raised under ``overflow="strict"`` when every partition is full.
+
+    The default policy (``"least-loaded"``) silently places the vertex
+    on the globally least-loaded partition and counts the event in
+    ``capacity_overflows``; strict mode makes the δ constraint a hard
+    guarantee instead.
+    """
 
 #: A fused per-record kernel: ``(score_into(v, neighbors) -> scores,
 #: after_commit(v, neighbors, pid) | None)``.  ``score_into`` writes the
@@ -106,19 +119,25 @@ class PartitionState:
     """
 
     __slots__ = ("num_partitions", "num_vertices", "num_edges", "balance",
-                 "capacity", "edge_capacity", "route", "vertex_counts",
-                 "edge_counts", "placed_vertices", "placed_edges",
-                 "capacity_overflows", "_nc_memo", "scratch")
+                 "capacity", "edge_capacity", "overflow_policy", "route",
+                 "vertex_counts", "edge_counts", "placed_vertices",
+                 "placed_edges", "capacity_overflows", "_nc_memo", "scratch")
 
     def __init__(self, num_partitions: int, num_vertices: int,
                  num_edges: int, *, balance: BalanceMode = BalanceMode.VERTEX,
-                 slack: float = 1.1, edge_slack: float | None = None) -> None:
+                 slack: float = 1.1, edge_slack: float | None = None,
+                 overflow: str = "least-loaded") -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         if slack < 1.0:
             raise ValueError("slack (the paper's δ) must be >= 1.0")
         if edge_slack is not None and edge_slack < 1.0:
             raise ValueError("edge_slack must be >= 1.0")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow!r}")
+        self.overflow_policy = overflow
         self.num_partitions = num_partitions
         self.num_vertices = num_vertices
         self.num_edges = num_edges
@@ -272,6 +291,60 @@ class PartitionState:
         """Snapshot the route table as an immutable assignment."""
         return PartitionAssignment(self.route.copy(), self.num_partitions)
 
+    # -- checkpoint/restore --------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Everything needed to rebuild this state in a fresh process.
+
+        Configuration fields (dimensions, balance mode, capacities) are
+        included so :meth:`load_state` can refuse a snapshot taken under
+        different run parameters instead of silently mixing them.
+        """
+        return {
+            "num_partitions": int(self.num_partitions),
+            "num_vertices": int(self.num_vertices),
+            "num_edges": int(self.num_edges),
+            "balance": self.balance.value,
+            "capacity": float(self.capacity),
+            "edge_capacity": None if self.edge_capacity is None
+            else float(self.edge_capacity),
+            "overflow_policy": self.overflow_policy,
+            "route": self.route.copy(),
+            "vertex_counts": self.vertex_counts.copy(),
+            "edge_counts": self.edge_counts.copy(),
+            "placed_vertices": int(self.placed_vertices),
+            "placed_edges": int(self.placed_edges),
+            "capacity_overflows": int(self.capacity_overflows),
+        }
+
+    def load_state(self, payload: dict[str, Any]) -> None:
+        """Restore from :meth:`state_dict` output (config must match).
+
+        The fast-path scratch is *not* restored: it is derived state,
+        rebuilt from the restored arrays the next time a fused kernel is
+        constructed (``ensure_scratch`` plus the kernels' maintained
+        images, which are all initialized from the live route/counts).
+        """
+        for field_name in ("num_partitions", "num_vertices", "num_edges"):
+            if int(payload[field_name]) != getattr(self, field_name):
+                raise ValueError(
+                    f"snapshot {field_name}={payload[field_name]} does not "
+                    f"match this run's {getattr(self, field_name)}")
+        if payload["balance"] != self.balance.value:
+            raise ValueError(
+                f"snapshot balance mode {payload['balance']!r} does not "
+                f"match this run's {self.balance.value!r}")
+        if float(payload["capacity"]) != float(self.capacity):
+            raise ValueError(
+                f"snapshot capacity {payload['capacity']} does not match "
+                f"this run's {self.capacity} (different slack?)")
+        np.copyto(self.route, payload["route"])
+        np.copyto(self.vertex_counts, payload["vertex_counts"])
+        np.copyto(self.edge_counts, payload["edge_counts"])
+        self.placed_vertices = int(payload["placed_vertices"])
+        self.placed_edges = int(payload["placed_edges"])
+        self.capacity_overflows = int(payload["capacity_overflows"])
+        self._nc_memo = None
+
 
 def _make_fast_choose(state: PartitionState) -> tuple[
         Callable[[np.ndarray], int], Callable[[int], None]]:
@@ -306,6 +379,7 @@ def _make_fast_choose(state: PartitionState) -> tuple[
         np.greater_equal(edge_counts, edge_capacity, out=scratch.inelig2)
         np.logical_or(inelig, scratch.inelig2, out=inelig)
     num_inelig = [int(np.count_nonzero(inelig))]
+    strict_overflow = state.overflow_policy == "strict"
 
     def choose(scores: np.ndarray) -> int:
         if num_inelig[0]:
@@ -313,6 +387,10 @@ def _make_fast_choose(state: PartitionState) -> tuple[
             pid = scores.argmax()
             best = scores[pid]
             if not isfinite(best):
+                if strict_overflow:
+                    raise CapacityOverflowError(
+                        f"all {state.num_partitions} partitions are at "
+                        f"capacity {state.capacity}")
                 state.capacity_overflows += 1
                 return int(loads.argmin())
         else:
@@ -434,11 +512,17 @@ class StreamingPartitioner(ABC):
     def __init__(self, num_partitions: int, *,
                  balance: BalanceMode | str = BalanceMode.VERTEX,
                  slack: float = 1.1,
-                 edge_slack: float | None = None) -> None:
+                 edge_slack: float | None = None,
+                 overflow: str = "least-loaded") -> None:
         self.num_partitions = int(num_partitions)
         self.balance = BalanceMode(balance)
         self.slack = float(slack)
         self.edge_slack = edge_slack
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow!r}")
+        self.overflow = overflow
 
     # -- identification -------------------------------------------------
     @property
@@ -466,14 +550,72 @@ class StreamingPartitioner(ABC):
         """Heuristic-specific numbers to attach to the result."""
         return {}
 
+    def _heuristic_state_dict(self) -> dict[str, Any]:
+        """Heuristic-private run state for a checkpoint (default: none).
+
+        Called only between records of an active run (after ``_setup``).
+        Values must be scalars, strings, nested dicts, or numpy arrays —
+        the snapshot codec's vocabulary.
+        """
+        return {}
+
+    def _load_heuristic_state(self, payload: dict[str, Any]) -> None:
+        """Restore :meth:`_heuristic_state_dict` output (after ``_setup``)."""
+
+    # -- checkpoint/restore -------------------------------------------------
+    def state_dict(self, state: PartitionState) -> dict[str, Any]:
+        """Capture the full mid-run state of this partitioner.
+
+        The result (shared :class:`PartitionState` plus the heuristic's
+        private state — Γ tables, η bookkeeping, FENNEL's effective α)
+        is what :mod:`repro.recovery.snapshot` serializes; feeding it to
+        :meth:`load_state` in a fresh process reproduces the run
+        byte-for-byte from the captured stream position.
+        """
+        return {
+            "partitioner": self.name,
+            "partition_state": state.state_dict(),
+            "heuristic": self._heuristic_state_dict(),
+        }
+
+    def load_state(self, stream: VertexStream,
+                   payload: dict[str, Any]) -> PartitionState:
+        """Rebuild run state from :meth:`state_dict` output.
+
+        Runs the normal ``make_state`` + ``_setup`` sequence (so every
+        derived structure — Γ store, Range tables, scratch — exists and
+        is sized for ``stream``), then overwrites the mutable state with
+        the snapshot's.  Returns the restored :class:`PartitionState`;
+        the caller seeks the stream and continues the pass.
+        """
+        saved = payload.get("partitioner")
+        if saved is not None and saved != self.name:
+            raise ValueError(
+                f"snapshot was taken by partitioner {saved!r}, cannot "
+                f"restore into {self.name!r}")
+        state = self.make_state(stream)
+        self._setup(stream, state)
+        state.load_state(payload["partition_state"])
+        self._load_heuristic_state(payload.get("heuristic", {}))
+        return state
+
     # -- shared placement machinery ---------------------------------------
+    @staticmethod
+    def _note_overflow(state: PartitionState) -> None:
+        """Apply the all-partitions-full policy: count, or fail loudly."""
+        if state.overflow_policy == "strict":
+            raise CapacityOverflowError(
+                f"all {state.num_partitions} partitions are at capacity "
+                f"{state.capacity}")
+        state.capacity_overflows += 1
+
     def choose(self, scores: np.ndarray, state: PartitionState) -> int:
         """Pick a partition from a score vector under the shared policy."""
         loads = state.loads()
         masked = np.where(state.eligible(), scores, -np.inf)
         best = masked.max()
         if not np.isfinite(best):
-            state.capacity_overflows += 1
+            self._note_overflow(state)
             return int(np.argmin(loads))  # all partitions full
         candidates = np.nonzero(masked == best)[0]
         if len(candidates) == 1:
@@ -502,7 +644,7 @@ class StreamingPartitioner(ABC):
         pid = int(masked.argmax())
         best = masked[pid]
         if not np.isfinite(best):
-            state.capacity_overflows += 1
+            self._note_overflow(state)
             return int(np.argmin(loads)), None
         masked[pid] = -np.inf  # masked is fresh from np.where; safe to scrub
         runner_up = masked.max()
@@ -535,13 +677,20 @@ class StreamingPartitioner(ABC):
         return None
 
     def _run_fast(self, arrays: ArrayStream, state: PartitionState,
-                  kernel: FastKernel) -> float:
+                  kernel: FastKernel, *, start: int = 0,
+                  stop: int | None = None) -> float:
         """The fused one-pass loop over CSR arrays; returns elapsed PT.
 
         Per record: one kernel call (scores into a reusable buffer), one
         in-place choose, three scalar counter updates, and the optional
         after-commit hook — no ``AdjacencyRecord`` objects, no method
         dispatch through ``place``, no temporary K-vectors.
+
+        ``start``/``stop`` bound the slice of the arrival order this
+        call processes (default: everything).  The checkpointing driver
+        runs the pass as consecutive segments against one long-lived
+        ``kernel`` — the kernel's maintained images carry across
+        segments, so a segmented run is byte-identical to a single call.
         """
         score_into, after_commit = kernel
         indptr = arrays.indptr
@@ -552,9 +701,15 @@ class StreamingPartitioner(ABC):
         edge_counts = state.edge_counts
         choose, note_commit = _make_fast_choose(state)
         n = arrays.num_vertices
+        if stop is None:
+            stop = n
+        if not 0 <= start <= stop <= n:
+            raise ValueError(
+                f"invalid fast-path segment [{start}, {stop}) for "
+                f"{n} records")
 
-        start = time.perf_counter()
-        vertices = range(n) if order is None else order
+        start_t = time.perf_counter()
+        vertices = range(start, stop) if order is None else order[start:stop]
         if after_commit is None:
             for v in vertices:
                 lo = indptr[v]
@@ -575,9 +730,15 @@ class StreamingPartitioner(ABC):
                 edge_counts[pid] += hi - lo
                 after_commit(v, neighbors, pid)
                 note_commit(pid)
-        state.placed_vertices += n
-        state.placed_edges += arrays.num_edges
-        return time.perf_counter() - start
+        state.placed_vertices += stop - start
+        if order is None:
+            state.placed_edges += int(indptr[stop] - indptr[start])
+        else:
+            seg = order[start:stop]
+            if len(seg):
+                state.placed_edges += int(
+                    np.sum(indptr[seg + 1] - indptr[seg]))
+        return time.perf_counter() - start_t
 
     # -- the one-pass driver ----------------------------------------------
     def partition(self, stream: VertexStream, *,
@@ -613,7 +774,8 @@ class StreamingPartitioner(ABC):
             if arrays is not None:
                 kernel = self._fast_kernel(state, arrays)
             if kernel is not None:
-                elapsed = self._run_fast(arrays, state, kernel)
+                elapsed = self._run_fast(arrays, state, kernel,
+                                         start=arrays.tell())
                 stats = self.result_stats(state)
                 stats["fast_path"] = True
                 return StreamingResult(
@@ -684,4 +846,4 @@ class StreamingPartitioner(ABC):
         return PartitionState(
             self.num_partitions, stream.num_vertices, stream.num_edges,
             balance=self.balance, slack=self.slack,
-            edge_slack=self.edge_slack)
+            edge_slack=self.edge_slack, overflow=self.overflow)

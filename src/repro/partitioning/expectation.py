@@ -70,6 +70,12 @@ class ExpectationStore(Protocol):
     def num_entries(self) -> int:
         """Live counter cells (K × tracked-id-range), for observability."""
 
+    def state_dict(self) -> dict:
+        """Snapshot the mutable counter state (for checkpoint/restore)."""
+
+    def load_state(self, payload: dict) -> None:
+        """Restore :meth:`state_dict` output into this store."""
+
 
 class FullExpectationStore:
     """Dense K×|V| expectation counters — maximal knowledge, O(K|V|) space.
@@ -137,6 +143,21 @@ class FullExpectationStore:
 
     def num_entries(self) -> int:
         return int(self._table.size)
+
+    def state_dict(self) -> dict:
+        return {"kind": "full", "table": self._table.copy()}
+
+    def load_state(self, payload: dict) -> None:
+        if payload.get("kind") != "full":
+            raise ValueError(
+                f"snapshot holds a {payload.get('kind')!r} Γ store, this "
+                "run uses the full table (different num_shards?)")
+        table = payload["table"]
+        if table.shape != self._table.shape:
+            raise ValueError(
+                f"snapshot Γ table shape {table.shape} does not match "
+                f"{self._table.shape}")
+        np.copyto(self._table, table)
 
     @property
     def window_size(self) -> int:

@@ -60,6 +60,14 @@ class FennelPartitioner(StreamingPartitioner):
         else:
             self._alpha_effective = self.alpha
 
+    def _heuristic_state_dict(self) -> dict:
+        # α is derived from stream totals at setup, but a snapshot pins
+        # the exact value so a resume can never diverge on a recompute.
+        return {"alpha_effective": float(self._alpha_effective)}
+
+    def _load_heuristic_state(self, payload: dict) -> None:
+        self._alpha_effective = float(payload["alpha_effective"])
+
     def _score(self, record: AdjacencyRecord,
                state: PartitionState) -> np.ndarray:
         intersections = state.neighbor_partition_counts(record.neighbors)

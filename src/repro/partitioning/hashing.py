@@ -8,6 +8,8 @@ Sec. IV-C), so :class:`RangePartitioner` is also imported by
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
@@ -85,6 +87,16 @@ class RandomPartitioner(StreamingPartitioner):
         scores[self._rng.integers(0, state.num_partitions)] = 1.0
         return scores
 
+    def _heuristic_state_dict(self) -> dict:
+        # The generator state is the heuristic state: a resumed run must
+        # continue the exact same random sequence.  JSON-encoded (the
+        # PCG64 state dict nests arbitrary-size ints, which the snapshot
+        # header carries verbatim).
+        return {"rng_state": json.dumps(self._rng.bit_generator.state)}
+
+    def _load_heuristic_state(self, payload: dict) -> None:
+        self._rng.bit_generator.state = json.loads(payload["rng_state"])
+
 
 @register("range", summary="consecutive id-range placement")
 class RangePartitioner(StreamingPartitioner):
@@ -144,3 +156,9 @@ class ChunkedPartitioner(StreamingPartitioner):
         self._seen += 1
         scores[pid] = 1.0
         return scores
+
+    def _heuristic_state_dict(self) -> dict:
+        return {"seen": int(self._seen)}
+
+    def _load_heuristic_state(self, payload: dict) -> None:
+        self._seen = int(payload["seen"])

@@ -22,11 +22,13 @@ from typing import IO, Any
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ..recovery.atomic import atomic_writer
 from .assignment import PartitionAssignment
 from .metrics import evaluate
 
 __all__ = ["save_assignment", "load_assignment"]
 
+_FORMAT_NAME = "repro-route-table"
 _FORMAT_VERSION = 1
 
 
@@ -64,7 +66,9 @@ def save_assignment(assignment: PartitionAssignment, path: str | Path, *,
             header["delta_e"] = round(quality.delta_e, 4)
     if extra:
         header.update(extra)
-    with _open(path, "w") as fh:
+    # Atomic replace: a crash mid-save leaves the previous route table
+    # (or nothing), never a truncated one a scheduler could half-load.
+    with atomic_writer(path, "w") as fh:
         fh.write("# " + json.dumps(header, sort_keys=True) + "\n")
         for pid in assignment.route:
             fh.write(f"{int(pid)}\n")
@@ -75,7 +79,10 @@ def load_assignment(path: str | Path
     """Read an assignment file; returns ``(assignment, header)``.
 
     Files without a JSON header (plain numpy dumps) load fine — the
-    header comes back empty and K is inferred from the largest id.
+    header comes back empty and K is inferred from the largest id.  A
+    header that *does* declare ``format``/``version`` must declare ours:
+    a different tool's file or a future version is rejected rather than
+    silently misread.
     """
     path = Path(path)
     header: dict[str, Any] = {}
@@ -94,6 +101,14 @@ def load_assignment(path: str | Path
                         pass
                 continue
             pids.append(int(stripped))
+    if "format" in header and header["format"] != _FORMAT_NAME:
+        raise ValueError(
+            f"{path}: header declares format {header['format']!r}, "
+            f"expected {_FORMAT_NAME!r}")
+    if "version" in header and header["version"] != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: route-table version {header['version']!r} is not "
+            f"supported (expected {_FORMAT_VERSION})")
     route = np.asarray(pids, dtype=np.int32)
     declared_n = header.get("num_vertices")
     if declared_n is not None and declared_n != len(route):

@@ -124,6 +124,14 @@ class SPNPartitioner(StreamingPartitioner):
             raise RuntimeError("partitioner has not been set up on a stream")
         return self._store
 
+    def _heuristic_state_dict(self) -> dict[str, Any]:
+        return {"store": self.expectation_store.state_dict()}
+
+    def _load_heuristic_state(self, payload: dict[str, Any]) -> None:
+        # _setup already built a store of the right shape for the
+        # stream; restoring overwrites its counters (and window cursor).
+        self.expectation_store.load_state(payload["store"])
+
     def _in_term(self, record: AdjacencyRecord) -> np.ndarray:
         """The (1-λ)-weighted in-neighbor knowledge vector."""
         store = self.expectation_store

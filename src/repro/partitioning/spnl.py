@@ -128,6 +128,19 @@ class SPNLPartitioner(SPNPartitioner):
         # v leaves V^lt of its logical home the moment it is placed.
         self._lt_counts[self._logical_pid[record.vertex]] -= 1
 
+    def _heuristic_state_dict(self) -> dict[str, Any]:
+        payload = super()._heuristic_state_dict()
+        # _boundaries / _logical_pid / _range_sizes are pure functions of
+        # (|V|, K) and rebuilt by _setup; only the shrinking |V^lt| tally
+        # is genuinely mutable.  The η schedule itself is stateless — it
+        # reads (lt, pt, range_sizes), all of which the snapshot covers.
+        payload["lt_counts"] = self._lt_counts.copy()
+        return payload
+
+    def _load_heuristic_state(self, payload: dict[str, Any]) -> None:
+        super()._load_heuristic_state(payload)
+        np.copyto(self._lt_counts, payload["lt_counts"])
+
     # -- vectorized fast path ------------------------------------------
     def _fast_kernel(self, state: PartitionState,
                      stream: ArrayStream) -> FastKernel:

@@ -187,3 +187,35 @@ class SlidingWindowStore:
     def num_entries(self) -> int:
         """Live counter cells: K × the window span."""
         return int(self._table.size)
+
+    def state_dict(self) -> dict:
+        """Ring contents plus cursor and loss diagnostics."""
+        return {
+            "kind": "window",
+            "num_shards": int(self.num_shards),
+            "window_size": int(self.window_size),
+            "table": self._table.copy(),
+            "low": int(self._low),
+            "skipped_future": int(self.skipped_future),
+            "skipped_past": int(self.skipped_past),
+        }
+
+    def load_state(self, payload: dict) -> None:
+        if payload.get("kind") != "window":
+            raise ValueError(
+                f"snapshot holds a {payload.get('kind')!r} Γ store, this "
+                "run uses the sliding window (different num_shards?)")
+        if int(payload["window_size"]) != self.window_size:
+            raise ValueError(
+                f"snapshot window size {payload['window_size']} does not "
+                f"match this run's {self.window_size} "
+                f"(X={payload.get('num_shards')} vs {self.num_shards})")
+        table = payload["table"]
+        if table.shape != self._table.shape:
+            raise ValueError(
+                f"snapshot Γ ring shape {table.shape} does not match "
+                f"{self._table.shape}")
+        np.copyto(self._table, table)
+        self._low = int(payload["low"])
+        self.skipped_future = int(payload["skipped_future"])
+        self.skipped_past = int(payload["skipped_past"])

@@ -1,0 +1,177 @@
+"""Seeded fault injection for the ``pytest -m chaos`` suite.
+
+Every wrapper here injects a failure mode the recovery layer claims to
+survive, deterministically (seeded or positional — never wall-clock), so
+chaos tests are exactly reproducible:
+
+* :class:`CrashingStream` — the process "dies" at record ``N`` of a
+  pass (raises :class:`InjectedCrash` mid-iteration);
+* :class:`FlakyFileStream` — a :class:`~repro.graph.stream.FileStream`
+  whose reads raise transient ``OSError`` s on a seeded schedule,
+  exercising the retry-with-backoff path;
+* :func:`tear_snapshot` / :func:`corrupt_snapshot` — truncate or
+  bit-flip a snapshot file, exercising the integrity checks;
+* :class:`FlakyScorer` — a partitioner wrapper whose scoring dies on
+  chosen vertices a bounded number of times, exercising the threaded
+  executor's supervised worker restarts.
+
+Wrappers subclass or delegate rather than monkeypatch, so they compose
+with any stream/partitioner — and, being distinct types, they are never
+eligible for the vectorized fast path (``as_array_stream`` converts
+exact types only), which is precisely what makes mid-iteration
+injection observable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..graph.digraph import AdjacencyRecord
+from ..graph.stream import FileStream, VertexStream
+
+__all__ = ["InjectedCrash", "CrashingStream", "FlakyFileStream",
+           "FlakyScorer", "corrupt_snapshot", "tear_snapshot"]
+
+
+class InjectedCrash(RuntimeError):
+    """The simulated process death raised by chaos wrappers."""
+
+
+class CrashingStream:
+    """Wrap a stream so iteration dies just before arrival index ``N``.
+
+    ``crash_at`` counts in absolute arrival order (matching
+    ``tell()``/``seek()`` units), so a stream resumed past the crash
+    point sails through.  The crash fires ``crashes`` times (default
+    once), modelling a process that dies, restarts, and survives.
+    """
+
+    def __init__(self, inner: VertexStream, crash_at: int, *,
+                 crashes: int = 1) -> None:
+        if crash_at < 0:
+            raise ValueError("crash_at must be >= 0")
+        self._inner = inner
+        self.crash_at = crash_at
+        self.crashes_left = crashes
+
+    @property
+    def num_vertices(self) -> int:
+        return self._inner.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._inner.num_edges
+
+    @property
+    def is_id_ordered(self) -> bool:
+        return getattr(self._inner, "is_id_ordered", False)
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def seek(self, position: int) -> None:
+        self._inner.seek(position)
+
+    def __iter__(self) -> Iterator[AdjacencyRecord]:
+        position = self._inner.tell()
+        for record in self._inner:
+            if position == self.crash_at and self.crashes_left > 0:
+                self.crashes_left -= 1
+                raise InjectedCrash(
+                    f"injected crash at stream position {position}")
+            position += 1
+            yield record
+
+
+class FlakyFileStream(FileStream):
+    """A :class:`FileStream` whose reads fail transiently, on a seed.
+
+    Each yielded row flips a seeded coin; heads (probability
+    ``failure_rate``) raises ``OSError`` as if the disk hiccuped, up to
+    ``max_failures`` times total.  Injection is disarmed during the
+    constructor's pre-scan so totals discovery always succeeds — the
+    interesting path is the partitioning pass, where
+    :meth:`FileStream.__iter__`'s retry loop must deliver every record
+    exactly once despite the failures.
+    """
+
+    def __init__(self, path: str | Path, *, failure_rate: float = 0.01,
+                 max_failures: int = 5, seed: int = 0, **kwargs) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        self._rng = np.random.default_rng(seed)
+        self.failure_rate = failure_rate
+        self.failures_left = max_failures
+        self.failures_injected = 0
+        self._armed = False
+        super().__init__(path, **kwargs)
+        self._armed = True
+
+    def _lines(self):
+        for item in super()._lines():
+            if (self._armed and self.failures_left > 0
+                    and self._rng.random() < self.failure_rate):
+                self.failures_left -= 1
+                self.failures_injected += 1
+                raise OSError("injected transient read failure")
+            yield item
+
+
+class FlakyScorer:
+    """Partitioner wrapper whose ``_score`` dies on chosen vertices.
+
+    ``die_on`` maps vertex id → how many times scoring that vertex
+    raises before succeeding.  With a finite count the failure is
+    *transient* (a supervised restart retries the record and wins); an
+    effectively infinite count models a poison record that must exhaust
+    the restart budget and surface.  Everything else delegates to the
+    wrapped partitioner, so this drops into
+    :class:`~repro.parallel.executor.ThreadedParallelPartitioner`
+    unchanged.
+    """
+
+    def __init__(self, base, die_on: dict[int, int], *,
+                 error: type[Exception] = InjectedCrash) -> None:
+        self._base = base
+        self._die_on = dict(die_on)
+        self._error = error
+        self.deaths = 0
+
+    def __getattr__(self, attr):
+        return getattr(self._base, attr)
+
+    def _score(self, record, state):
+        remaining = self._die_on.get(record.vertex, 0)
+        if remaining > 0:
+            self._die_on[record.vertex] = remaining - 1
+            self.deaths += 1
+            raise self._error(
+                f"injected worker death scoring vertex {record.vertex}")
+        return self._base._score(record, state)
+
+
+def tear_snapshot(path: str | Path, *, keep_fraction: float = 0.5) -> None:
+    """Truncate a snapshot mid-body, as a crash during write would.
+
+    (The atomic writer makes this state unreachable for real snapshots —
+    this simulates a non-atomic copy or a torn filesystem.)
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    cut = max(1, int(len(blob) * keep_fraction))
+    path.write_bytes(blob[:cut])
+
+
+def corrupt_snapshot(path: str | Path, *, seed: int = 0) -> None:
+    """Flip one random byte in a snapshot's body (CRC must catch it)."""
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    rng = np.random.default_rng(seed)
+    # Skip the magic + header-length prefix so the flip lands in content
+    # the CRC/body checks are responsible for.
+    offset = int(rng.integers(16, len(blob)))
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))

@@ -1,0 +1,158 @@
+"""Graceful ingestion: quarantine bad records under an error budget.
+
+The graph readers in :mod:`repro.graph.io` are all-or-nothing by
+default: the first malformed line raises and the whole run dies — the
+right behavior for curated benchmark files, the wrong one for
+production feeds where a handful of torn lines should not cost a
+20M-vertex pass.  An :class:`IngestionPolicy` in ``lenient`` mode makes
+the readers *quarantine* such records instead: the offending line goes
+to a side file (with its source path, 1-based line number, and reason,
+so it can be replayed or audited), and streaming continues — until a
+configurable error budget is exceeded, at which point the run fails
+loudly with :class:`ErrorBudgetExceeded`.  A file that is mostly
+garbage is a systemic problem, not noise.
+
+The budget is counted per scan (a stream may be iterated more than
+once — e.g. a pre-scan for totals followed by the real pass — and a
+re-scan of the same bad lines must not double-charge); the quarantine
+log dedupes on ``(path, line)`` for the same reason.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, TextIO
+
+__all__ = ["ErrorBudgetExceeded", "IngestionPolicy", "QuarantineLog"]
+
+
+class ErrorBudgetExceeded(ValueError):
+    """More malformed records than the lenient error budget allows."""
+
+
+class QuarantineLog:
+    """Append-only side file of quarantined records.
+
+    One tab-separated line per record: ``path``, 1-based ``line``
+    number, ``reason``, and the raw offending text (newlines stripped).
+    Duplicate ``(path, line)`` pairs are written once, so re-scans of
+    the same file do not bloat the log.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+        self._seen: set[tuple[str, int]] = set()
+        self.records = 0
+
+    def write(self, source: str | Path, line_number: int, reason: str,
+              raw: str) -> None:
+        key = (str(source), line_number)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        raw = raw.rstrip("\n").replace("\t", " ")
+        self._fh.write(f"{source}\t{line_number}\t{reason}\t{raw}\n")
+        self._fh.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "QuarantineLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class IngestionPolicy:
+    """How readers treat malformed/out-of-range records.
+
+    Parameters
+    ----------
+    mode:
+        ``"strict"`` (default) re-raises immediately — the historical
+        fail-loud behavior.  ``"lenient"`` quarantines and continues.
+    quarantine:
+        Side-file path (or an existing :class:`QuarantineLog`) for
+        quarantined records; optional — lenient mode without a log
+        still counts errors against the budget.
+    max_errors:
+        The error budget per scan.  Exceeding it raises
+        :class:`ErrorBudgetExceeded` even in lenient mode.
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation` hub;
+        every quarantined record is emitted as a ``quarantine`` trace
+        record and counted under ``quarantined``.
+    """
+
+    def __init__(self, mode: str = "strict", *,
+                 quarantine: str | Path | QuarantineLog | None = None,
+                 max_errors: int = 100, instrumentation=None) -> None:
+        if mode not in ("strict", "lenient"):
+            raise ValueError(f"mode must be 'strict' or 'lenient', "
+                             f"got {mode!r}")
+        if max_errors < 0:
+            raise ValueError("max_errors must be >= 0")
+        self.mode = mode
+        self.max_errors = max_errors
+        if quarantine is not None and not isinstance(quarantine,
+                                                     QuarantineLog):
+            quarantine = QuarantineLog(quarantine)
+        self.quarantine = quarantine
+        self.instrumentation = instrumentation
+        self.errors_this_scan = 0
+        self.errors_total = 0
+
+    @property
+    def lenient(self) -> bool:
+        return self.mode == "lenient"
+
+    def begin_scan(self, source: str | Path) -> None:
+        """Reset the per-scan budget (called by readers per iteration)."""
+        self.errors_this_scan = 0
+
+    def handle(self, source: str | Path, line_number: int, raw: str,
+               exc: Exception) -> None:
+        """Account one bad record; raise unless lenient and in budget.
+
+        In strict mode re-raises ``exc`` annotated with its location.
+        In lenient mode records the quarantine entry and returns — or
+        raises :class:`ErrorBudgetExceeded` once the per-scan budget is
+        blown.
+        """
+        if not self.lenient:
+            raise type(exc)(
+                f"{source}, line {line_number}: {exc}") from exc
+        self.errors_this_scan += 1
+        self.errors_total += 1
+        if self.quarantine is not None:
+            self.quarantine.write(source, line_number, str(exc), raw)
+        if self.instrumentation is not None:
+            self.instrumentation.count("quarantined")
+            self.instrumentation.emit({
+                "type": "quarantine",
+                "source": str(source),
+                "line": int(line_number),
+                "reason": str(exc),
+            })
+        if self.errors_this_scan > self.max_errors:
+            raise ErrorBudgetExceeded(
+                f"{source}: {self.errors_this_scan} malformed records "
+                f"exceed the error budget of {self.max_errors} "
+                f"(last at line {line_number}: {exc})") from exc
+
+    def close(self) -> None:
+        if self.quarantine is not None:
+            self.quarantine.close()
+
+    def __enter__(self) -> "IngestionPolicy":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

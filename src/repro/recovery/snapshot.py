@@ -1,0 +1,148 @@
+"""The versioned on-disk snapshot format (CRC32-checked, atomic).
+
+A snapshot captures everything a streaming run needs to resume: the
+shared :class:`~repro.partitioning.base.PartitionState` arrays, the
+heuristic's private state (Γ tables, η bookkeeping, FENNEL's effective
+α), and the stream position.  The file layout is::
+
+    MAGIC (10 bytes)  b"REPROSNAP\\x01"
+    4-byte big-endian header length
+    header JSON   {"format": "repro-snapshot", "version": 1,
+                   "crc32": <crc of body>, "body_len": <bytes>,
+                   "meta": {... every non-array payload field ...}}
+    body          an ``.npz`` archive holding every array field
+
+Integrity is layered: a truncated file fails the ``body_len`` check, a
+corrupted one fails the CRC32 check, and a file from a different format
+or future version is rejected by name — all as :class:`SnapshotError`
+*before* any array is handed to the partitioner.  Writes go through
+:func:`repro.recovery.atomic.atomic_write_bytes`, so a crash mid-write
+can never tear an existing snapshot.
+
+The payload is a JSON-safe dict whose leaves are scalars, strings, or
+``numpy`` arrays; nested dicts are flattened with ``/``-joined keys.
+``numpy.load`` runs with ``allow_pickle=False`` — snapshots never
+execute code on load.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .atomic import atomic_write_bytes
+
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "SnapshotError",
+           "read_snapshot", "write_snapshot"]
+
+SNAPSHOT_FORMAT = "repro-snapshot"
+SNAPSHOT_VERSION = 1
+_MAGIC = b"REPROSNAP\x01"
+_LEN = struct.Struct(">I")
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is torn, corrupted, or from an unknown format."""
+
+
+def _flatten(payload: dict[str, Any], prefix: str,
+             meta: dict[str, Any], arrays: dict[str, np.ndarray]) -> None:
+    for key, value in payload.items():
+        if "/" in key:
+            raise ValueError(f"payload key {key!r} may not contain '/'")
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            _flatten(value, path + "/", meta, arrays)
+        elif isinstance(value, np.ndarray):
+            arrays[path] = value
+        elif isinstance(value, (np.integer, np.floating, np.bool_)):
+            meta[path] = value.item()
+        else:
+            meta[path] = value  # JSON-serializable scalar/str/None/list
+    # Mark empty dicts so they round-trip (a heuristic with no state).
+    if not payload:
+        meta[prefix + "\x00empty"] = True
+
+
+def _assign(tree: dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split("/")
+    node = tree
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+    if parts[-1] == "\x00empty":
+        return
+    node[parts[-1]] = value
+
+
+def write_snapshot(path: str | Path, payload: dict[str, Any]) -> None:
+    """Serialize ``payload`` to ``path`` atomically.
+
+    ``payload`` maps string keys to scalars, strings, lists, nested
+    dicts, or ``numpy`` arrays.
+    """
+    meta: dict[str, Any] = {}
+    arrays: dict[str, np.ndarray] = {}
+    _flatten(payload, "", meta, arrays)
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    body = buf.getvalue()
+    header = json.dumps({
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "crc32": zlib.crc32(body),
+        "body_len": len(body),
+        "meta": meta,
+    }, sort_keys=True).encode("utf-8")
+    atomic_write_bytes(path, _MAGIC + _LEN.pack(len(header)) + header + body)
+
+
+def read_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load and verify a snapshot; returns the original payload dict.
+
+    Raises :class:`SnapshotError` on any integrity violation: bad magic,
+    unparseable or wrong-format header, unsupported version, truncated
+    body, or CRC mismatch.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    if len(blob) < len(_MAGIC) + _LEN.size or not blob.startswith(_MAGIC):
+        raise SnapshotError(f"{path}: not a repro snapshot (bad magic)")
+    offset = len(_MAGIC)
+    (header_len,) = _LEN.unpack_from(blob, offset)
+    offset += _LEN.size
+    raw_header = blob[offset:offset + header_len]
+    if len(raw_header) < header_len:
+        raise SnapshotError(f"{path}: truncated snapshot header")
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path}: unreadable snapshot header: {exc}") \
+            from exc
+    if header.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path}: format {header.get('format')!r} is not "
+            f"{SNAPSHOT_FORMAT!r}")
+    if header.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path}: snapshot version {header.get('version')!r} is not "
+            f"supported (expected {SNAPSHOT_VERSION})")
+    body = blob[offset + header_len:]
+    if len(body) != header.get("body_len"):
+        raise SnapshotError(
+            f"{path}: truncated snapshot body ({len(body)} bytes, header "
+            f"declares {header.get('body_len')})")
+    if zlib.crc32(body) != header.get("crc32"):
+        raise SnapshotError(f"{path}: snapshot body fails its CRC32 check")
+    tree: dict[str, Any] = {}
+    for key, value in header.get("meta", {}).items():
+        _assign(tree, key, value)
+    with np.load(io.BytesIO(body), allow_pickle=False) as npz:
+        for key in npz.files:
+            _assign(tree, key, npz[key])
+    return tree

@@ -1,0 +1,135 @@
+"""Snapshot codec and atomic-write guarantees."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.recovery import (
+    SnapshotError,
+    atomic_write_text,
+    atomic_writer,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.recovery.chaos import corrupt_snapshot, tear_snapshot
+
+
+def _payload():
+    return {
+        "position": 1234,
+        "elapsed_seconds": 0.75,
+        "partitioner": "SPNL",
+        "partition_state": {
+            "route": np.arange(50, dtype=np.int32),
+            "vertex_counts": np.array([20, 30], dtype=np.int64),
+            "capacity": 27.0,
+            "balance": "vertex",
+            "edge_capacity": None,
+        },
+        "heuristic": {
+            "lt_counts": np.array([5, 7], dtype=np.int64),
+            "store": {"kind": "full",
+                      "table": np.zeros((50, 2), dtype=np.int32)},
+        },
+    }
+
+
+class TestRoundTrip:
+    def test_nested_payload_survives(self, tmp_path):
+        path = tmp_path / "s.snap"
+        original = _payload()
+        write_snapshot(path, original)
+        loaded = read_snapshot(path)
+        assert loaded["position"] == 1234
+        assert loaded["partitioner"] == "SPNL"
+        assert loaded["partition_state"]["edge_capacity"] is None
+        np.testing.assert_array_equal(
+            loaded["partition_state"]["route"],
+            original["partition_state"]["route"])
+        np.testing.assert_array_equal(
+            loaded["heuristic"]["store"]["table"],
+            original["heuristic"]["store"]["table"])
+
+    def test_empty_heuristic_dict_round_trips(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, {"position": 0, "heuristic": {}})
+        loaded = read_snapshot(path)
+        assert loaded["heuristic"] == {}
+
+    def test_big_int_scalars_survive(self, tmp_path):
+        # RandomPartitioner's PCG64 state holds 128-bit ints.
+        path = tmp_path / "s.snap"
+        state = json.dumps({"state": {"state": 2**127 + 3}})
+        write_snapshot(path, {"rng_state": state})
+        assert read_snapshot(path)["rng_state"] == state
+
+    def test_slash_in_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="/"):
+            write_snapshot(tmp_path / "s.snap", {"a/b": 1})
+
+
+class TestIntegrity:
+    def test_torn_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, _payload())
+        tear_snapshot(path, keep_fraction=0.6)
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot(path)
+
+    def test_bitflip_fails_crc(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, _payload())
+        for seed in range(5):
+            blob = path.read_bytes()
+            corrupt_snapshot(path, seed=seed)
+            with pytest.raises(SnapshotError):
+                read_snapshot(path)
+            path.write_bytes(blob)  # restore for the next flip
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "s.snap"
+        path.write_bytes(b"definitely not a snapshot file")
+        with pytest.raises(SnapshotError, match="magic"):
+            read_snapshot(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        import struct
+
+        path = tmp_path / "s.snap"
+        write_snapshot(path, _payload())
+        blob = path.read_bytes()
+        (header_len,) = struct.unpack_from(">I", blob, 10)
+        header = json.loads(blob[14:14 + header_len])
+        header["version"] = 99
+        raw = json.dumps(header, sort_keys=True).encode()
+        path.write_bytes(blob[:10] + struct.pack(">I", len(raw)) + raw
+                         + blob[14 + header_len:])
+        with pytest.raises(SnapshotError, match="version"):
+            read_snapshot(path)
+
+
+class TestAtomicWriter:
+    def test_failure_leaves_previous_contents(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("previous complete version\n")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as fh:
+                fh.write("half-written")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "previous complete version\n"
+        assert list(tmp_path.iterdir()) == [path]  # tmp file cleaned up
+
+    def test_success_replaces(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_gzip_transparent(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "out.txt.gz"
+        atomic_write_text(path, "compressed payload")
+        with gzip.open(path, "rt") as fh:
+            assert fh.read() == "compressed payload"
