@@ -1,0 +1,226 @@
+"""Microbenchmark harness for the ingest pipeline (parse/cache/end-to-end).
+
+Companion to :mod:`repro.bench.micro`, but aimed at everything *before*
+the scoring loop: the chunked tokenizer against the seed line-by-line
+parser, a ``.reprocsr`` cache hit against a cold text parse, and the
+full file→route-table pipeline with and without the cache.  Same
+redisbench-admin conventions — warmup runs, paired timed repeats,
+median + stdev, machine fingerprint — and the same identity discipline:
+every timed pair also checks that both sides produced byte-identical
+output (CSR arrays for parse stages, route tables end-to-end), so a
+"speedup" that changes results is flagged in the artifact rather than
+celebrated.
+
+Beyond the timed stages the artifact carries an ``identity`` section:
+for every registered heuristic, the cached-graph fast path, the
+record-at-a-time path, and a checkpoint/resume run over the prefetch
+reader are each compared against the seed parse + record-path route
+table.  The acceptance bar for the ingest work is that all of these are
+``True`` while the cache-hit end-to-end stage clears 2x.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..recovery.atomic import atomic_write_text
+from .micro import _summary, machine_fingerprint
+
+__all__ = ["bench_stage", "run_ingest_microbench"]
+
+
+def bench_stage(stage: str, baseline: Callable[[], Any],
+                optimized: Callable[[], Any], *, warmup: int = 1,
+                repeats: int = 5,
+                same: Callable[[Any, Any], bool] | None = None
+                ) -> dict[str, Any]:
+    """Time ``baseline`` vs ``optimized`` in interleaved pairs.
+
+    Pairing inside each repeat (as in :func:`repro.bench.micro._paired_runs`)
+    keeps the ratio honest under machine drift.  ``same`` compares the
+    two return values each repeat; ``identical`` is True iff every pair
+    matched (vacuously True when no comparator is given).
+    """
+    for _ in range(warmup):
+        baseline()
+        optimized()
+    base_times: list[float] = []
+    opt_times: list[float] = []
+    identical = True
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        base_out = baseline()
+        base_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        opt_out = optimized()
+        opt_times.append(time.perf_counter() - t0)
+        if same is not None:
+            identical = identical and bool(same(base_out, opt_out))
+    base = _summary(base_times)
+    opt = _summary(opt_times)
+    return {
+        "stage": stage,
+        "baseline": base,
+        "optimized": opt,
+        "speedup_median": base["median_s"] / opt["median_s"],
+        "identical": identical,
+    }
+
+
+def _same_graph(a, b) -> bool:
+    return (np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices))
+
+
+def _same_route(a, b) -> bool:
+    return np.array_equal(a.assignment.route, b.assignment.route)
+
+
+def _identity_checks(path: Path, seed_graph, k: int,
+                     methods: tuple[str, ...],
+                     workdir: Path) -> dict[str, Any]:
+    """Seed-vs-optimized route-table identity across the registry.
+
+    The reference for each heuristic is the seed pipeline end to end:
+    line-by-line parse, record-at-a-time scoring.  Against it we pin the
+    cached-graph fast path, the cached-graph record path, and a
+    checkpoint + resume run over the prefetch reader.
+    """
+    from ..graph.stream import GraphStream
+    from ..ingest.cache import load_or_parse
+    from ..ingest.prefetch import PrefetchStream
+    from ..partitioning.registry import make_partitioner
+    from ..recovery.checkpoint import (latest_snapshot,
+                                       partition_with_checkpoints,
+                                       resume_partition)
+
+    cached = load_or_parse(path)
+    every = max(1, seed_graph.num_vertices // 3)
+    out: dict[str, Any] = {}
+    for method in methods:
+        ref = make_partitioner(method, k).partition(
+            GraphStream(seed_graph), fast=False).assignment.route
+        fast = make_partitioner(method, k).partition(
+            GraphStream(cached), fast=True).assignment.route
+        record = make_partitioner(method, k).partition(
+            GraphStream(cached), fast=False).assignment.route
+        ckpt_dir = workdir / f"ckpt-{method}"
+        full = partition_with_checkpoints(
+            make_partitioner(method, k), PrefetchStream(path),
+            ckpt_dir, every=every).assignment.route
+        snap = latest_snapshot(ckpt_dir)
+        resumed = resume_partition(
+            make_partitioner(method, k), PrefetchStream(path),
+            snap).assignment.route if snap is not None else None
+        out[method] = {
+            "fast_path": bool(np.array_equal(ref, fast)),
+            "record_path": bool(np.array_equal(ref, record)),
+            "prefetch_checkpointed": bool(np.array_equal(ref, full)),
+            "prefetch_resumed": (bool(np.array_equal(ref, resumed))
+                                 if resumed is not None else False),
+        }
+    return out
+
+
+def run_ingest_microbench(
+        *, n: int = 20000, k: int = 32, warmup: int = 1, repeats: int = 5,
+        seed: int = 11, method: str = "spn",
+        methods: tuple[str, ...] = ("ldg", "fennel", "spn", "spnl"),
+        out_path: str | Path | None = "BENCH_ingest.json"
+) -> dict[str, Any]:
+    """Full ingest sweep on a synthetic web graph; optional JSON artifact.
+
+    Stages benched (baseline -> optimized):
+
+    * ``parse`` — seed line-by-line parser -> chunked tokenizer, both
+      producing a full CSR graph from the same adjacency text;
+    * ``cache_hit`` — cold chunked text parse -> warm ``.reprocsr``
+      mmap load;
+    * ``end_to_end`` — the whole file→route-table pipeline as the seed
+      shipped it (line-by-line parse + record-at-a-time loop) -> as it
+      ships now (cache hit + fused kernel), ``method`` heuristic; the
+      identity check still requires byte-equal route tables.
+
+    Returns the artifact dict; ``out_path`` also writes it as UTF-8
+    JSON with a trailing newline.
+    """
+    from ..graph.generators import community_web_graph
+    from ..graph.io import read_adjacency, write_adjacency
+    from ..graph.stream import GraphStream
+    from ..ingest.cache import cache_path_for, load_or_parse
+    from ..partitioning.registry import make_partitioner
+
+    graph = community_web_graph(n, seed=seed)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-ingest-"))
+    try:
+        path = workdir / "graph.adj"
+        write_adjacency(graph, path)
+        results = []
+
+        results.append(bench_stage(
+            "parse",
+            lambda: read_adjacency(path, engine="python"),
+            lambda: read_adjacency(path, engine="chunked"),
+            warmup=warmup, repeats=repeats, same=_same_graph))
+
+        load_or_parse(path)  # warm the sidecar cache for the hit stages
+        results.append(bench_stage(
+            "cache_hit",
+            lambda: read_adjacency(path, engine="chunked"),
+            lambda: load_or_parse(path),
+            warmup=warmup, repeats=repeats, same=_same_graph))
+
+        def _pipeline(graph_loader, fast):
+            def run():
+                return make_partitioner(method, k).partition(
+                    GraphStream(graph_loader()), fast=fast)
+            return run
+
+        # Whole-pipeline comparison: the seed stack end to end
+        # (line-by-line parse + record-at-a-time loop) against the
+        # optimized stack end to end (cache hit + fused kernel).
+        results.append(bench_stage(
+            "end_to_end",
+            _pipeline(lambda: read_adjacency(path, engine="python"),
+                      False),
+            _pipeline(lambda: load_or_parse(path), True),
+            warmup=warmup, repeats=repeats, same=_same_route))
+
+        seed_graph = read_adjacency(path, engine="python")
+        identity = _identity_checks(path, seed_graph, k, methods, workdir)
+        cache_bytes = cache_path_for(path).stat().st_size
+        text_bytes = path.stat().st_size
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    artifact = {
+        "benchmark": "ingest-pipeline",
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": {
+            "graph": "community_web",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "k": k,
+            "method": method,
+            "warmup": warmup,
+            "repeats": repeats,
+            "seed": seed,
+            "text_bytes": text_bytes,
+            "cache_bytes": cache_bytes,
+        },
+        "results": results,
+        "identity": identity,
+    }
+    if out_path is not None:
+        atomic_write_text(
+            Path(out_path),
+            json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    return artifact

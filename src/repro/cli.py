@@ -27,8 +27,13 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
-def _load_graph(path_or_name: str, *, policy=None):
-    """Resolve a CLI graph argument: a file path or a stand-in name."""
+def _load_graph(path_or_name: str, *, policy=None, cache=None):
+    """Resolve a CLI graph argument: a file path or a stand-in name.
+
+    ``cache`` mirrors ``--graph-cache``: ``None`` parses the text file
+    every time, ``True`` reads/writes the sidecar ``.reprocsr`` cache,
+    and a path string uses that cache file.
+    """
     from .bench.datasets import DATASETS, load
     from .graph.io import read_adjacency, read_edge_list
 
@@ -51,8 +56,14 @@ def _load_graph(path_or_name: str, *, policy=None):
     # ambiguous, so default to edge list only for .edges files.
     if path.suffixes[:1] in ([".edges"], [".el"]) \
             or len(first_data_line.split()) == 2:
-        return read_edge_list(path, policy=policy)
-    return read_adjacency(path, policy=policy)
+        reader = read_edge_list
+    else:
+        reader = read_adjacency
+    if cache is not None:
+        from .ingest.cache import load_or_parse
+        return load_or_parse(path, cache=cache, policy=policy,
+                             reader=reader)
+    return reader(path, policy=policy)
 
 
 def _make_partitioner(method: str, k: int, args: argparse.Namespace):
@@ -65,9 +76,11 @@ def _make_partitioner(method: str, k: int, args: argparse.Namespace):
     from .partitioning.registry import make_partitioner
 
     try:
-        return make_partitioner(method, k, ignore_unknown=True,
-                                slack=args.slack, lam=args.lam,
-                                num_shards=args.shards)
+        return make_partitioner(
+            method, k, ignore_unknown=True,
+            slack=args.slack, lam=args.lam, num_shards=args.shards,
+            gamma_store=getattr(args, "gamma_store", "auto"),
+            gamma_buckets=getattr(args, "gamma_buckets", None))
     except ValueError as exc:  # unknown name: exit with the full list
         raise SystemExit(f"error: {exc}")
 
@@ -131,7 +144,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             mode="lenient",
             quarantine=str(args.output) + ".quarantine",
             max_errors=args.error_budget)
-    graph = _load_graph(args.graph, policy=policy)
+    graph = _load_graph(args.graph, policy=policy,
+                        cache=getattr(args, "graph_cache", None))
     if policy is not None:
         policy.close()
         if policy.errors_total:
@@ -241,7 +255,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from .bench.report import format_table
     from .graph.stats import describe
 
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph,
+                        cache=getattr(args, "graph_cache", None))
     print(format_table([describe(graph).as_row()], title=graph.name))
     return 0
 
@@ -325,6 +340,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fig = figures.fig12_thread_sweep(k=args.k)
         print(report.format_table(fig.as_rows(),
                                   title="Fig. 12 — thread sweep"))
+    elif target == "ingest":
+        from .bench.ingest import run_ingest_microbench
+        out = args.bench_out
+        if out == "BENCH_streaming.json":  # targeted default
+            out = "BENCH_ingest.json"
+        if args.quick:
+            artifact = run_ingest_microbench(
+                n=4000, k=args.k, warmup=0, repeats=2, out_path=out)
+        else:
+            artifact = run_ingest_microbench(k=args.k, out_path=out)
+        rows = [{
+            "stage": r["stage"],
+            "baseline median (s)": f"{r['baseline']['median_s']:.4f}",
+            "optimized median (s)": f"{r['optimized']['median_s']:.4f}",
+            "speedup": f"{r['speedup_median']:.2f}x",
+            "identical": r["identical"],
+        } for r in artifact["results"]]
+        print(report.format_table(
+            rows, title="Ingest pipeline — optimized vs baseline"))
+        print(f"artifact written to {out}")
     elif target == "streaming":
         from .bench.micro import run_streaming_microbench
         if args.quick:
@@ -404,6 +439,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--error-budget", type=int, default=100, metavar="N",
                    help="max malformed lines tolerated under --lenient "
                         "(default 100)")
+    p.add_argument("--graph-cache", nargs="?", const=True, default=None,
+                   metavar="PATH",
+                   help="load the graph through a binary .reprocsr cache "
+                        "(sidecar next to the input, or an explicit PATH); "
+                        "written on first use, mmap-loaded afterwards")
+    p.add_argument("--gamma-store", default="auto",
+                   choices=["auto", "dense", "window", "hashed"],
+                   help="Γ expectation store backend for SPN/SPNL "
+                        "(default auto: dense or sliding window by "
+                        "--shards; 'hashed' caps memory at "
+                        "--gamma-buckets rows)")
+    p.add_argument("--gamma-buckets", type=int, default=None, metavar="B",
+                   help="row count for --gamma-store hashed "
+                        "(default: num_vertices // 16, min 1024)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("edgepartition",
@@ -423,6 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="describe a graph")
     p.add_argument("graph", help="graph file or named dataset")
+    p.add_argument("--graph-cache", nargs="?", const=True, default=None,
+                   metavar="PATH",
+                   help="load through a binary .reprocsr cache")
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser("analyze",
@@ -437,7 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target",
                    choices=["table2", "table3", "table4", "table5", "fig3",
                             "fig7", "fig8", "fig9", "fig10", "fig11",
-                            "fig12", "streaming", "all"])
+                            "fig12", "streaming", "ingest", "all"])
     p.add_argument("-k", type=int, default=32)
     p.add_argument("--output", default="reports",
                    help="output directory for 'all'")

@@ -39,6 +39,9 @@ class GraphBuilder:
         self._allow_self_loops = allow_self_loops
         self._sources: list[int] = []
         self._targets: list[int] = []
+        # Bulk appends from the chunked readers: (src, dst) array pairs
+        # kept as-is until build() concatenates them — no per-edge Python.
+        self._array_chunks: list[tuple[np.ndarray, np.ndarray]] = []
         self._max_id = -1
 
     # ------------------------------------------------------------------
@@ -72,10 +75,49 @@ class GraphBuilder:
             self._max_id = vertex
         return self
 
+    def add_edge_arrays(self, sources: np.ndarray,
+                        targets: np.ndarray) -> "GraphBuilder":
+        """Record a batch of directed edges from parallel id arrays.
+
+        The vectorized twin of :meth:`add_edge`, used by the chunked
+        readers: same negative-id validation and self-loop filtering,
+        one NumPy pass instead of a Python loop per edge.
+        """
+        sources = np.ascontiguousarray(sources, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise ValueError("sources and targets must be matching "
+                             "one-dimensional arrays")
+        if len(sources) == 0:
+            return self
+        if int(sources.min()) < 0 or int(targets.min()) < 0:
+            raise ValueError("vertex ids must be non-negative")
+        if not self._allow_self_loops:
+            keep = sources != targets
+            if not keep.all():
+                # Dropped self-loops do not extend the id space, exactly
+                # like add_edge's early return.
+                sources, targets = sources[keep], targets[keep]
+                if len(sources) == 0:
+                    return self
+        self._max_id = max(self._max_id, int(sources.max()),
+                           int(targets.max()))
+        self._array_chunks.append((sources, targets))
+        return self
+
+    def note_vertex(self, vertex: int) -> "GraphBuilder":
+        """Extend the id space to cover ``vertex`` (isolated rows)."""
+        if vertex < 0:
+            raise ValueError("vertex ids must be non-negative")
+        if vertex > self._max_id:
+            self._max_id = vertex
+        return self
+
     @property
     def num_pending_edges(self) -> int:
         """Edges recorded so far (before dedupe)."""
-        return len(self._sources)
+        return len(self._sources) + sum(
+            len(src) for src, _ in self._array_chunks)
 
     # ------------------------------------------------------------------
     def build(self, name: str = "graph") -> DiGraph:
@@ -91,6 +133,11 @@ class GraphBuilder:
                 f"edge references vertex {self._max_id} but num_vertices={n}")
         src = np.asarray(self._sources, dtype=np.int64)
         dst = np.asarray(self._targets, dtype=np.int64)
+        if self._array_chunks:
+            src = np.concatenate(
+                [src] + [s for s, _ in self._array_chunks])
+            dst = np.concatenate(
+                [dst] + [t for _, t in self._array_chunks])
         if len(src):
             order = np.lexsort((dst, src))
             src, dst = src[order], dst[order]

@@ -317,22 +317,15 @@ class FileStream(_Seekable):
             raise ValueError("retries must be >= 0")
         self._path = Path(path)
         self._ordered: bool | None = None
+        self._ordered_sig: tuple[int, int] | None = None
         self._retries = retries
         self._retry_backoff = retry_backoff
         self._policy = policy
         if num_vertices is None or num_edges is None:
-            max_id = -1
-            edge_count = 0
-            prev = -1
-            ordered = True
-            for vertex, neighbors in self._lines():
-                max_id = max(max_id, vertex,
-                             int(neighbors.max()) if len(neighbors) else -1)
-                edge_count += len(neighbors)
-                if vertex <= prev:
-                    ordered = False
-                prev = vertex
-            self._ordered = ordered
+            from ..ingest.chunked import scan_adjacency_stats
+            max_id, edge_count, ordered, _rows = scan_adjacency_stats(
+                self._path, policy=self._policy)
+            self._set_ordered(ordered)
             num_vertices = num_vertices if num_vertices is not None \
                 else max_id + 1
             num_edges = num_edges if num_edges is not None else edge_count
@@ -341,6 +334,31 @@ class FileStream(_Seekable):
 
     def _lines(self):
         return iter_adjacency_lines(self._path, policy=self._policy)
+
+    def _file_sig(self) -> tuple[int, int] | None:
+        """(size, mtime_ns) of the backing file, or None if unreadable."""
+        try:
+            st = self._path.stat()
+        except OSError:
+            return None
+        return st.st_size, st.st_mtime_ns
+
+    def _set_ordered(self, ordered: bool) -> None:
+        self._ordered = ordered
+        self._ordered_sig = self._file_sig()
+
+    def seek(self, position: int) -> None:
+        """Seek, invalidating the id-order memo if the file changed.
+
+        ``seek`` is the resume entry point — the one place a long-lived
+        stream object outlives whatever wrote the file — so the memoized
+        :attr:`is_id_ordered` verdict is re-checked against the file's
+        (size, mtime) signature here and dropped when stale.
+        """
+        super().seek(position)
+        if self._ordered is not None and \
+                self._file_sig() != self._ordered_sig:
+            self._ordered = None
 
     @property
     def path(self) -> Path:
@@ -360,13 +378,15 @@ class FileStream(_Seekable):
 
         Determined during the constructor's pre-scan; when both totals
         were supplied (no pre-scan happened) a dedicated id-only scan
-        runs once and is cached.  Unordered files used to be reported as
-        ordered unconditionally, which silently corrupted
-        :class:`~repro.partitioning.window.SlidingWindowStore` rotation;
-        now the sliding window refuses them at setup.
+        runs once and is cached.  The memo is invalidated by
+        :meth:`seek` when the file's (size, mtime) signature changed, so
+        resumed runs never trust a stale verdict.  Unordered files used
+        to be reported as ordered unconditionally, which silently
+        corrupted :class:`~repro.partitioning.window.SlidingWindowStore`
+        rotation; now the sliding window refuses them at setup.
         """
         if self._ordered is None:
-            self._ordered = self._scan_id_order()
+            self._set_ordered(self._scan_id_order())
         return self._ordered
 
     def _scan_id_order(self) -> bool:
@@ -399,7 +419,7 @@ class FileStream(_Seekable):
                 yield AdjacencyRecord(vertex, neighbors)
             index += 1
         if self._ordered is None:
-            self._ordered = ordered
+            self._set_ordered(ordered)
 
     def __iter__(self) -> Iterator[AdjacencyRecord]:
         delivered = 0

@@ -1,0 +1,274 @@
+"""Versioned binary CSR graph cache (``.reprocsr``).
+
+Parsing a text edge list costs seconds per gigabyte even with the
+chunked tokenizer; loading the same graph from its finished CSR arrays
+costs a file map.  This module persists a parsed
+:class:`~repro.graph.digraph.DiGraph` next to its source file and loads
+it back zero-copy via ``mmap``, so every run after the first skips text
+parsing entirely.  The file layout mirrors the snapshot codec
+(:mod:`repro.recovery.snapshot`)::
+
+    MAGIC (9 bytes)   b"REPROCSR\\x01"
+    4-byte big-endian header length
+    header JSON   {"format": "repro-csr", "version": 1,
+                   "crc32": <crc of body>, "body_len": <bytes>,
+                   "num_vertices": ..., "num_edges": ..., "name": ...,
+                   "source": {"size": ..., "mtime_ns": ...} | null}
+    body          indptr bytes (int64 LE) + indices bytes (int64 LE)
+
+Integrity is layered exactly like snapshots: truncation fails the
+``body_len`` check, corruption fails CRC32, and foreign/future files are
+rejected by format name and version — all as :class:`GraphCacheError`
+before any array reaches a partitioner.  Writes go through
+:func:`repro.recovery.atomic.atomic_write_bytes`, so a crash mid-write
+never tears an existing cache.
+
+Freshness is keyed on the source file's ``(size, mtime_ns)`` recorded
+at write time; :func:`load_or_parse` transparently falls back to a text
+parse (and rewrites the cache) whenever the source changed or the cache
+is damaged.
+
+The ``mmap`` load is lazy *and* checked: the CRC is verified on the
+mapped bytes before the arrays are returned, after which the OS pages
+the arrays in on demand — repeat partitioning runs touch only the bytes
+they stream.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CACHE_SUFFIX",
+    "CACHE_VERSION",
+    "GraphCacheError",
+    "cache_path_for",
+    "is_cache_fresh",
+    "load_or_parse",
+    "read_graph_cache",
+    "write_graph_cache",
+]
+
+CACHE_FORMAT = "repro-csr"
+CACHE_VERSION = 1
+CACHE_SUFFIX = ".reprocsr"
+_MAGIC = b"REPROCSR\x01"
+_LEN = struct.Struct(">I")
+
+
+class GraphCacheError(ValueError):
+    """A graph cache file is torn, corrupted, stale, or foreign."""
+
+
+def cache_path_for(source: str | Path) -> Path:
+    """Sidecar cache path for a graph source file (``<file>.reprocsr``)."""
+    source = Path(source)
+    return source.with_name(source.name + CACHE_SUFFIX)
+
+
+def _source_sig(source: str | Path) -> dict[str, int] | None:
+    try:
+        st = Path(source).stat()
+    except OSError:
+        return None
+    return {"size": st.st_size, "mtime_ns": st.st_mtime_ns}
+
+
+def write_graph_cache(path: str | Path, graph,
+                      *, source: str | Path | None = None) -> None:
+    """Persist ``graph``'s CSR arrays to ``path`` atomically.
+
+    ``source`` (the text file the graph was parsed from) stamps the
+    header with a freshness signature; omit it for graphs with no
+    backing file.
+    """
+    from ..recovery.atomic import atomic_write_bytes
+    indptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
+    indices = np.ascontiguousarray(graph.indices, dtype=np.int64)
+    if indptr.dtype.byteorder not in ("=", "<", "|"):  # pragma: no cover
+        indptr = indptr.astype("<i8")
+        indices = indices.astype("<i8")
+    body = indptr.tobytes() + indices.tobytes()
+    header = json.dumps({
+        "format": CACHE_FORMAT,
+        "version": CACHE_VERSION,
+        "crc32": zlib.crc32(body),
+        "body_len": len(body),
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "name": str(graph.name),
+        "source": _source_sig(source) if source is not None else None,
+    }, sort_keys=True).encode("utf-8")
+    atomic_write_bytes(path, _MAGIC + _LEN.pack(len(header)) + header + body)
+
+
+def _read_header(path: Path,
+                 blob: bytes | mmap.mmap) -> tuple[dict[str, Any], int]:
+    """Validate magic + header; returns ``(header, body_offset)``."""
+    if len(blob) < len(_MAGIC) + _LEN.size \
+            or bytes(blob[:len(_MAGIC)]) != _MAGIC:
+        raise GraphCacheError(f"{path}: not a graph cache (bad magic)")
+    offset = len(_MAGIC)
+    (header_len,) = _LEN.unpack_from(blob, offset)
+    offset += _LEN.size
+    raw_header = bytes(blob[offset:offset + header_len])
+    if len(raw_header) < header_len:
+        raise GraphCacheError(f"{path}: truncated cache header")
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GraphCacheError(
+            f"{path}: unreadable cache header: {exc}") from exc
+    if header.get("format") != CACHE_FORMAT:
+        raise GraphCacheError(
+            f"{path}: format {header.get('format')!r} is not "
+            f"{CACHE_FORMAT!r}")
+    if header.get("version") != CACHE_VERSION:
+        raise GraphCacheError(
+            f"{path}: cache version {header.get('version')!r} is not "
+            f"supported (expected {CACHE_VERSION})")
+    return header, offset + header_len
+
+
+def read_graph_cache(path: str | Path, *, use_mmap: bool = True):
+    """Load a cached graph; CRC-verified before any array is returned.
+
+    With ``use_mmap`` (default) the CSR arrays are zero-copy views over
+    a private read-only file mapping — the OS pages them in on demand
+    and shares clean pages across processes.  Raises
+    :class:`GraphCacheError` on any integrity violation.
+    """
+    from ..graph.digraph import DiGraph
+    path = Path(path)
+    if use_mmap:
+        with open(path, "rb") as fh:
+            try:
+                buf: Any = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):  # empty file / no-mmap FS
+                buf = fh.read()
+    else:
+        buf = path.read_bytes()
+    header, body_offset = _read_header(path, buf)
+    body = memoryview(buf)[body_offset:]
+    if len(body) != header["body_len"]:
+        raise GraphCacheError(
+            f"{path}: truncated cache body ({len(body)} bytes, header "
+            f"declares {header['body_len']})")
+    if zlib.crc32(body) != header["crc32"]:
+        raise GraphCacheError(f"{path}: cache body fails its CRC32 check")
+    num_vertices = int(header["num_vertices"])
+    num_edges = int(header["num_edges"])
+    indptr_bytes = (num_vertices + 1) * 8
+    if indptr_bytes + num_edges * 8 != header["body_len"]:
+        raise GraphCacheError(
+            f"{path}: header counts do not match body size")
+    indptr = np.frombuffer(body, dtype="<i8", count=num_vertices + 1)
+    indices = np.frombuffer(body, dtype="<i8", count=num_edges,
+                            offset=indptr_bytes)
+    if int(indptr[0]) != 0 or int(indptr[-1]) != num_edges:
+        raise GraphCacheError(f"{path}: inconsistent CSR row pointers")
+    return DiGraph(indptr, indices, name=header.get("name", path.stem))
+
+
+def is_cache_fresh(cache: str | Path, source: str | Path) -> bool:
+    """Whether ``cache`` exists and matches ``source``'s current state.
+
+    A cache written without a source signature is never considered
+    fresh relative to a source file; unreadable or foreign files are
+    simply "not fresh" (callers fall back to parsing), never an error.
+    """
+    cache = Path(cache)
+    try:
+        with open(cache, "rb") as fh:
+            head = fh.read(len(_MAGIC) + _LEN.size)
+            if len(head) < len(_MAGIC) + _LEN.size \
+                    or not head.startswith(_MAGIC):
+                return False
+            (header_len,) = _LEN.unpack_from(head, len(_MAGIC))
+            raw_header = fh.read(header_len)
+        header = json.loads(raw_header.decode("utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    if header.get("format") != CACHE_FORMAT \
+            or header.get("version") != CACHE_VERSION:
+        return False
+    return header.get("source") is not None \
+        and header["source"] == _source_sig(source)
+
+
+def load_or_parse(source: str | Path, *, cache: str | Path | bool = True,
+                  policy=None, instrumentation=None, reader=None,
+                  **read_kwargs):
+    """Load ``source`` through the cache, parsing (and caching) on miss.
+
+    ``cache=True`` uses the sidecar path from :func:`cache_path_for`;
+    a path uses that file; ``False`` always parses.  Damaged or stale
+    caches are rewritten after the fall-back parse.  ``reader``
+    overrides the text parser (default
+    :func:`repro.graph.io.read_adjacency` — pass ``read_edge_list`` for
+    edge-list sources); ``read_kwargs`` are forwarded to it on a miss.
+
+    Emits ``graph_cache_hit`` / ``graph_cache_miss`` instrumentation
+    counters plus one ``ingest_phase`` trace record per completed stage
+    (``cache_hit`` / ``parse`` / ``cache_write``) when an
+    :class:`~repro.observability.instrumentation.Instrumentation` is
+    supplied.
+    """
+    import time
+
+    def _phase(name: str, elapsed: float, graph=None) -> None:
+        if instrumentation is None:
+            return
+        record: dict[str, Any] = {
+            "type": "ingest_phase",
+            "phase": name,
+            "source": str(source),
+            "elapsed_seconds": float(elapsed),
+        }
+        if graph is not None:
+            record["records"] = int(graph.num_vertices)
+            record["bytes"] = int(graph.indptr.nbytes
+                                  + graph.indices.nbytes)
+        instrumentation.emit(record)
+
+    if reader is None:
+        from ..graph.io import read_adjacency as reader
+    source = Path(source)
+    if cache is False:
+        t0 = time.perf_counter()
+        graph = reader(source, policy=policy, **read_kwargs)
+        _phase("parse", time.perf_counter() - t0, graph)
+        return graph
+    cache_path = cache_path_for(source) if cache is True else Path(cache)
+    if is_cache_fresh(cache_path, source):
+        t0 = time.perf_counter()
+        try:
+            graph = read_graph_cache(cache_path)
+        except GraphCacheError:
+            pass  # damaged cache: fall through to a parse + rewrite
+        else:
+            if instrumentation is not None:
+                instrumentation.count("graph_cache_hit")
+            _phase("cache_hit", time.perf_counter() - t0, graph)
+            return graph
+    t0 = time.perf_counter()
+    graph = reader(source, policy=policy, **read_kwargs)
+    _phase("parse", time.perf_counter() - t0, graph)
+    if instrumentation is not None:
+        instrumentation.count("graph_cache_miss")
+    t0 = time.perf_counter()
+    try:
+        write_graph_cache(cache_path, graph, source=source)
+    except OSError:  # read-only dir etc. — the parse still succeeded
+        pass
+    else:
+        _phase("cache_write", time.perf_counter() - t0, graph)
+    return graph

@@ -34,6 +34,10 @@ tooling (and enforced by the test suite over every emitted record):
 ``quarantine`` — a malformed input record was diverted by a lenient
     ingestion policy: seq, source, line, reason.
 
+``ingest_phase`` — one record per completed ingest stage (parse, cache
+    write, cache hit): seq, phase, source, elapsed_seconds, plus
+    optional ``records`` / ``bytes`` volume gauges.
+
 Field specs are ``(types, required)``.  ``validate_record`` raises
 :class:`TraceSchemaError` on an unknown type, a missing required field,
 an unknown field, or a type mismatch; ``None`` is allowed exactly for
@@ -134,6 +138,15 @@ TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
         "source": (_STR, True, False),
         "line": (_INT, True, False),
         "reason": (_STR, True, False),
+    },
+    "ingest_phase": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "phase": (_STR, True, False),
+        "source": (_STR, True, False),
+        "elapsed_seconds": (_NUM, True, False),
+        "records": (_INT, False, True),
+        "bytes": (_INT, False, True),
     },
 }
 

@@ -815,6 +815,12 @@ class StreamingPartitioner(ABC):
         assignment = state.to_assignment()
         stats = self.result_stats(state)
         stats["fast_path"] = False
+        # Prefetching streams account for where ingest wall-clock went
+        # (producer busy/blocked vs consumer wait); surface it so bench
+        # and trace consumers see the overlap without knowing the type.
+        ingest_stats = getattr(stream, "ingest_stats", None)
+        if callable(ingest_stats):
+            stats["ingest"] = ingest_stats()
         return StreamingResult(
             assignment=assignment,
             partitioner=self.name,

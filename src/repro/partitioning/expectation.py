@@ -12,11 +12,17 @@ paper compares:
 * :class:`FullExpectationStore` — a dense K×|V| counter matrix, the
   straightforward O(K|V|) design (Table IV's ``SPNL(X=1)`` row);
 * :class:`~repro.partitioning.window.SlidingWindowStore` (sibling module)
-  — the O(K|V|/X) fine-grained sliding window.
+  — the O(K|V|/X) fine-grained sliding window;
+* :class:`HashedExpectationStore` — a capped-width table of
+  ``num_buckets`` hashed rows, bounding Γ memory at O(B·K) independent
+  of |V| (an *approximation*: colliding ids share counters).
 
-Both satisfy :class:`ExpectationStore`, so SPN/SPNL are agnostic to which
-one they run on; the property test suite asserts the two are *bit-identical*
-in behaviour when the window spans all vertices.
+All satisfy :class:`ExpectationStore`, so SPN/SPNL are agnostic to which
+one they run on; the property test suite asserts the full and windowed
+stores are *bit-identical* in behaviour when the window spans all
+vertices, and that the hashed store is bit-identical to the full one
+whenever ``num_buckets >= num_vertices`` (it switches to the identity
+mapping there, making the table collision-free by construction).
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ from typing import Protocol
 
 import numpy as np
 
-__all__ = ["ExpectationStore", "FullExpectationStore"]
+__all__ = ["ExpectationStore", "FullExpectationStore",
+           "HashedExpectationStore"]
 
 
 class ExpectationStore(Protocol):
@@ -163,3 +170,134 @@ class FullExpectationStore:
     def window_size(self) -> int:
         """For API parity with the windowed store: the full id range."""
         return self.num_vertices
+
+
+#: Knuth's multiplicative constant (2^32 / φ) for the bucket hash.
+_HASH_MULT = np.uint64(2654435761)
+
+
+class HashedExpectationStore:
+    """Capped-width Γ: ``num_buckets`` hashed rows, O(B·K) space.
+
+    The dense table's O(|V|·K) footprint is the memory wall for large
+    ``V·K`` (paper Table IV); the sliding window cuts it but demands an
+    id-ordered stream.  This store instead folds the id space onto a
+    fixed number of buckets with a multiplicative hash, so memory is
+    chosen up front and arrival order is unconstrained.  The price is
+    *aliasing*: ids that share a bucket share counters, so Γ becomes an
+    over-estimate (in the style of a one-row count-min sketch) and
+    partition quality degrades gracefully as buckets shrink — measured
+    in the ingest bench rather than assumed.
+
+    When ``num_buckets >= num_vertices`` the hash is replaced by the
+    identity mapping, making the store bit-identical to
+    :class:`FullExpectationStore` (the property tests pin this).
+    """
+
+    needs_advance = False
+
+    def __init__(self, num_partitions: int, num_vertices: int, *,
+                 num_buckets: int) -> None:
+        if num_partitions < 1 or num_vertices < 0:
+            raise ValueError("invalid dimensions for expectation store")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self.num_partitions = num_partitions
+        self.num_vertices = num_vertices
+        self.num_buckets = min(num_buckets, max(num_vertices, 1))
+        self._identity = self.num_buckets >= num_vertices
+        # Bucket-major layout, same rationale as the dense store: one
+        # gather touches d contiguous K-rows.
+        self._table = np.zeros((self.num_buckets, num_partitions),
+                               dtype=np.int32)
+        self._gather_buf: np.ndarray | None = None
+        self._idx_buf: np.ndarray | None = None
+
+    # -- hashing -------------------------------------------------------
+    def _bucket_of(self, vertex: int) -> int:
+        if self._identity:
+            return vertex
+        # Emulate uint64 wraparound so the scalar and vector paths agree.
+        return ((vertex * 2654435761) & 0xFFFFFFFFFFFFFFFF) \
+            % self.num_buckets
+
+    def _buckets(self, ids: np.ndarray) -> np.ndarray:
+        if self._identity:
+            return ids
+        n = len(ids)
+        buf = self._idx_buf
+        if buf is None or buf.shape[0] < n:
+            buf = np.empty(max(n, 64), dtype=np.uint64)
+            self._idx_buf = buf
+        idx = buf[:n]
+        np.multiply(ids.astype(np.uint64, copy=False), _HASH_MULT, out=idx)
+        np.mod(idx, np.uint64(self.num_buckets), out=idx)
+        return idx
+
+    # -- ExpectationStore API ------------------------------------------
+    def advance_to(self, vertex: int) -> None:
+        """No-op: every bucket is always live."""
+
+    def expectation_of(self, vertex: int) -> np.ndarray:
+        return self._table[self._bucket_of(vertex)].astype(np.int64)
+
+    def expectation_of_into(self, vertex: int,
+                            out: np.ndarray) -> np.ndarray:
+        np.copyto(out, self._table[self._bucket_of(vertex)])
+        return out
+
+    def gather(self, neighbors: np.ndarray) -> np.ndarray:
+        if len(neighbors) == 0:
+            return np.zeros(self.num_partitions, dtype=np.int64)
+        return self._table[self._buckets(neighbors)].sum(axis=0,
+                                                         dtype=np.int64)
+
+    def gather_into(self, neighbors: np.ndarray,
+                    out: np.ndarray) -> np.ndarray:
+        d = len(neighbors)
+        if d == 0:
+            out[:] = 0
+            return out
+        buf = self._gather_buf
+        if buf is None or buf.shape[0] < d:
+            buf = np.empty((max(d, 64), self.num_partitions),
+                           dtype=self._table.dtype)
+            self._gather_buf = buf
+        rows = buf[:d]
+        self._table.take(self._buckets(neighbors).astype(np.int64,
+                                                         copy=False),
+                         axis=0, out=rows)
+        rows.sum(axis=0, dtype=np.int64, out=out)
+        return out
+
+    def record(self, pid: int, neighbors: np.ndarray) -> None:
+        if len(neighbors) == 0:
+            return
+        np.add.at(self._table[:, pid], self._buckets(neighbors), 1)
+
+    def nbytes(self) -> int:
+        return int(self._table.nbytes)
+
+    def num_entries(self) -> int:
+        return int(self._table.size)
+
+    def state_dict(self) -> dict:
+        return {"kind": "hashed", "table": self._table.copy(),
+                "num_buckets": self.num_buckets}
+
+    def load_state(self, payload: dict) -> None:
+        if payload.get("kind") != "hashed":
+            raise ValueError(
+                f"snapshot holds a {payload.get('kind')!r} Γ store, this "
+                "run uses the hashed table (different gamma_store?)")
+        table = payload["table"]
+        if table.shape != self._table.shape:
+            raise ValueError(
+                f"snapshot Γ table shape {table.shape} does not match "
+                f"{self._table.shape} (different gamma_buckets?)")
+        np.copyto(self._table, table)
+
+    @property
+    def window_size(self) -> int:
+        """For API parity with the windowed store: the bucket range."""
+        return self.num_buckets

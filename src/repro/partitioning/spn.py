@@ -42,7 +42,8 @@ from ..graph.digraph import AdjacencyRecord
 from ..graph.stream import ArrayStream, VertexStream
 from .base import (FastKernel, PartitionState, StreamingPartitioner,
                    make_shifted_counter, make_weight_updater)
-from .expectation import ExpectationStore, FullExpectationStore
+from .expectation import (ExpectationStore, FullExpectationStore,
+                          HashedExpectationStore)
 from .registry import register
 from .window import SlidingWindowStore, default_num_shards
 
@@ -69,11 +70,23 @@ class SPNPartitioner(StreamingPartitioner):
         (default; see the module docstring);
         ``"neighborhood"`` — ``Σ_{u∈N_out(v)} Γ_i(u)`` (Eq. 5 verbatim);
         ``"self"`` — ``Γ_i(v)`` (the worked examples).
+    gamma_store:
+        Γ backend selection.  ``"auto"`` (default) keeps the historical
+        behavior: dense table for ``num_shards <= 1``, sliding window
+        otherwise.  ``"dense"`` / ``"window"`` force those backends;
+        ``"hashed"`` uses the capped-width
+        :class:`~repro.partitioning.expectation.HashedExpectationStore`
+        (O(B·K) memory, arrival-order-free, approximate Γ).
+    gamma_buckets:
+        Bucket count for ``gamma_store="hashed"``
+        (default ``max(1024, |V| // 16)``).
     """
 
     def __init__(self, num_partitions: int, *, lam: float = 0.5,
                  num_shards: int | str = 1,
-                 in_estimator: str = "combined", **kwargs) -> None:
+                 in_estimator: str = "combined",
+                 gamma_store: str = "auto",
+                 gamma_buckets: int | None = None, **kwargs) -> None:
         super().__init__(num_partitions, **kwargs)
         if not 0.0 <= lam <= 1.0:
             raise ValueError("lam (λ) must lie in [0, 1]")
@@ -85,9 +98,26 @@ class SPNPartitioner(StreamingPartitioner):
             raise ValueError(
                 "in_estimator must be 'self', 'neighborhood', or "
                 "'combined'")
+        if gamma_store not in ("auto", "dense", "window", "hashed"):
+            raise ValueError(
+                "gamma_store must be 'auto', 'dense', 'window', or "
+                "'hashed'")
+        if gamma_store in ("dense", "hashed") \
+                and isinstance(num_shards, int) and num_shards > 1:
+            raise ValueError(
+                f"gamma_store={gamma_store!r} does not shard; leave "
+                "num_shards at 1 (or 'auto')")
+        if gamma_buckets is not None:
+            if gamma_store != "hashed":
+                raise ValueError(
+                    "gamma_buckets only applies to gamma_store='hashed'")
+            if gamma_buckets < 1:
+                raise ValueError("gamma_buckets must be >= 1")
         self.lam = lam
         self.num_shards = num_shards
         self.in_estimator = in_estimator
+        self.gamma_store = gamma_store
+        self.gamma_buckets = gamma_buckets
         self._store: ExpectationStore | None = None
 
     @property
@@ -102,8 +132,18 @@ class SPNPartitioner(StreamingPartitioner):
         return int(self.num_shards)
 
     def _make_store(self, stream: VertexStream) -> ExpectationStore:
+        if self.gamma_store == "hashed":
+            buckets = self.gamma_buckets
+            if buckets is None:
+                buckets = max(1024, stream.num_vertices // 16)
+            return HashedExpectationStore(
+                self.num_partitions, stream.num_vertices,
+                num_buckets=buckets)
+        if self.gamma_store == "dense":
+            return FullExpectationStore(self.num_partitions,
+                                        stream.num_vertices)
         shards = self._resolve_shards(stream)
-        if shards <= 1:
+        if self.gamma_store == "auto" and shards <= 1:
             return FullExpectationStore(self.num_partitions,
                                         stream.num_vertices)
         if not getattr(stream, "is_id_ordered", False):
@@ -111,7 +151,7 @@ class SPNPartitioner(StreamingPartitioner):
                 "the sliding window (num_shards > 1) requires an id-ordered "
                 "stream; use num_shards=1 for arbitrary arrival orders")
         return SlidingWindowStore(self.num_partitions, stream.num_vertices,
-                                  num_shards=shards)
+                                  num_shards=max(shards, 1))
 
     def _setup(self, stream: VertexStream, state: PartitionState) -> None:
         self._store = self._make_store(stream)
@@ -234,6 +274,9 @@ class SPNPartitioner(StreamingPartitioner):
                     skipped_future=store.skipped_future,
                     skipped_past=store.skipped_past,
                 )
+            elif isinstance(store, HashedExpectationStore):
+                stats["gamma_store"] = "hashed"
+                stats["gamma_buckets"] = store.num_buckets
         return stats
 
     def _probe_gauges(self) -> dict[str, Any]:

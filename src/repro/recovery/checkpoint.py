@@ -221,6 +221,9 @@ def _finish(partitioner: StreamingPartitioner, stream: VertexStream,
     stats["checkpoints_written"] = ckpt.snapshots_written
     if resumed_from is not None:
         stats["resumed_from"] = resumed_from
+    ingest_stats = getattr(stream, "ingest_stats", None)
+    if callable(ingest_stats):
+        stats["ingest"] = ingest_stats()
     return StreamingResult(
         assignment=state.to_assignment(),
         partitioner=partitioner.name,

@@ -1,0 +1,57 @@
+"""Smoke tests for the ingest microbench harness and its artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.ingest import bench_stage, run_ingest_microbench
+
+
+class TestBenchStage:
+    def test_shape_and_identity(self):
+        record = bench_stage("demo", lambda: [1, 2], lambda: [1, 2],
+                             warmup=0, repeats=2, same=lambda a, b: a == b)
+        assert record["stage"] == "demo"
+        assert record["identical"] is True
+        assert record["speedup_median"] > 0
+        assert len(record["baseline"]["runs_s"]) == 2
+        assert len(record["optimized"]["runs_s"]) == 2
+
+    def test_divergence_flagged(self):
+        record = bench_stage("demo", lambda: 1, lambda: 2,
+                             warmup=0, repeats=1, same=lambda a, b: a == b)
+        assert record["identical"] is False
+
+
+@pytest.mark.benchsmoke
+class TestIngestArtifact:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_ingest.json"
+        run_ingest_microbench(n=1500, k=8, warmup=0, repeats=2,
+                              out_path=out)
+        return json.loads(out.read_text())
+
+    def test_stages_present(self, artifact):
+        assert [r["stage"] for r in artifact["results"]] == \
+            ["parse", "cache_hit", "end_to_end"]
+
+    def test_every_stage_identical(self, artifact):
+        for record in artifact["results"]:
+            assert record["identical"] is True, record["stage"]
+
+    def test_registry_identity_section(self, artifact):
+        assert set(artifact["identity"]) == {"ldg", "fennel", "spn",
+                                             "spnl"}
+        for method, checks in artifact["identity"].items():
+            for check, passed in checks.items():
+                assert passed is True, f"{method}.{check}"
+
+    def test_fingerprint_and_config(self, artifact):
+        assert artifact["machine"]["cpu_count"] >= 1
+        assert artifact["machine"]["cpu_count"] \
+            <= artifact["machine"]["cpu_count_logical"]
+        assert artifact["config"]["text_bytes"] > 0
+        assert artifact["config"]["cache_bytes"] > 0

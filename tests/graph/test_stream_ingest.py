@@ -1,0 +1,109 @@
+"""Stream-layer contracts added with the ingest pipeline.
+
+Covers the :func:`as_array_stream` exact-type dispatch (subclasses that
+override iteration must NOT be flattened to CSR arrays), the memoized
+``FileStream.is_id_ordered`` verdict, and its invalidation when a
+``seek`` observes that the underlying file changed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph import FileStream, GraphStream, write_adjacency
+from repro.graph.stream import ArrayStream, as_array_stream
+
+
+class _TruncatingStream(GraphStream):
+    """A subclass that yields only the first half of the records."""
+
+    def __iter__(self):
+        records = list(super().__iter__())
+        yield from records[:len(records) // 2]
+
+
+class _ReversingArrayStream(ArrayStream):
+    def __iter__(self):
+        yield from reversed(list(super().__iter__()))
+
+
+class TestAsArrayStreamDispatch:
+    def test_exact_graph_stream_converts(self, tiny_graph):
+        arrays = as_array_stream(GraphStream(tiny_graph))
+        assert isinstance(arrays, ArrayStream)
+
+    def test_exact_array_stream_returns_self(self, tiny_graph):
+        stream = ArrayStream.from_graph(tiny_graph)
+        assert as_array_stream(stream) is stream
+
+    def test_graph_stream_subclass_falls_back(self, tiny_graph):
+        """Overridden ``__iter__`` semantics must survive: converting a
+        subclass to raw CSR arrays would silently bypass them."""
+        assert as_array_stream(_TruncatingStream(tiny_graph)) is None
+
+    def test_array_stream_subclass_falls_back(self, tiny_graph):
+        stream = _ReversingArrayStream.from_graph(tiny_graph)
+        assert as_array_stream(stream) is None
+
+    def test_subclass_takes_record_path(self, tiny_graph):
+        """End to end: a truncating subclass partitions only the records
+        it actually yields — the fast path must not resurrect them."""
+        from repro.partitioning.registry import make_partitioner
+        result = make_partitioner("ldg", 2).partition(
+            _TruncatingStream(tiny_graph))
+        assert result.stats["fast_path"] is False
+        route = result.assignment.route
+        assert int((route >= 0).sum()) == tiny_graph.num_vertices // 2
+
+    def test_converted_stream_keeps_position(self, tiny_graph):
+        stream = GraphStream(tiny_graph)
+        stream.seek(3)
+        arrays = as_array_stream(stream)
+        assert arrays.tell() == 3
+
+
+class TestFileStreamOrderMemo:
+    def test_verdict_memoized(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        stream = FileStream(path)
+        assert stream.is_id_ordered
+        # Repeated checks must not re-scan: delete the file and ask
+        # again — a re-scan would raise, the memo answers quietly.
+        os.unlink(path)
+        assert stream.is_id_ordered
+
+    def test_seek_invalidates_on_file_change(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        stream = FileStream(path)
+        assert stream.is_id_ordered
+        # Rewrite out of order (different size => different signature).
+        path.write_text("4 0\n0 1 2\n1 2\n2 3\n3 4 10\n")
+        stream.seek(0)
+        assert not stream.is_id_ordered
+
+    def test_seek_keeps_memo_when_file_unchanged(self, tmp_path,
+                                                 tiny_graph):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        stream = FileStream(path)
+        assert stream.is_id_ordered
+        stream.seek(2)
+        os.unlink(path)
+        # Unchanged at seek time, so the verdict must still be cached.
+        assert stream.is_id_ordered
+
+    def test_iteration_identical_across_engines(self, tmp_path,
+                                                tiny_graph):
+        path = tmp_path / "g.adj"
+        write_adjacency(tiny_graph, path)
+        stream = FileStream(path)
+        got = [(int(v), nbrs.tolist()) for v, nbrs in stream]
+        want = [(v, tiny_graph.out_neighbors(v).tolist())
+                for v in range(tiny_graph.num_vertices)]
+        assert got == want
+        np.testing.assert_array_equal(
+            stream.num_vertices, tiny_graph.num_vertices)
