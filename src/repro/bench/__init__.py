@@ -1,5 +1,23 @@
-"""Benchmark harness: datasets, runners, and table/figure regeneration."""
+"""Benchmark harness: datasets, runners, table/figure regeneration, and
+the baseline-store / statistical-compare regression gate."""
 
+from .baseline import (
+    BaselineError,
+    fingerprint_key,
+    load_baseline,
+    make_baseline,
+    promote,
+    resolve_baseline,
+    save_baseline,
+    validate_baseline,
+)
+from .compare import (
+    CompareError,
+    ComparisonResult,
+    MetricDelta,
+    compare_artifacts,
+    compare_samples,
+)
 from .datasets import DATASETS, DatasetSpec, clear_cache, load, load_all
 from .figures import (
     FigureData,
@@ -17,10 +35,16 @@ from .harness import BenchRecord, run_many, run_partitioner
 from .micro import (
     DEFAULT_METHODS,
     bench_method,
+    git_revision,
     machine_fingerprint,
     run_streaming_microbench,
 )
-from .report import format_markdown, format_series, format_table
+from .report import (
+    format_compare_report,
+    format_markdown,
+    format_series,
+    format_table,
+)
 from .suite import run_full_suite
 from .sweep import SweepResult, sweep
 from .tables import (
@@ -33,12 +57,27 @@ from .tables import (
 )
 
 __all__ = [
+    "BaselineError",
     "BenchRecord",
+    "CompareError",
+    "ComparisonResult",
     "DATASETS",
     "DEFAULT_METHODS",
+    "MetricDelta",
     "bench_method",
+    "compare_artifacts",
+    "compare_samples",
+    "fingerprint_key",
+    "git_revision",
+    "load_baseline",
     "machine_fingerprint",
+    "make_baseline",
+    "promote",
+    "resolve_baseline",
     "run_streaming_microbench",
+    "save_baseline",
+    "validate_baseline",
+    "format_compare_report",
     "DatasetSpec",
     "FigureData",
     "PAPER_MEMORY_BUDGET_BYTES",

@@ -1,0 +1,260 @@
+"""Versioned baseline store for benchmark artifacts.
+
+A *baseline* is a previously blessed bench artifact, wrapped in a small
+schema-validated envelope and committed under ``benchmarks/baselines/``
+so CI can compare every fresh run against it.  Files are keyed by
+``<bench-name>-<fingerprint-key>.json``: the fingerprint key is a short
+digest of the **stable** machine-fingerprint fields (architecture,
+usable CPU count, Python/NumPy feature versions), so one repository can
+hold baselines for several hosts side by side, and a baseline is never
+silently trusted on hardware it was not recorded on.  Volatile
+fingerprint fields — kernel build, patch versions, and especially the
+``commit``/``dirty`` provenance added by the bench bugfix — are
+deliberately excluded: promoting a new baseline every commit would
+defeat the point of having one.
+
+Writes go through :mod:`repro.recovery.atomic` (tmp + fsync + rename),
+and every load re-validates the envelope: a torn, hand-edited, or
+future-versioned baseline is rejected with a precise
+:class:`BaselineError` instead of feeding garbage into a gate decision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..recovery.atomic import atomic_write_text
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_DIR",
+    "BaselineError",
+    "baseline_path",
+    "fingerprint_key",
+    "load_baseline",
+    "make_baseline",
+    "promote",
+    "resolve_baseline",
+    "save_baseline",
+    "validate_baseline",
+]
+
+BASELINE_FORMAT = "repro-bench-baseline"
+BASELINE_VERSION = 1
+
+#: Repo-relative directory where promoted baselines are committed.
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+#: Stable fingerprint fields that key a baseline file.  ``platform`` is
+#: excluded (it embeds the kernel build), as are ``commit``/``dirty``
+#: (provenance of one run, not of the host).
+_KEY_FIELDS = ("machine", "cpu_count", "python", "numpy")
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed, torn, or from an unknown version."""
+
+
+def fingerprint_key(machine: Mapping[str, Any]) -> str:
+    """Short stable digest of a machine fingerprint dict.
+
+    Only :data:`_KEY_FIELDS` participate; version strings are truncated
+    to ``major.minor`` so a NumPy patch release does not orphan every
+    baseline.  Returns 12 hex chars — enough to never collide across
+    the handful of hosts a repo realistically benches on.
+    """
+    def _feature_version(value: Any) -> Any:
+        if isinstance(value, str):
+            return ".".join(value.split(".")[:2])
+        return value
+
+    subset = {field: _feature_version(machine.get(field))
+              for field in _KEY_FIELDS}
+    canonical = json.dumps(subset, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def baseline_path(root: str | Path, bench: str, key: str) -> Path:
+    """Where a baseline for ``(bench, fingerprint key)`` lives."""
+    return Path(root) / f"{bench}-{key}.json"
+
+
+# ----------------------------------------------------------------------
+# Schema
+# ----------------------------------------------------------------------
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise BaselineError(message)
+
+
+def validate_baseline(obj: Any) -> None:
+    """Validate a baseline envelope; raise :class:`BaselineError` if bad.
+
+    Checks the envelope fields (format marker, version, bench name,
+    fingerprint key) and the artifact payload's load-bearing structure:
+    a machine fingerprint, a config, and a non-empty ``results`` list
+    whose entries carry per-repeat ``runs_s`` number lists — the samples
+    the statistical comparator consumes.
+    """
+    _require(isinstance(obj, dict), "baseline must be a JSON object")
+    _require(obj.get("format") == BASELINE_FORMAT,
+             f"not a baseline file (format={obj.get('format')!r}, "
+             f"expected {BASELINE_FORMAT!r})")
+    version = obj.get("version")
+    _require(isinstance(version, int) and not isinstance(version, bool),
+             "baseline version must be an integer")
+    _require(version <= BASELINE_VERSION,
+             f"baseline version {version} is newer than this code "
+             f"understands ({BASELINE_VERSION}); refusing to guess")
+    _require(isinstance(obj.get("bench"), str) and obj["bench"],
+             "baseline must name its bench")
+    _require(isinstance(obj.get("fingerprint_key"), str)
+             and len(obj["fingerprint_key"]) >= 8,
+             "baseline must carry a fingerprint key")
+    _require(isinstance(obj.get("promoted_unix"), (int, float)),
+             "baseline must record its promotion time")
+    artifact = obj.get("artifact")
+    _require(isinstance(artifact, dict), "baseline must embed an artifact")
+    _require(artifact.get("benchmark") == obj["bench"],
+             f"envelope bench {obj['bench']!r} does not match artifact "
+             f"benchmark {artifact.get('benchmark')!r}")
+    _require(isinstance(artifact.get("machine"), dict),
+             "artifact must carry a machine fingerprint")
+    _require(isinstance(artifact.get("config"), dict),
+             "artifact must carry its config")
+    results = artifact.get("results")
+    _require(isinstance(results, list) and results,
+             "artifact must carry a non-empty results list")
+    for i, rec in enumerate(results):
+        _require(isinstance(rec, dict), f"results[{i}] must be an object")
+        _require(("method" in rec) or ("stage" in rec),
+                 f"results[{i}] must name a method or stage")
+        sides = [key for key in ("fast", "seed", "baseline", "optimized")
+                 if key in rec]
+        _require(len(sides) >= 2,
+                 f"results[{i}] must carry two timed sides")
+        for side in sides:
+            runs = rec[side].get("runs_s") \
+                if isinstance(rec[side], dict) else None
+            _require(isinstance(runs, list) and runs
+                     and all(isinstance(x, (int, float))
+                             and not isinstance(x, bool) for x in runs),
+                     f"results[{i}].{side}.runs_s must be a non-empty "
+                     "list of numbers")
+    expected = fingerprint_key(artifact["machine"])
+    _require(obj["fingerprint_key"] == expected,
+             f"fingerprint key {obj['fingerprint_key']!r} does not match "
+             f"the embedded machine fingerprint ({expected!r}); the "
+             "baseline was edited or assembled inconsistently")
+
+
+# ----------------------------------------------------------------------
+# Envelope construction and I/O
+# ----------------------------------------------------------------------
+def make_baseline(artifact: Mapping[str, Any], *,
+                  promoted_unix: float | None = None) -> dict[str, Any]:
+    """Wrap a bench artifact in a validated baseline envelope."""
+    bench = artifact.get("benchmark")
+    if not isinstance(bench, str) or not bench:
+        raise BaselineError("artifact carries no 'benchmark' name")
+    machine = artifact.get("machine")
+    if not isinstance(machine, dict):
+        raise BaselineError("artifact carries no machine fingerprint")
+    envelope = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "bench": bench,
+        "fingerprint_key": fingerprint_key(machine),
+        "promoted_unix": (time.time() if promoted_unix is None
+                          else float(promoted_unix)),
+        "artifact": dict(artifact),
+    }
+    validate_baseline(envelope)
+    return envelope
+
+
+def save_baseline(envelope: Mapping[str, Any], path: str | Path) -> Path:
+    """Atomically write a validated envelope; returns the path."""
+    validate_baseline(dict(envelope))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(
+        path, json.dumps(envelope, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    """Load and validate a baseline envelope."""
+    path = Path(path)
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BaselineError(f"no baseline at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") \
+            from None
+    validate_baseline(obj)
+    return obj
+
+
+def promote(artifact: Mapping[str, Any], root: str | Path, *,
+            promoted_unix: float | None = None) -> Path:
+    """Snapshot ``artifact`` as the new baseline for its bench + host.
+
+    The target filename is derived from the artifact itself
+    (:func:`baseline_path`); an existing baseline for the same key is
+    atomically replaced — a crash mid-promote leaves the previous
+    baseline intact.
+    """
+    envelope = make_baseline(artifact, promoted_unix=promoted_unix)
+    path = baseline_path(root, envelope["bench"],
+                         envelope["fingerprint_key"])
+    return save_baseline(envelope, path)
+
+
+def resolve_baseline(spec: str | Path, candidate: Mapping[str, Any]
+                     ) -> tuple[dict[str, Any], Path, bool]:
+    """Find the baseline to compare ``candidate`` against.
+
+    ``spec`` is either a baseline/artifact *file* (used as-is) or a
+    baseline *directory*: there the candidate's bench name and
+    fingerprint key select the file, falling back — with the returned
+    ``exact`` flag False — to the lexicographically first baseline of
+    the same bench when no same-host baseline exists (CI runners rarely
+    fingerprint like the promoting host; the comparator separately
+    warns on the mismatch).
+
+    Returns ``(envelope_or_artifact, path, exact_fingerprint_match)``.
+    """
+    spec = Path(spec)
+    if spec.is_file():
+        obj = json.loads(spec.read_text(encoding="utf-8"))
+        if obj.get("format") == BASELINE_FORMAT:
+            validate_baseline(obj)
+        exact = True
+        machine = (obj.get("artifact", obj)).get("machine")
+        if isinstance(machine, dict):
+            exact = (fingerprint_key(machine)
+                     == fingerprint_key(candidate.get("machine", {})))
+        return obj, spec, exact
+    if not spec.is_dir():
+        raise BaselineError(
+            f"{spec} is neither a baseline file nor a baseline directory")
+    bench = candidate.get("benchmark")
+    if not isinstance(bench, str):
+        raise BaselineError("candidate artifact carries no benchmark name")
+    key = fingerprint_key(candidate.get("machine", {}))
+    exact_path = baseline_path(spec, bench, key)
+    if exact_path.is_file():
+        return load_baseline(exact_path), exact_path, True
+    fallbacks = sorted(spec.glob(f"{bench}-*.json"))
+    if not fallbacks:
+        raise BaselineError(
+            f"no baseline for bench {bench!r} under {spec} "
+            f"(looked for {exact_path.name} and {bench}-*.json)")
+    return load_baseline(fallbacks[0]), fallbacks[0], False

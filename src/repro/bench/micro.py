@@ -31,7 +31,7 @@ import numpy as np
 
 from ..recovery.atomic import atomic_write_text
 
-__all__ = ["DEFAULT_METHODS", "machine_fingerprint",
+__all__ = ["DEFAULT_METHODS", "git_revision", "machine_fingerprint",
            "bench_method", "run_streaming_microbench"]
 
 #: Heuristics with fused kernels, benched fast-vs-seed by default.
@@ -57,9 +57,39 @@ def _available_cpu_count() -> int:
         return int(os.cpu_count() or 1)
 
 
+def git_revision() -> tuple[str | None, bool | None]:
+    """``(short_commit, dirty)`` of the checkout the bench code runs from.
+
+    Bench artifacts used to be written with no record of *which code*
+    produced the numbers, so two ``BENCH_*.json`` files could not be
+    attributed to commits when compared.  Resolution is best-effort:
+    the repository containing this module is asked first (an editable
+    install), then the process working directory; without git or a
+    checkout both values are ``None`` — never a guess.
+    """
+    import subprocess
+
+    for where in (Path(__file__).resolve().parent, Path.cwd()):
+        try:
+            commit = subprocess.run(
+                ["git", "-C", str(where), "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=10, check=True,
+            ).stdout.strip()
+            status = subprocess.run(
+                ["git", "-C", str(where), "status", "--porcelain"],
+                capture_output=True, text=True, timeout=10, check=True,
+            ).stdout
+        except Exception:
+            continue
+        if commit:
+            return commit, bool(status.strip())
+    return None, None
+
+
 def machine_fingerprint() -> dict[str, Any]:
-    """Host description embedded in every benchmark artifact."""
+    """Host + code description embedded in every benchmark artifact."""
     import os
+    commit, dirty = git_revision()
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
@@ -70,6 +100,10 @@ def machine_fingerprint() -> dict[str, Any]:
         # has.  The raw host count is kept alongside for context.
         "cpu_count": _available_cpu_count(),
         "cpu_count_logical": os.cpu_count(),
+        # Which code produced the numbers (None outside a git checkout).
+        # Excluded from the baseline fingerprint *key* on purpose.
+        "commit": commit,
+        "dirty": dirty,
     }
 
 

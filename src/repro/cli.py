@@ -290,11 +290,121 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_bench_artifact(path: str) -> dict:
+    """Read a bench artifact file, unwrapping a baseline envelope."""
+    import json
+
+    from .bench.baseline import BASELINE_FORMAT, validate_baseline
+
+    p = Path(path)
+    if not p.is_file():
+        raise SystemExit(f"error: no bench artifact at {path}")
+    try:
+        obj = json.loads(p.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    if isinstance(obj, dict) and obj.get("format") == BASELINE_FORMAT:
+        from .bench.baseline import BaselineError
+        try:
+            validate_baseline(obj)
+        except BaselineError as exc:
+            raise SystemExit(f"error: {exc}")
+        return obj["artifact"]
+    return obj
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """``bench compare``: statistical baseline-vs-candidate verdicts."""
+    import json
+
+    from .bench.baseline import BASELINE_FORMAT, BaselineError, \
+        resolve_baseline
+    from .bench.compare import CompareError, compare_artifacts
+    from .bench.report import format_compare_report
+
+    if args.candidate is None:
+        raise SystemExit("error: bench compare requires --candidate")
+    candidate = _load_bench_artifact(args.candidate)
+    baseline_spec = args.baseline or args.baselines_dir
+    try:
+        baseline_obj, baseline_path, _exact = resolve_baseline(
+            baseline_spec, candidate)
+    except BaselineError as exc:
+        raise SystemExit(f"error: {exc}")
+    if baseline_obj.get("format") == BASELINE_FORMAT:
+        baseline_artifact = baseline_obj["artifact"]
+    else:
+        baseline_artifact = baseline_obj
+
+    instrumentation = None
+    if args.trace is not None:
+        from .observability import Instrumentation, JsonlSink
+        instrumentation = Instrumentation([JsonlSink(args.trace)])
+    try:
+        result = compare_artifacts(
+            baseline_artifact, candidate,
+            noise_floor=args.noise_floor, min_effect=args.min_effect,
+            confidence=args.confidence,
+            baseline_path=str(baseline_path),
+            candidate_path=str(args.candidate),
+            instrumentation=instrumentation)
+    except CompareError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        if instrumentation is not None:
+            instrumentation.close()
+
+    print(format_compare_report(result))
+    if args.report is not None:
+        from .recovery.atomic import atomic_write_text
+        atomic_write_text(Path(args.report),
+                          format_compare_report(result, markdown=True)
+                          + "\n")
+        print(f"report -> {args.report}")
+    if args.json is not None:
+        from .recovery.atomic import atomic_write_text
+        atomic_write_text(Path(args.json),
+                          json.dumps(result.to_dict(), indent=2) + "\n")
+        print(f"verdict json -> {args.json}")
+    if args.gate:
+        code = result.gate_exit_code()
+        if code:
+            regressed = ", ".join(m.metric for m in result.regressions)
+            print(f"gate: FAIL — regressed metrics: {regressed}",
+                  file=sys.stderr)
+        return code
+    return 0
+
+
+def _cmd_bench_promote(args: argparse.Namespace) -> int:
+    """``bench promote``: bless a candidate artifact as the baseline."""
+    from .bench.baseline import BaselineError, promote
+
+    if args.candidate is None:
+        raise SystemExit("error: bench promote requires --candidate")
+    artifact = _load_bench_artifact(args.candidate)
+    try:
+        path = promote(artifact, args.baselines_dir)
+    except BaselineError as exc:
+        raise SystemExit(f"error: {exc}")
+    machine = artifact.get("machine", {})
+    commit = machine.get("commit") or "unknown-commit"
+    if machine.get("dirty"):
+        commit += "+dirty"
+    print(f"promoted {args.candidate} ({artifact.get('benchmark')}, "
+          f"{commit}) -> {path}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import figures, report, tables
 
     target = args.target
-    if target == "all":
+    if target == "compare":
+        return _cmd_bench_compare(args)
+    elif target == "promote":
+        return _cmd_bench_promote(args)
+    elif target == "all":
         from .bench.suite import run_full_suite
         run_full_suite(args.output, k=args.k, quick=args.quick)
     elif target == "table2":
@@ -485,11 +595,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distance-histogram bins")
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p = sub.add_parser("bench",
+                       help="regenerate a paper table/figure, run a "
+                            "microbench, or compare/promote artifacts")
     p.add_argument("target",
                    choices=["table2", "table3", "table4", "table5", "fig3",
                             "fig7", "fig8", "fig9", "fig10", "fig11",
-                            "fig12", "streaming", "ingest", "all"])
+                            "fig12", "streaming", "ingest", "all",
+                            "compare", "promote"])
     p.add_argument("-k", type=int, default=32)
     p.add_argument("--output", default="reports",
                    help="output directory for 'all'")
@@ -497,6 +610,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shrunken sweeps for 'all'/'streaming'")
     p.add_argument("--bench-out", default="BENCH_streaming.json",
                    help="artifact path for the 'streaming' microbench")
+    p.add_argument("--baseline", default=None, metavar="FILE|DIR",
+                   help="[compare] baseline artifact/envelope file, or a "
+                        "baselines directory (default: --baselines-dir, "
+                        "resolved by bench name + machine fingerprint)")
+    p.add_argument("--candidate", default=None, metavar="FILE",
+                   help="[compare/promote] candidate BENCH_*.json")
+    p.add_argument("--baselines-dir", default="benchmarks/baselines",
+                   metavar="DIR",
+                   help="[compare/promote] committed baseline store "
+                        "(default: benchmarks/baselines)")
+    p.add_argument("--gate", action="store_true",
+                   help="[compare] exit nonzero when any metric regressed")
+    p.add_argument("--noise-floor", type=float, default=0.05, metavar="F",
+                   help="[compare] relative delta below which a metric is "
+                        "never flagged (default 0.05 = 5%%)")
+    p.add_argument("--min-effect", type=float, default=0.10, metavar="F",
+                   help="[compare] smallest relative change worth "
+                        "reporting (default 0.10)")
+    p.add_argument("--confidence", type=float, default=0.95, metavar="C",
+                   help="[compare] bootstrap/test confidence (default "
+                        "0.95)")
+    p.add_argument("--report", default=None, metavar="OUT.MD",
+                   help="[compare] also write the markdown report here")
+    p.add_argument("--json", default=None, metavar="OUT.JSON",
+                   help="[compare] also write the machine-readable "
+                        "verdict here")
+    p.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                   help="[compare] emit the bench_compare trace record")
     p.set_defaults(func=_cmd_bench)
     return parser
 

@@ -38,6 +38,10 @@ tooling (and enforced by the test suite over every emitted record):
     write, cache hit): seq, phase, source, elapsed_seconds, plus
     optional ``records`` / ``bytes`` volume gauges.
 
+``bench_compare`` — one record per baseline-vs-candidate benchmark
+    comparison (the regression gate): seq, bench, baseline, candidate,
+    improved, unchanged, regressed, verdict, fingerprint_match.
+
 Field specs are ``(types, required)``.  ``validate_record`` raises
 :class:`TraceSchemaError` on an unknown type, a missing required field,
 an unknown field, or a type mismatch; ``None`` is allowed exactly for
@@ -54,6 +58,7 @@ _NUM = (int, float)
 _INT = (int,)
 _STR = (str,)
 _LIST = (list,)
+_BOOL = (bool,)
 
 #: record type -> field -> (allowed value types, required, nullable)
 TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
@@ -148,6 +153,18 @@ TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
         "records": (_INT, False, True),
         "bytes": (_INT, False, True),
     },
+    "bench_compare": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "bench": (_STR, True, False),
+        "baseline": (_STR, True, False),
+        "candidate": (_STR, True, False),
+        "improved": (_INT, True, False),
+        "unchanged": (_INT, True, False),
+        "regressed": (_INT, True, False),
+        "verdict": (_STR, True, False),
+        "fingerprint_match": (_BOOL, True, False),
+    },
 }
 
 
@@ -182,8 +199,10 @@ def validate_record(record: dict[str, Any]) -> None:
                 raise TraceSchemaError(
                     f"{kind}: field {field!r} may not be null")
             continue
-        # bool is an int subclass; never accept it for numeric fields.
-        if isinstance(value, bool) or not isinstance(value, types):
+        # bool is an int subclass; never accept it for numeric fields
+        # (only where the spec lists bool itself).
+        if (isinstance(value, bool) and bool not in types) \
+                or not isinstance(value, types):
             raise TraceSchemaError(
                 f"{kind}: field {field!r} has type "
                 f"{type(value).__name__}, expected one of "

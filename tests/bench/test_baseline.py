@@ -1,0 +1,162 @@
+"""Tests for the versioned baseline store under ``benchmarks/baselines``."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    BASELINE_FORMAT,
+    BASELINE_VERSION,
+    BaselineError,
+    baseline_path,
+    fingerprint_key,
+    load_baseline,
+    make_baseline,
+    promote,
+    resolve_baseline,
+    save_baseline,
+    validate_baseline,
+)
+from tests.bench.test_compare import make_streaming_artifact
+
+
+class TestFingerprintKey:
+    def test_stable_and_short(self):
+        machine = make_streaming_artifact()["machine"]
+        key = fingerprint_key(machine)
+        assert key == fingerprint_key(dict(machine))
+        assert len(key) == 12
+        int(key, 16)  # hex
+
+    def test_commit_and_dirty_do_not_change_the_key(self):
+        machine = make_streaming_artifact()["machine"]
+        other = dict(machine, commit="ffffff", dirty=True)
+        assert fingerprint_key(machine) == fingerprint_key(other)
+
+    def test_kernel_build_does_not_change_the_key(self):
+        machine = make_streaming_artifact()["machine"]
+        other = dict(machine, platform="Linux-9.99.9-custom")
+        assert fingerprint_key(machine) == fingerprint_key(other)
+
+    def test_patch_versions_do_not_change_the_key(self):
+        machine = make_streaming_artifact()["machine"]
+        other = dict(machine, python="3.11.99", numpy="2.4.99")
+        assert fingerprint_key(machine) == fingerprint_key(other)
+
+    def test_cpu_count_changes_the_key(self):
+        machine = make_streaming_artifact()["machine"]
+        other = dict(machine, cpu_count=64)
+        assert fingerprint_key(machine) != fingerprint_key(other)
+
+
+class TestEnvelope:
+    def test_make_save_load_round_trip(self, tmp_path):
+        artifact = make_streaming_artifact()
+        envelope = make_baseline(artifact, promoted_unix=1700000001.0)
+        assert envelope["format"] == BASELINE_FORMAT
+        assert envelope["version"] == BASELINE_VERSION
+        assert envelope["bench"] == "streaming-hot-path"
+        path = save_baseline(envelope, tmp_path / "b.json")
+        assert load_baseline(path) == envelope
+
+    def test_validate_rejects_wrong_format(self):
+        with pytest.raises(BaselineError, match="not a baseline"):
+            validate_baseline({"format": "something-else"})
+
+    def test_validate_rejects_future_version(self):
+        envelope = make_baseline(make_streaming_artifact(),
+                                 promoted_unix=0.0)
+        envelope["version"] = BASELINE_VERSION + 1
+        with pytest.raises(BaselineError, match="newer than this code"):
+            validate_baseline(envelope)
+
+    def test_validate_rejects_missing_samples(self):
+        envelope = make_baseline(make_streaming_artifact(),
+                                 promoted_unix=0.0)
+        bad = copy.deepcopy(envelope)
+        del bad["artifact"]["results"][0]["fast"]["runs_s"]
+        with pytest.raises(BaselineError, match="runs_s"):
+            validate_baseline(bad)
+
+    def test_validate_rejects_tampered_fingerprint(self):
+        envelope = make_baseline(make_streaming_artifact(),
+                                 promoted_unix=0.0)
+        bad = copy.deepcopy(envelope)
+        bad["artifact"]["machine"]["cpu_count"] = 512
+        with pytest.raises(BaselineError, match="does not match"):
+            validate_baseline(bad)
+
+    def test_load_rejects_torn_json(self, tmp_path):
+        path = tmp_path / "torn.json"
+        envelope = make_baseline(make_streaming_artifact(),
+                                 promoted_unix=0.0)
+        text = json.dumps(envelope)
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="no baseline"):
+            load_baseline(tmp_path / "absent.json")
+
+
+class TestPromote:
+    def test_promote_places_by_bench_and_key(self, tmp_path):
+        artifact = make_streaming_artifact()
+        path = promote(artifact, tmp_path)
+        expected = baseline_path(
+            tmp_path, "streaming-hot-path",
+            fingerprint_key(artifact["machine"]))
+        assert path == expected
+        assert validate_baseline(load_baseline(path)) is None
+
+    def test_promote_atomically_replaces_existing(self, tmp_path):
+        first = make_streaming_artifact()
+        promote(first, tmp_path, promoted_unix=1.0)
+        second = make_streaming_artifact(scale=0.5)
+        path = promote(second, tmp_path, promoted_unix=2.0)
+        envelope = load_baseline(path)
+        assert envelope["promoted_unix"] == 2.0
+        assert envelope["artifact"]["results"][0]["fast"]["runs_s"][0] \
+            == pytest.approx(0.1)
+        # no stray tmp siblings left behind
+        assert list(tmp_path.glob(".*tmp*")) == []
+
+    def test_promote_rejects_artifact_without_fingerprint(self, tmp_path):
+        artifact = make_streaming_artifact()
+        del artifact["machine"]
+        with pytest.raises(BaselineError, match="machine fingerprint"):
+            promote(artifact, tmp_path)
+
+
+class TestResolve:
+    def test_resolves_exact_fingerprint_match(self, tmp_path):
+        artifact = make_streaming_artifact()
+        promoted = promote(artifact, tmp_path)
+        envelope, path, exact = resolve_baseline(tmp_path, artifact)
+        assert path == promoted
+        assert exact is True
+        assert envelope["bench"] == "streaming-hot-path"
+
+    def test_falls_back_to_other_host_baseline(self, tmp_path):
+        artifact = make_streaming_artifact()
+        promote(artifact, tmp_path)
+        foreign = make_streaming_artifact()
+        foreign["machine"]["cpu_count"] = 64
+        envelope, _path, exact = resolve_baseline(tmp_path, foreign)
+        assert exact is False
+        assert envelope["bench"] == "streaming-hot-path"
+
+    def test_missing_bench_raises_with_expected_name(self, tmp_path):
+        with pytest.raises(BaselineError, match="streaming-hot-path-"):
+            resolve_baseline(tmp_path, make_streaming_artifact())
+
+    def test_plain_artifact_file_accepted(self, tmp_path):
+        artifact = make_streaming_artifact()
+        path = tmp_path / "BENCH_streaming.json"
+        path.write_text(json.dumps(artifact), encoding="utf-8")
+        obj, got_path, exact = resolve_baseline(path, artifact)
+        assert got_path == path
+        assert exact is True
+        assert obj["benchmark"] == "streaming-hot-path"

@@ -1,0 +1,185 @@
+"""CLI tests for ``bench compare`` / ``bench promote`` and the CI gate.
+
+These drive the exact command lines the CI job runs: promote a
+candidate into a baseline store, self-compare under ``--gate`` (exit
+0, every metric ``no-change``), then gate a doctored 30%-slower
+candidate (exit 1).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.bench.test_compare import make_streaming_artifact
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A baseline dir holding a promoted copy of a synthetic artifact."""
+    artifact = make_streaming_artifact(methods=("ldg", "spnl"))
+    candidate = tmp_path / "BENCH_streaming.json"
+    candidate.write_text(json.dumps(artifact), encoding="utf-8")
+    baselines = tmp_path / "baselines"
+    code = main(["bench", "promote", "--candidate", str(candidate),
+                 "--baselines-dir", str(baselines)])
+    assert code == 0
+    return artifact, candidate, baselines
+
+
+class TestPromoteCLI:
+    def test_promote_writes_validated_baseline(self, store):
+        from repro.bench.baseline import load_baseline
+
+        _artifact, _candidate, baselines = store
+        (path,) = sorted(baselines.glob("streaming-hot-path-*.json"))
+        envelope = load_baseline(path)
+        assert envelope["bench"] == "streaming-hot-path"
+
+    def test_promote_without_candidate_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires --candidate"):
+            main(["bench", "promote",
+                  "--baselines-dir", str(tmp_path / "b")])
+
+    def test_promote_rejects_garbage_artifact(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"benchmark\": null}", encoding="utf-8")
+        with pytest.raises(SystemExit, match="error"):
+            main(["bench", "promote", "--candidate", str(bad),
+                  "--baselines-dir", str(tmp_path / "b")])
+
+
+class TestCompareCLI:
+    def test_self_compare_is_no_change_and_gates_green(self, store,
+                                                       capsys):
+        _artifact, candidate, baselines = store
+        code = main(["bench", "compare", "--candidate", str(candidate),
+                     "--baselines-dir", str(baselines), "--gate"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "verdict: no-change" in printed
+        assert "regressed" in printed  # the counts line
+        assert "improved" in printed
+
+    def test_injected_slowdown_fails_the_gate(self, store, tmp_path,
+                                              capsys):
+        artifact, _candidate, baselines = store
+        slow = copy.deepcopy(artifact)
+        for rec in slow["results"]:
+            rec["fast"]["runs_s"] = [t * 1.3 for t in
+                                     rec["fast"]["runs_s"]]
+        slow_path = tmp_path / "BENCH_slow.json"
+        slow_path.write_text(json.dumps(slow), encoding="utf-8")
+        code = main(["bench", "compare", "--candidate", str(slow_path),
+                     "--baselines-dir", str(baselines), "--gate"])
+        assert code == 1
+        out = capsys.readouterr()
+        assert "gate: FAIL" in out.err
+        assert "ldg/fast" in out.err
+
+    def test_slowdown_without_gate_still_exits_zero(self, store,
+                                                    tmp_path, capsys):
+        artifact, _candidate, baselines = store
+        slow = copy.deepcopy(artifact)
+        for rec in slow["results"]:
+            rec["fast"]["runs_s"] = [t * 1.3 for t in
+                                     rec["fast"]["runs_s"]]
+        slow_path = tmp_path / "BENCH_slow.json"
+        slow_path.write_text(json.dumps(slow), encoding="utf-8")
+        code = main(["bench", "compare", "--candidate", str(slow_path),
+                     "--baselines-dir", str(baselines)])
+        assert code == 0
+        assert "verdict: regressed" in capsys.readouterr().out
+
+    def test_generous_noise_floor_suppresses_the_regression(
+            self, store, tmp_path, capsys):
+        artifact, _candidate, baselines = store
+        slow = copy.deepcopy(artifact)
+        for rec in slow["results"]:
+            rec["fast"]["runs_s"] = [t * 1.3 for t in
+                                     rec["fast"]["runs_s"]]
+        slow_path = tmp_path / "BENCH_slow.json"
+        slow_path.write_text(json.dumps(slow), encoding="utf-8")
+        code = main(["bench", "compare", "--candidate", str(slow_path),
+                     "--baselines-dir", str(baselines), "--gate",
+                     "--noise-floor", "0.75"])
+        assert code == 0
+        assert "verdict: no-change" in capsys.readouterr().out
+
+    def test_report_json_and_trace_outputs(self, store, tmp_path,
+                                           capsys):
+        from repro.observability.schema import validate_record
+
+        _artifact, candidate, baselines = store
+        report = tmp_path / "report.md"
+        verdict = tmp_path / "verdict.json"
+        trace = tmp_path / "trace.jsonl"
+        code = main(["bench", "compare", "--candidate", str(candidate),
+                     "--baselines-dir", str(baselines),
+                     "--report", str(report), "--json", str(verdict),
+                     "--trace", str(trace)])
+        assert code == 0
+        assert report.read_text(encoding="utf-8") \
+            .startswith("# bench compare")
+        payload = json.loads(verdict.read_text(encoding="utf-8"))
+        assert payload["verdict"] == "no-change"
+        (record,) = [json.loads(line) for line in
+                     trace.read_text(encoding="utf-8").splitlines()]
+        validate_record(record)
+        assert record["type"] == "bench_compare"
+
+    def test_explicit_baseline_file_and_envelope_unwrap(self, store,
+                                                        tmp_path):
+        _artifact, candidate, baselines = store
+        (envelope_path,) = sorted(
+            baselines.glob("streaming-hot-path-*.json"))
+        # envelope as --baseline, raw artifact as candidate
+        code = main(["bench", "compare", "--candidate", str(candidate),
+                     "--baseline", str(envelope_path), "--gate"])
+        assert code == 0
+        # envelope as --candidate too (unwrapped transparently)
+        code = main(["bench", "compare",
+                     "--candidate", str(envelope_path),
+                     "--baseline", str(envelope_path), "--gate"])
+        assert code == 0
+
+    def test_missing_candidate_errors(self, store):
+        _artifact, _candidate, baselines = store
+        with pytest.raises(SystemExit, match="requires --candidate"):
+            main(["bench", "compare",
+                  "--baselines-dir", str(baselines)])
+
+    def test_empty_baseline_store_errors(self, tmp_path):
+        artifact = make_streaming_artifact()
+        candidate = tmp_path / "c.json"
+        candidate.write_text(json.dumps(artifact), encoding="utf-8")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no baseline for bench"):
+            main(["bench", "compare", "--candidate", str(candidate),
+                  "--baseline", str(empty)])
+
+
+@pytest.mark.benchsmoke
+class TestGateSmoke:
+    """The exact promote → compare → gate loop the CI job runs."""
+
+    def test_quick_bench_promote_compare_round_trip(self, tmp_path,
+                                                    capsys):
+        out = tmp_path / "BENCH_streaming.json"
+        code = main(["bench", "streaming", "--quick", "-k", "4",
+                     "--bench-out", str(out)])
+        assert code == 0
+        baselines = tmp_path / "baselines"
+        assert main(["bench", "promote", "--candidate", str(out),
+                     "--baselines-dir", str(baselines)]) == 0
+        assert main(["bench", "compare", "--candidate", str(out),
+                     "--baselines-dir", str(baselines), "--gate",
+                     "--report", str(tmp_path / "report.md")]) == 0
+        printed = capsys.readouterr().out
+        assert "verdict: no-change" in printed
+        artifact = json.loads(out.read_text(encoding="utf-8"))
+        # The bugfix: artifacts now record which code produced them.
+        assert "commit" in artifact["machine"]
+        assert "dirty" in artifact["machine"]

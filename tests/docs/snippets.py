@@ -1,0 +1,96 @@
+"""Shared extraction of fenced code blocks from the repo's markdown.
+
+The executable-docs contract: every fenced ```python block in README.md
+and docs/*.md either runs top-to-bottom (cumulatively per file, in a
+scratch directory) or carries an explicit opt-out.  Opt-out is either
+
+* an HTML comment on the line(s) just above the fence::
+
+      <!-- no-run: needs a live crawler -->
+      ```python
+
+* or the fence info string itself: ```python no-run
+
+Both forms require a reason (after the colon, or prose in the comment);
+an opt-out without one fails the suite, so skips stay auditable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = tuple(
+    path.relative_to(REPO_ROOT)
+    for path in (REPO_ROOT / "README.md",
+                 *sorted((REPO_ROOT / "docs").glob("*.md")))
+)
+
+_FENCE_OPEN = re.compile(r"^```(\w+)?(.*)$")
+_NO_RUN_COMMENT = re.compile(r"<!--\s*no-run\s*(?::\s*(.*?))?\s*-->")
+
+
+@dataclass
+class Snippet:
+    path: Path          # repo-relative
+    lineno: int         # 1-based line of the opening fence
+    language: str
+    code: str
+    no_run: bool
+    reason: str | None  # why it is opted out (None when runnable)
+
+    @property
+    def where(self) -> str:
+        return f"{self.path}:{self.lineno}"
+
+
+def _marker_above(lines: list[str], fence_index: int) -> str | None:
+    """Return the no-run reason from a comment above the fence, if any."""
+    i = fence_index - 1
+    while i >= 0 and not lines[i].strip():
+        i -= 1
+    if i >= 0:
+        match = _NO_RUN_COMMENT.search(lines[i])
+        if match:
+            return match.group(1) or ""
+    return None
+
+
+def extract_snippets(relpath: Path) -> list[Snippet]:
+    text = (REPO_ROOT / relpath).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    snippets: list[Snippet] = []
+    i = 0
+    while i < len(lines):
+        match = _FENCE_OPEN.match(lines[i])
+        if not match or lines[i].strip() == "```":
+            i += 1
+            continue
+        language = (match.group(1) or "").lower()
+        info_rest = (match.group(2) or "").strip()
+        start = i
+        body: list[str] = []
+        i += 1
+        while i < len(lines) and lines[i].strip() != "```":
+            body.append(lines[i])
+            i += 1
+        i += 1  # past the closing fence
+        no_run = False
+        reason: str | None = None
+        if "no-run" in info_rest:
+            no_run, reason = True, info_rest.replace("no-run", "").strip()
+        else:
+            comment_reason = _marker_above(lines, start)
+            if comment_reason is not None:
+                no_run, reason = True, comment_reason
+        snippets.append(Snippet(
+            path=relpath, lineno=start + 1, language=language,
+            code="\n".join(body) + "\n", no_run=no_run, reason=reason))
+    return snippets
+
+
+def python_snippets(relpath: Path) -> list[Snippet]:
+    return [s for s in extract_snippets(relpath) if s.language == "python"]

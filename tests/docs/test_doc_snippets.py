@@ -1,0 +1,106 @@
+"""Execute every fenced ```python block in README.md and docs/*.md.
+
+Blocks run cumulatively per file — later blocks see names defined by
+earlier ones, matching how a reader would paste them into one session —
+inside a scratch working directory, so snippets may freely write files
+(`crawl.adj.gz`, `trace.jsonl`, checkpoint dirs) without touching the
+repo.  A block that must not run carries an explicit marker (see
+`tests/docs/snippets.py`); markers without a reason fail the suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tests.docs.snippets import DOC_FILES, Snippet, python_snippets
+
+_IDS = [str(p).replace("/", "-") for p in DOC_FILES]
+
+
+@pytest.mark.parametrize("relpath", DOC_FILES, ids=_IDS)
+def test_python_snippets_execute(relpath, tmp_path, monkeypatch):
+    snippets = python_snippets(relpath)
+    runnable = [s for s in snippets if not s.no_run]
+    if not runnable:
+        pytest.skip(f"{relpath}: no runnable python blocks")
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": f"doc_snippet_{relpath.stem}"}
+    for snippet in runnable:
+        code = compile(snippet.code, snippet.where, "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - the docs ARE the test
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"doc snippet {snippet.where} raised "
+                f"{type(exc).__name__}: {exc}\n--- snippet ---\n"
+                f"{snippet.code}")
+
+
+@pytest.mark.parametrize("relpath", DOC_FILES, ids=_IDS)
+def test_opted_out_snippets_state_a_reason(relpath):
+    for snippet in python_snippets(relpath):
+        if snippet.no_run:
+            assert snippet.reason, (
+                f"{snippet.where}: no-run marker without a reason — "
+                "say why the block cannot execute")
+
+
+def test_the_docs_actually_contain_executable_blocks():
+    """Guard against the extractor silently matching nothing."""
+    total = sum(
+        1
+        for relpath in DOC_FILES
+        for s in python_snippets(relpath)
+        if not s.no_run)
+    assert total >= 10, f"only {total} runnable blocks found across docs"
+
+
+def test_extractor_sees_every_doc_file():
+    names = {Path(p).name for p in DOC_FILES}
+    assert "README.md" in names
+    assert "tutorial.md" in names
+    assert "benchmarks.md" in names
+
+
+class TestExtractorSemantics:
+    """Pin the marker grammar the docs rely on."""
+
+    def _one(self, tmp_path, text) -> Snippet:
+        import tests.docs.snippets as mod
+        doc = tmp_path / "doc.md"
+        doc.write_text(text, encoding="utf-8")
+        original = mod.REPO_ROOT
+        mod.REPO_ROOT = tmp_path
+        try:
+            (snippet,) = mod.python_snippets(Path("doc.md"))
+        finally:
+            mod.REPO_ROOT = original
+        return snippet
+
+    def test_plain_block_is_runnable(self, tmp_path):
+        snippet = self._one(tmp_path, "```python\nx = 1\n```\n")
+        assert not snippet.no_run
+        assert snippet.code == "x = 1\n"
+        assert snippet.lineno == 1
+
+    def test_comment_marker_opts_out(self, tmp_path):
+        snippet = self._one(
+            tmp_path,
+            "<!-- no-run: needs a cluster -->\n\n```python\nboom()\n```\n")
+        assert snippet.no_run
+        assert snippet.reason == "needs a cluster"
+
+    def test_info_string_marker_opts_out(self, tmp_path):
+        snippet = self._one(tmp_path, "```python no-run\nboom()\n```\n")
+        assert snippet.no_run
+
+    def test_bash_blocks_are_not_collected(self, tmp_path):
+        import tests.docs.snippets as mod
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\nrm -rf /\n```\n", encoding="utf-8")
+        original = mod.REPO_ROOT
+        mod.REPO_ROOT = tmp_path
+        try:
+            assert mod.python_snippets(Path("doc.md")) == []
+        finally:
+            mod.REPO_ROOT = original
