@@ -47,17 +47,22 @@ from .partitioning import (  # noqa: E402
     FennelPartitioner,
     LDGPartitioner,
     PartitionAssignment,
+    PartitionConfig,
     SPNLPartitioner,
     SPNPartitioner,
     evaluate,
 )
 
 # The stable facade (documented in repro.api): build by name, partition in
-# one call, evaluate.  Old deep-module import paths stay valid aliases.
+# one call, evaluate — plus the online pair serve/connect (the placement
+# service, docs/service.md).  Old deep-module import paths stay valid
+# aliases.
 from .api import (  # noqa: E402
     available_partitioners,
+    connect,
     make_partitioner,
     partition_stream,
+    serve,
 )
 
 __all__ = [
@@ -66,14 +71,17 @@ __all__ = [
     "GraphStream",
     "LDGPartitioner",
     "PartitionAssignment",
+    "PartitionConfig",
     "SPNLPartitioner",
     "SPNPartitioner",
     "available_partitioners",
     "community_web_graph",
+    "connect",
     "evaluate",
     "graph",
     "make_partitioner",
     "partition_stream",
     "partitioning",
+    "serve",
     "__version__",
 ]

@@ -36,6 +36,7 @@ from typing import Any
 from .graph.digraph import DiGraph
 from .graph.stream import GraphStream, VertexStream
 from .partitioning.base import StreamingResult
+from .partitioning.config import PartitionConfig, warn_kwargs_style_once
 from .partitioning.metrics import evaluate
 from .partitioning.registry import (
     available_partitioners,
@@ -43,16 +44,17 @@ from .partitioning.registry import (
     resolve,
 )
 
-__all__ = ["available_partitioners", "evaluate", "make_partitioner",
-           "partition_stream"]
+__all__ = ["available_partitioners", "connect", "evaluate",
+           "make_partitioner", "partition_stream", "serve"]
 
 
 def partition_stream(graph: DiGraph | VertexStream,
-                     method: str = "spnl",
+                     method: str | PartitionConfig = "spnl",
                      num_partitions: int = 32, *,
                      order: Any = None,
                      threads: int = 1,
                      instrumentation: Any = None,
+                     config: PartitionConfig | None = None,
                      **kwargs: Any) -> StreamingResult:
     """Partition ``graph`` with the named method, end to end.
 
@@ -67,7 +69,10 @@ def partition_stream(graph: DiGraph | VertexStream,
         the same ``assignment``/``elapsed_seconds``/``stats`` fields.
     method:
         A registered partitioner name (``repro.available_partitioners()``
-        lists them); unknown names raise with that list.
+        lists them); unknown names raise with that list.  A
+        :class:`~repro.partitioning.config.PartitionConfig` may be
+        passed here directly (``partition_stream(graph, cfg)``) and
+        supplies the name, ``K``, and every tuning knob.
     num_partitions:
         ``K``.
     order:
@@ -81,11 +86,31 @@ def partition_stream(graph: DiGraph | VertexStream,
         given, the pass emits windowed trace records (see
         ``docs/observability.md``).  ``None`` keeps the bit-exact
         uninstrumented path.
+    config:
+        A :class:`PartitionConfig` naming the method and its knobs —
+        the preferred way to specify a run.  Mutually exclusive with
+        loose ``**kwargs``.
     **kwargs:
         Heuristic parameters (``slack``, ``lam``, ``num_shards``, …)
         forwarded to the constructor; unknown ones are dropped so the
-        same call shape works across methods.
+        same call shape works across methods.  Deprecated in favour of
+        ``config`` (one :class:`DeprecationWarning` per process).
     """
+    if isinstance(method, PartitionConfig):
+        if config is not None:
+            raise TypeError("pass the PartitionConfig as method= or "
+                            "config=, not both")
+        config = method
+    if config is not None:
+        if kwargs:
+            raise TypeError(
+                "config= and loose heuristic kwargs are mutually "
+                "exclusive; fold the kwargs into the PartitionConfig")
+        method = config.method
+        num_partitions = config.num_partitions
+        kwargs = config.kwargs()
+    elif kwargs:
+        warn_kwargs_style_once()
     entry = resolve(method)
     partitioner = make_partitioner(method, num_partitions,
                                    ignore_unknown=True, **kwargs)
@@ -108,3 +133,44 @@ def partition_stream(graph: DiGraph | VertexStream,
     if instrumentation is None:
         return partitioner.partition(stream)
     return partitioner.partition(stream, instrumentation=instrumentation)
+
+
+def serve(graph: Any, config: PartitionConfig | None = None, *,
+          host: str = "127.0.0.1", port: int = 0,
+          snapshot_dir: Any = None, resume_from: Any = None,
+          **kwargs: Any) -> Any:
+    """Boot a live placement server over ``graph``; returns it started.
+
+    The online twin of :func:`partition_stream`: instead of one batch
+    pass, a long-lived :class:`~repro.service.PlacementService` holds the
+    partitioner state and answers ``place``/``lookup``/``stats`` over the
+    versioned wire protocol (``protocol: 1`` — see ``docs/service.md``).
+
+    ``graph`` is a :class:`DiGraph` or a path to a graph file (loaded
+    through the binary CSR cache when a sidecar exists).  The returned
+    service is already listening — read ``service.address`` for the
+    bound ``(host, port)`` and call ``service.close()`` (or use it as a
+    context manager) to drain and stop.  Remaining ``kwargs`` go to
+    :class:`~repro.service.PlacementService`.
+    """
+    from .service import PlacementService
+    return PlacementService.start(
+        graph, config=config, host=host, port=port,
+        snapshot_dir=snapshot_dir, resume_from=resume_from, **kwargs)
+
+
+def connect(host: str = "127.0.0.1", port: int = 0,
+            **kwargs: Any) -> Any:
+    """Open a :class:`~repro.service.ServiceClient` to a running server.
+
+    Performs the ``hello`` protocol handshake on connect (raising
+    :class:`~repro.service.ServiceError` on a version mismatch) and
+    returns the ready client.  ``connect(service)`` also works — any
+    object with an ``address`` attribute is dereferenced, so
+    ``repro.connect(repro.serve(graph))`` composes.
+    """
+    from .service import ServiceClient
+    address = getattr(host, "address", None)
+    if address is not None:
+        host, port = address
+    return ServiceClient(host, port, **kwargs)

@@ -132,12 +132,19 @@ def validate_baseline(obj: Any) -> None:
              "artifact must carry a non-empty results list")
     for i, rec in enumerate(results):
         _require(isinstance(rec, dict), f"results[{i}] must be an object")
-        _require(("method" in rec) or ("stage" in rec),
-                 f"results[{i}] must name a method or stage")
-        sides = [key for key in ("fast", "seed", "baseline", "optimized")
-                 if key in rec]
-        _require(len(sides) >= 2,
-                 f"results[{i}] must carry two timed sides")
+        _require(("method" in rec) or ("stage" in rec)
+                 or ("endpoint" in rec),
+                 f"results[{i}] must name a method, stage, or endpoint")
+        if "endpoint" in rec:
+            # Service-bench records: per-repeat latency percentiles.
+            sides = [key for key in ("p50", "p95", "p99") if key in rec]
+            _require(len(sides) >= 1,
+                     f"results[{i}] must carry at least one percentile")
+        else:
+            sides = [key for key in ("fast", "seed", "baseline",
+                                     "optimized") if key in rec]
+            _require(len(sides) >= 2,
+                     f"results[{i}] must carry two timed sides")
         for side in sides:
             runs = rec[side].get("runs_s") \
                 if isinstance(rec[side], dict) else None

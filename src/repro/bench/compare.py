@@ -1,7 +1,7 @@
 """Statistical comparison of two benchmark artifacts.
 
-``BENCH_streaming.json`` / ``BENCH_ingest.json`` record *per-repeat*
-samples (``runs_s``), not just medians — this module is the consumer
+``BENCH_streaming.json`` / ``BENCH_ingest.json`` / ``BENCH_service.json``
+record *per-repeat* samples (``runs_s``), not just medians — this module is the consumer
 those samples were kept for.  Given a baseline artifact and a candidate
 artifact of the same benchmark it decides, per metric, whether the
 candidate **improved**, **regressed**, or is statistically
@@ -196,7 +196,10 @@ def extract_metrics(artifact: Mapping[str, Any]) -> dict[str, list[float]]:
 
     * ``streaming-hot-path`` → ``<method>/fast`` and ``<method>/seed``;
     * ``ingest-pipeline`` → ``<stage>/optimized`` and
-      ``<stage>/baseline``.
+      ``<stage>/baseline``;
+    * ``service-bench`` → ``<endpoint>/p50`` / ``/p95`` / ``/p99``
+      (per-repeat latency percentiles of the placement service;
+      throughput fields are informational and not gated).
 
     All metrics are durations in seconds: lower is better.  Unknown
     benchmark layouts raise :class:`CompareError` rather than guessing.
@@ -213,10 +216,18 @@ def extract_metrics(artifact: Mapping[str, Any]) -> dict[str, list[float]]:
             name = rec["stage"]
             metrics[f"{name}/optimized"] = list(rec["optimized"]["runs_s"])
             metrics[f"{name}/baseline"] = list(rec["baseline"]["runs_s"])
+    elif kind == "service-bench":
+        for rec in artifact.get("results", []):
+            name = rec["endpoint"]
+            for quantile in ("p50", "p95", "p99"):
+                if quantile in rec:
+                    metrics[f"{name}/{quantile}"] = \
+                        list(rec[quantile]["runs_s"])
     else:
         raise CompareError(
             f"unknown benchmark kind {kind!r}; expected "
-            "'streaming-hot-path' or 'ingest-pipeline'")
+            "'streaming-hot-path', 'ingest-pipeline', or "
+            "'service-bench'")
     if not metrics:
         raise CompareError(f"artifact {kind!r} contains no results")
     return metrics
@@ -226,7 +237,7 @@ def extract_identity_flags(artifact: Mapping[str, Any]) -> dict[str, bool]:
     """Byte-identity booleans from an artifact, flattened to one level."""
     flags: dict[str, bool] = {}
     for rec in artifact.get("results", []):
-        name = rec.get("method") or rec.get("stage")
+        name = rec.get("method") or rec.get("stage") or rec.get("endpoint")
         if name is not None and "identical" in rec:
             flags[f"{name}/identical"] = bool(rec["identical"])
     for method, checks in (artifact.get("identity") or {}).items():

@@ -14,6 +14,12 @@ Subcommands
     Regenerate one of the paper's tables/figures on the stand-ins.
 ``info``
     Print dataset statistics for a graph file or named stand-in.
+``serve``
+    Run the long-lived placement service (partition-as-a-service) in
+    the foreground; SIGTERM/SIGINT drain gracefully.
+``serve-bench``
+    Load-test a freshly-booted service and write ``BENCH_service.json``
+    for the compare/promote gate.
 """
 
 from __future__ import annotations
@@ -66,21 +72,39 @@ def _load_graph(path_or_name: str, *, policy=None, cache=None):
     return reader(path, policy=policy)
 
 
-def _make_partitioner(method: str, k: int, args: argparse.Namespace):
-    """Build the chosen method through the registry.
+def _config_from_args(args: argparse.Namespace, *, method: str | None = None,
+                      k: int | None = None):
+    """Bundle the CLI's shared heuristic flags into a PartitionConfig.
 
-    Every method shares the CLI's one flag namespace
-    (``--slack/--lam/--shards``); ``ignore_unknown=True`` lets each
-    factory bind only the parameters it takes.
+    The flags default to ``None`` on subcommands that omit them, so the
+    config only pins knobs the parser actually exposes — registry and
+    constructor defaults stay in charge of the rest.
     """
-    from .partitioning.registry import make_partitioner
+    from .partitioning.config import PartitionConfig
 
     try:
-        return make_partitioner(
-            method, k, ignore_unknown=True,
-            slack=args.slack, lam=args.lam, num_shards=args.shards,
-            gamma_store=getattr(args, "gamma_store", "auto"),
+        return PartitionConfig(
+            method=method if method is not None else args.method,
+            num_partitions=k if k is not None else args.k,
+            slack=getattr(args, "slack", None),
+            lam=getattr(args, "lam", None),
+            num_shards=getattr(args, "shards", None),
+            gamma_store=getattr(args, "gamma_store", None),
             gamma_buckets=getattr(args, "gamma_buckets", None))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _make_partitioner(method: str, k: int, args: argparse.Namespace):
+    """Build the chosen method through one :class:`PartitionConfig`.
+
+    Every method shares the CLI's one flag namespace
+    (``--slack/--lam/--shards``); the config's build path drops knobs a
+    method doesn't take, so each factory binds only the parameters it
+    understands.
+    """
+    try:
+        return _config_from_args(args, method=method, k=k).make()
     except ValueError as exc:  # unknown name: exit with the full list
         raise SystemExit(f"error: {exc}")
 
@@ -233,13 +257,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_edgepartition(args: argparse.Namespace) -> int:
     from .edgepart import evaluate_edges
-    from .partitioning.registry import make_partitioner
 
     graph = _load_graph(args.graph)
     try:
-        partitioner = make_partitioner(args.method, args.k, kind="edge",
-                                       ignore_unknown=True,
-                                       slack=args.slack)
+        partitioner = _config_from_args(args).make(kind="edge")
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     result = partitioner.partition(graph)
@@ -494,9 +515,136 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the placement service in the foreground.
+
+    Prints a parseable ``listening on HOST:PORT`` line to stdout once
+    the socket is bound (supervisors and the chaos tests key on it),
+    then blocks until SIGTERM/SIGINT triggers a graceful drain.
+    """
+    import signal
+
+    from .service import PlacementService
+
+    graph = _load_graph(args.graph,
+                        cache=getattr(args, "graph_cache", None))
+    config = _config_from_args(args)
+    instrumentation = _make_instrumentation(args)
+    try:
+        service = PlacementService.start(
+            graph, config=config, host=args.host, port=args.port,
+            snapshot_dir=args.snapshot_dir,
+            resume_from=args.resume_from,
+            snapshot_every=args.snapshot_every,
+            snapshot_keep=args.snapshot_keep,
+            wal_fsync=not args.no_fsync,
+            queue_depth=args.queue_depth, batch_max=args.batch_max,
+            instrumentation=instrumentation)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+    host, port = service.address
+    print(f"listening on {host}:{port}", flush=True)
+    durability = (f"snapshots -> {args.snapshot_dir}"
+                  if args.snapshot_dir else "volatile (no --snapshot-dir)")
+    print(f"serving {graph.name}: |V|={graph.num_vertices} "
+          f"|E|={graph.num_edges} method={config.method} "
+          f"K={config.num_partitions} [{durability}]",
+          file=sys.stderr, flush=True)
+
+    def _on_signal(signum: int, frame: object) -> None:
+        service.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        # Poll so signals keep getting delivered to the main thread.
+        while not service.wait(0.5):
+            pass
+    finally:
+        service.close()
+        if instrumentation is not None:
+            instrumentation.close()
+    stats = service.stats()
+    fast = stats["fast_path"]
+    print(f"drained: {stats['placements']} placements "
+          f"({fast['fused_placements']} fused), "
+          f"{stats['groups_processed']} engine groups, "
+          f"position {stats['position']}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``serve-bench``: load-generate against a fresh service."""
+    from .bench.report import format_table
+    from .service import run_service_bench
+
+    graph = None
+    if args.graph is not None:
+        graph = _load_graph(args.graph,
+                            cache=getattr(args, "graph_cache", None))
+    config = _config_from_args(args)
+    num_vertices = args.vertices
+    repeats, warmup, lookups = args.repeats, args.warmup, args.lookups
+    if args.quick:
+        num_vertices = min(num_vertices, 4000)
+        repeats, warmup, lookups = min(repeats, 2), min(warmup, 1), 200
+    try:
+        artifact = run_service_bench(
+            graph, num_vertices=num_vertices, seed=args.seed,
+            config=config, clients=args.clients,
+            batch_size=args.batch_size, lookups_per_client=lookups,
+            repeats=repeats, warmup=warmup, target_rps=args.target_rps,
+            durable=not args.volatile, queue_depth=args.queue_depth,
+            batch_max=args.batch_max, out_path=args.bench_out,
+            verbose=True)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    rows = []
+    for rec in artifact["results"]:
+        row = {
+            "endpoint": rec["endpoint"],
+            "p50 (ms)": f"{rec['p50']['median_s'] * 1e3:.2f}",
+            "p99 (ms)": f"{rec['p99']['median_s'] * 1e3:.2f}",
+        }
+        if "placements_per_s" in rec:
+            row["placements/s"] = \
+                f"{rec['placements_per_s']['median']:,.0f}"
+            row["fused"] = f"{rec['fused_fraction_median']:.0%}"
+            if "identical" in rec:
+                row["identical"] = rec["identical"]
+        rows.append(row)
+    print(format_table(rows, title="service bench"))
+    print(f"artifact written to {args.bench_out}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_heuristic_flags(p: argparse.ArgumentParser, *,
+                         methods: list[str],
+                         default_method: str = "spnl") -> None:
+    """The shared partitioner-tuning flag set (one namespace, one
+    :func:`_config_from_args`)."""
+    p.add_argument("--method", choices=methods, default=default_method)
+    p.add_argument("-k", type=int, default=32, help="number of partitions")
+    p.add_argument("--slack", type=float, default=1.1,
+                   help="balance threshold δ")
+    p.add_argument("--lam", type=float, default=0.5,
+                   help="λ weighting in/out neighbors (SPN/SPNL)")
+    p.add_argument("--shards", default="auto",
+                   help="sliding-window X (int or 'auto')")
+    p.add_argument("--gamma-store", default="auto",
+                   choices=["auto", "dense", "window", "hashed"],
+                   help="Γ expectation store backend for SPN/SPNL "
+                        "(default auto: dense or sliding window by "
+                        "--shards; 'hashed' caps memory at "
+                        "--gamma-buckets rows)")
+    p.add_argument("--gamma-buckets", type=int, default=None, metavar="B",
+                   help="row count for --gamma-store hashed "
+                        "(default: num_vertices // 16, min 1024)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-partition",
@@ -518,15 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("partition", help="partition a graph")
     p.add_argument("graph", help="graph file or named dataset")
     p.add_argument("output", help="route-table output path")
-    p.add_argument("--method", choices=available_partitioners(),
-                   default="spnl")
-    p.add_argument("-k", type=int, default=32, help="number of partitions")
-    p.add_argument("--slack", type=float, default=1.1,
-                   help="balance threshold δ")
-    p.add_argument("--lam", type=float, default=0.5,
-                   help="λ weighting in/out neighbors (SPN/SPNL)")
-    p.add_argument("--shards", default="auto",
-                   help="sliding-window X (int or 'auto')")
+    _add_heuristic_flags(p, methods=available_partitioners())
     p.add_argument("--threads", type=int, default=1,
                    help="parallel placement workers")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
@@ -554,15 +694,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="load the graph through a binary .reprocsr cache "
                         "(sidecar next to the input, or an explicit PATH); "
                         "written on first use, mmap-loaded afterwards")
-    p.add_argument("--gamma-store", default="auto",
-                   choices=["auto", "dense", "window", "hashed"],
-                   help="Γ expectation store backend for SPN/SPNL "
-                        "(default auto: dense or sliding window by "
-                        "--shards; 'hashed' caps memory at "
-                        "--gamma-buckets rows)")
-    p.add_argument("--gamma-buckets", type=int, default=None, metavar="B",
-                   help="row count for --gamma-store hashed "
-                        "(default: num_vertices // 16, min 1024)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("edgepartition",
@@ -639,6 +770,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
                    help="[compare] emit the bench_compare trace record")
     p.set_defaults(func=_cmd_bench)
+
+    from .partitioning.registry import resolve
+    streaming_methods = [m for m in available_partitioners()
+                         if resolve(m).is_streaming]
+
+    p = sub.add_parser("serve",
+                       help="run the long-lived placement service "
+                            "(partition-as-a-service)")
+    p.add_argument("graph", help="graph file or named dataset")
+    _add_heuristic_flags(p, methods=streaming_methods)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: pick an ephemeral port, "
+                        "reported on the 'listening on' line)")
+    p.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                   help="durability directory (snapshots + placement "
+                        "WAL); omit for a volatile server")
+    p.add_argument("--resume-from", default=None, metavar="DIR|SNAP",
+                   help="warm-restart from a snapshot directory (or one "
+                        "snapshot file): restores state, replays the "
+                        "WAL tail, keeps every acked placement")
+    p.add_argument("--snapshot-every", type=int, default=100_000,
+                   metavar="N",
+                   help="auto-snapshot every N placements (default "
+                        "100000)")
+    p.add_argument("--snapshot-keep", type=int, default=3, metavar="N",
+                   help="snapshots retained (default 3)")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip the per-group WAL fsync (faster, loses "
+                        "the crash-durability guarantee)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="engine queue bound before backpressure "
+                        "(default 64)")
+    p.add_argument("--batch-max", type=int, default=256,
+                   help="max requests coalesced per engine step "
+                        "(default 256)")
+    p.add_argument("--graph-cache", nargs="?", const=True, default=None,
+                   metavar="PATH",
+                   help="load through a binary .reprocsr cache")
+    p.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                   help="write service_request trace records")
+    p.add_argument("--probe-every", type=int, default=None, metavar="N",
+                   help="trace window size (see 'partition')")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("serve-bench",
+                       help="load-test the placement service and write "
+                            "BENCH_service.json")
+    p.add_argument("graph", nargs="?", default=None,
+                   help="graph file or named dataset (default: a "
+                        "synthetic community web graph)")
+    _add_heuristic_flags(p, methods=streaming_methods)
+    p.add_argument("--vertices", type=int, default=20_000,
+                   help="synthetic graph size when no graph is given")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client connections (default 4)")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="vertices per place_batch request (default 64)")
+    p.add_argument("--lookups", type=int, default=500, metavar="N",
+                   help="lookups per client after the place phase")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--target-rps", type=float, default=None,
+                   metavar="RPS",
+                   help="pace placement requests per second across all "
+                        "clients (default: full speed)")
+    p.add_argument("--volatile", action="store_true",
+                   help="bench without snapshots/WAL (isolates protocol "
+                        "+ engine cost)")
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--batch-max", type=int, default=256)
+    p.add_argument("--quick", action="store_true",
+                   help="small graph, 2 repeats (CI smoke)")
+    p.add_argument("--bench-out", default="BENCH_service.json",
+                   help="artifact path (default BENCH_service.json)")
+    p.add_argument("--graph-cache", nargs="?", const=True, default=None,
+                   metavar="PATH",
+                   help="load through a binary .reprocsr cache")
+    p.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

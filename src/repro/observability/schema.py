@@ -42,6 +42,11 @@ tooling (and enforced by the test suite over every emitted record):
     comparison (the regression gate): seq, bench, baseline, candidate,
     improved, unchanged, regressed, verdict, fingerprint_match.
 
+``service_request`` — one record per engine batch processed by the
+    placement service: seq, op, count, queue_depth, elapsed_seconds,
+    ok, plus the optional ``fused`` gauge (placements that went through
+    the coalesced fast kernel).
+
 Field specs are ``(types, required)``.  ``validate_record`` raises
 :class:`TraceSchemaError` on an unknown type, a missing required field,
 an unknown field, or a type mismatch; ``None`` is allowed exactly for
@@ -152,6 +157,16 @@ TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
         "elapsed_seconds": (_NUM, True, False),
         "records": (_INT, False, True),
         "bytes": (_INT, False, True),
+    },
+    "service_request": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "op": (_STR, True, False),
+        "count": (_INT, True, False),
+        "queue_depth": (_INT, True, False),
+        "elapsed_seconds": (_NUM, True, False),
+        "ok": (_BOOL, True, False),
+        "fused": (_INT, False, True),
     },
     "bench_compare": {
         "type": (_STR, True, False),

@@ -9,6 +9,7 @@ from .analysis import (
 )
 from .assignment import UNASSIGNED, PartitionAssignment
 from .buffered import BufferedHybridPartitioner
+from .config import PartitionConfig
 from .dynamic import DynamicPartitioner
 from .base import (
     BalanceMode,
@@ -62,6 +63,7 @@ __all__ = [
     "HashPartitioner",
     "LDGPartitioner",
     "PartitionAssignment",
+    "PartitionConfig",
     "PartitionConnectivity",
     "PartitionState",
     "QualityReport",

@@ -482,13 +482,52 @@ def make_weight_updater(state: PartitionState,
 
 @dataclass
 class StreamingResult:
-    """Outcome of one streaming partitioning run."""
+    """Outcome of one streaming partitioning run.
+
+    ``stats`` stays a plain dict (the backwards-compatible payload every
+    sink and bench table consumes), but the normalised keys are also
+    exposed as typed properties — ``result.placements`` instead of
+    ``result.stats["placements"]`` — so callers and the service ``stats``
+    endpoint stop string-indexing.  Keys a heuristic did not report come
+    back as their documented defaults, never :class:`KeyError`.
+    """
 
     assignment: PartitionAssignment
     partitioner: str
     elapsed_seconds: float
     num_partitions: int
     stats: dict[str, Any] = field(default_factory=dict)
+
+    # -- typed accessors over the normalised stats keys ----------------
+    @property
+    def placements(self) -> int:
+        """Vertices placed by the pass (``stats["placements"]``)."""
+        return int(self.stats.get("placements", 0))
+
+    @property
+    def capacity_overflows(self) -> int:
+        """All-partitions-full safety-valve events."""
+        return int(self.stats.get("capacity_overflows", 0))
+
+    @property
+    def expectation_table_entries(self) -> int:
+        """Live Γ-table entry count (0 for Γ-free heuristics)."""
+        return int(self.stats.get("expectation_table_entries", 0))
+
+    @property
+    def expectation_table_bytes(self) -> int:
+        """Live Γ-table footprint in bytes (0 for Γ-free heuristics)."""
+        return int(self.stats.get("expectation_table_bytes", 0))
+
+    @property
+    def fast_path(self) -> bool:
+        """Whether the vectorized fused-kernel loop ran this pass."""
+        return bool(self.stats.get("fast_path", False))
+
+    @property
+    def ingest(self) -> dict[str, Any] | None:
+        """Prefetch/ingest accounting, when the stream reported any."""
+        return self.stats.get("ingest")
 
     def __str__(self) -> str:
         return (f"{self.partitioner}: K={self.num_partitions} in "

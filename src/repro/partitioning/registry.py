@@ -174,20 +174,24 @@ def _accepted_kwargs(factory: Callable[..., Any],
     return {k: v for k, v in kwargs.items() if k in accepted}
 
 
-def make_partitioner(name: str, num_partitions: int, *,
+def make_partitioner(name: Any, num_partitions: int | None = None, *,
                      kind: str | None = None,
                      ignore_unknown: bool = False,
                      **kwargs: Any) -> Any:
-    """Build a registered partitioner by name.
+    """Build a registered partitioner by name, or from a config.
 
     Parameters
     ----------
     name:
-        A registered short name (``"spnl"``, ``"ldg"``, ``"metis"``, …).
-        Unknown names raise :class:`ValueError` listing every registered
-        name.
+        A registered short name (``"spnl"``, ``"ldg"``, ``"metis"``, …) —
+        unknown names raise :class:`ValueError` listing every registered
+        name — or a :class:`~repro.partitioning.config.PartitionConfig`,
+        in which case the config supplies the name, ``K``, and every
+        tuning knob (loose ``num_partitions``/``kwargs`` are rejected as
+        ambiguous).
     num_partitions:
-        ``K``, forwarded positionally to every factory.
+        ``K``, forwarded positionally to every factory.  Required when
+        building by name.
     kind:
         Restrict lookup to one namespace (``"vertex"``, ``"offline"``,
         ``"edge"``); default searches vertex then offline.
@@ -196,6 +200,21 @@ def make_partitioner(name: str, num_partitions: int, *,
         uses this to share one flag namespace across heuristics);
         ``False`` (default) lets the constructor raise on typos.
     """
+    from .config import PartitionConfig
+    if isinstance(name, PartitionConfig):
+        if num_partitions is not None or kwargs:
+            raise TypeError(
+                "pass either a PartitionConfig or name/num_partitions/"
+                "kwargs, not both (ambiguous which wins)")
+        config = name
+        name = config.method
+        num_partitions = config.num_partitions
+        kwargs = config.kwargs()
+        ignore_unknown = True
+    elif num_partitions is None:
+        raise TypeError(
+            "num_partitions is required when building by name "
+            "(or pass a PartitionConfig)")
     entry = resolve(name, kind=kind)
     merged = dict(entry.extra_kwargs)
     merged.update(kwargs)

@@ -1,0 +1,187 @@
+"""Python client for the placement service.
+
+Thin, dependency-free, and thread-safe: one TCP connection, one request
+in flight at a time (a lock serializes callers — open several clients
+for real concurrency).  On connect the client performs the ``hello``
+handshake, so a protocol-version mismatch surfaces as a
+:class:`ServiceError` immediately instead of as a confusing failure on
+the first real request::
+
+    import repro
+    service = repro.serve(graph)
+    with repro.connect(service) as client:
+        pid = client.place(0)["pid"]
+        assert client.lookup(0) == pid
+
+Backpressure is a first-class outcome, not an exception to hide: a full
+engine queue raises :class:`BackpressureError` carrying the server's
+``retry_after_ms`` hint.  ``place``/``place_batch`` accept
+``retries=N`` to absorb short bursts by honouring that hint before
+giving up.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+)
+
+__all__ = ["BackpressureError", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, code: str, message: str,
+                 error: dict[str, Any] | None = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.error = error or {}
+
+
+class BackpressureError(ServiceError):
+    """The engine queue was full; retry after :attr:`retry_after_ms`."""
+
+    @property
+    def retry_after_ms(self) -> int:
+        return int(self.error.get("retry_after_ms", 25))
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.PlacementService`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0,
+                 handshake: bool = True) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._fh = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        #: The server's ``hello`` response (identity, config, graph).
+        self.server_info: dict[str, Any] = {}
+        if handshake:
+            self.server_info = self.hello()
+
+    # -- transport -----------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One round trip; returns the ``ok`` response body.
+
+        Raises :class:`ServiceError` (or :class:`BackpressureError` for
+        ``code: "backpressure"``) when the server answers a failure.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("closed", "client is closed")
+            self._next_id += 1
+            request_id = self._next_id
+            message = {"protocol": PROTOCOL_VERSION, "op": op,
+                       "id": request_id}
+            message.update(fields)
+            self._sock.sendall(encode_message(message))
+            line = self._fh.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ServiceError(
+                "disconnected", "server closed the connection")
+        response = decode_line(line)
+        if response.get("id") != request_id:
+            raise ServiceError(
+                "desync", f"response id {response.get('id')!r} does not "
+                          f"match request id {request_id}")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            code = error.get("code", "internal")
+            cls = BackpressureError if code == "backpressure" \
+                else ServiceError
+            raise cls(code, error.get("message", "request failed"),
+                      error)
+        return response
+
+    def _with_retries(self, retries: int, op: str,
+                      **fields: Any) -> dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self.request(op, **fields)
+            except BackpressureError as exc:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(exc.retry_after_ms / 1000.0)
+
+    # -- endpoints -----------------------------------------------------
+    def hello(self) -> dict[str, Any]:
+        """The version/identity handshake (also run on connect)."""
+        return self.request("hello")
+
+    def place(self, vertex: int, neighbors: list[int] | None = None, *,
+              retries: int = 0) -> dict[str, Any]:
+        """Place one vertex; returns ``{vertex, pid, cached, ...}``.
+
+        ``neighbors=None`` defers to the graph loaded in the server (the
+        streaming arrival model); an explicit list supplies the local
+        view directly.  Placing an already-placed vertex is idempotent
+        and comes back with ``cached: true``.
+        """
+        fields: dict[str, Any] = {"vertex": vertex}
+        if neighbors is not None:
+            fields["neighbors"] = list(neighbors)
+        return self._with_retries(retries, "place", **fields)
+
+    def place_batch(self, items: list[Any], *,
+                    retries: int = 0) -> list[dict[str, Any]]:
+        """Place many vertices in one round trip.
+
+        ``items`` entries are vertex ids or ``{"vertex": v,
+        "neighbors": [...]}`` dicts; returns the per-item result list in
+        request order.
+        """
+        response = self._with_retries(retries, "place_batch",
+                                      items=items)
+        return response["results"]
+
+    def lookup(self, vertex: int) -> int | None:
+        """Partition id of ``vertex``, or ``None`` when unplaced."""
+        return self.request("lookup", vertex=vertex)["pid"]
+
+    def stats(self) -> dict[str, Any]:
+        """Live server counters, loads, and latency percentiles."""
+        return self.request("stats")
+
+    def snapshot(self) -> dict[str, Any]:
+        """Force a durable snapshot now; returns its path + position."""
+        return self.request("snapshot")
+
+    def health(self) -> dict[str, Any]:
+        """Liveness probe (never blocks on the engine queue)."""
+        return self.request("health")
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

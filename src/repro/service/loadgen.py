@@ -1,0 +1,294 @@
+"""Load generator + bench artifact for the placement service.
+
+Boots a fresh in-process :class:`~repro.service.PlacementService` per
+repeat, drives it with N concurrent clients issuing id-ordered
+``place_batch`` chunks (the paper's streaming arrival model, sharded
+across connections), then samples the read path with ``lookup`` bursts.
+Per repeat it records request latencies client-side — the full
+round-trip a real consumer would see — and summarizes p50/p95/p99 plus
+sustained placements/s.
+
+The artifact (``BENCH_service.json``) follows the repo's bench
+conventions (:mod:`repro.bench.micro`): ``machine`` fingerprint,
+``config``, and per-endpoint ``runs_s`` sample lists so the PR-5
+compare/promote/gate machinery (:mod:`repro.bench.compare`) can verdict
+service latency changes statistically.  The latency metrics
+(``place_batch/p50`` … ``lookup/p99``) are durations — lower is better —
+while throughput rides along as an informational field.
+
+A parity check runs after each repeat: the service's final route table
+is compared against a batch :func:`repro.partition_stream` pass over the
+same graph.  When every repeat's traffic reached the server in exact id
+order (the engine's ``arrival_ordered`` flag — concurrent clients can
+race), the boolean lands in the artifact as ``identical``, riding the
+compare module's byte-identity pseudo-metric; repeats where the arrival
+order raced are reported under ``reordered_repeats`` instead of being
+allowed to flake the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..graph.generators import community_web_graph
+from ..partitioning.config import PartitionConfig
+from ..recovery.atomic import atomic_write_text
+from .client import ServiceClient
+from .server import PlacementService
+
+__all__ = ["DEFAULT_ARTIFACT", "run_service_bench"]
+
+DEFAULT_ARTIFACT = "BENCH_service.json"
+
+
+def _summary(times: list[float]) -> dict[str, Any]:
+    """The repo-standard per-metric summary (see bench.micro)."""
+    return {
+        "median_s": statistics.median(times),
+        "stdev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "min_s": min(times),
+        "max_s": max(times),
+        "runs_s": times,
+    }
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    idx = max(0, min(len(ordered) - 1, int(-(-q * len(ordered) // 1)) - 1))
+    return ordered[idx]
+
+
+class _ChunkFeed:
+    """Hands out consecutive ``[start, stop)`` vertex chunks to clients."""
+
+    def __init__(self, total: int, chunk: int) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+        self._total = total
+        self._chunk = chunk
+
+    def take(self) -> tuple[int, int] | None:
+        with self._lock:
+            if self._next >= self._total:
+                return None
+            start = self._next
+            stop = min(self._total, start + self._chunk)
+            self._next = stop
+            return start, stop
+
+
+def _client_worker(address: tuple[str, int], feed: _ChunkFeed,
+                   latencies: list[float], pause: float,
+                   errors: list[str]) -> None:
+    try:
+        with ServiceClient(*address) as client:
+            while True:
+                chunk = feed.take()
+                if chunk is None:
+                    return
+                start, stop = chunk
+                t0 = time.perf_counter()
+                client.place_batch(list(range(start, stop)), retries=50)
+                latencies.append(time.perf_counter() - t0)
+                if pause:
+                    time.sleep(pause)
+    except Exception as exc:  # surfaced by the driver, never swallowed
+        errors.append(repr(exc))
+
+
+def _lookup_worker(address: tuple[str, int], vertices: np.ndarray,
+                   latencies: list[float], errors: list[str]) -> None:
+    try:
+        with ServiceClient(*address) as client:
+            for v in vertices:
+                t0 = time.perf_counter()
+                client.lookup(int(v))
+                latencies.append(time.perf_counter() - t0)
+    except Exception as exc:
+        errors.append(repr(exc))
+
+
+def run_service_bench(graph: DiGraph | None = None, *,
+                      num_vertices: int = 20_000, seed: int = 7,
+                      config: PartitionConfig | None = None,
+                      clients: int = 4, batch_size: int = 64,
+                      lookups_per_client: int = 500,
+                      repeats: int = 3, warmup: int = 1,
+                      target_rps: float | None = None,
+                      durable: bool = True, queue_depth: int = 64,
+                      batch_max: int = 256,
+                      out_path: str | Path | None = DEFAULT_ARTIFACT,
+                      verbose: bool = False) -> dict[str, Any]:
+    """Bench the service end to end; returns (and writes) the artifact.
+
+    Each repeat boots a fresh server on an ephemeral port (durable into
+    a throwaway snapshot directory unless ``durable=False``), places the
+    whole graph through ``clients`` concurrent connections in
+    ``batch_size`` chunks, then issues ``lookups_per_client`` random
+    lookups per client.  ``target_rps`` paces placement *requests*
+    per second across all clients (``None`` = full speed).
+    """
+    if graph is None:
+        graph = community_web_graph(num_vertices, seed=seed)
+    if config is None:
+        config = PartitionConfig(method="spnl", num_partitions=32)
+    from ..api import partition_stream
+    reference = partition_stream(graph, config=config)
+
+    pause = 0.0
+    if target_rps is not None and target_rps > 0:
+        pause = clients / float(target_rps)
+
+    place_p50: list[float] = []
+    place_p95: list[float] = []
+    place_p99: list[float] = []
+    lookup_p50: list[float] = []
+    lookup_p99: list[float] = []
+    throughputs: list[float] = []
+    fused_fractions: list[float] = []
+    identical_flags: list[bool] = []
+    reordered = 0
+
+    total_rounds = warmup + repeats
+    for round_idx in range(total_rounds):
+        measured = round_idx >= warmup
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") \
+                as tmp:
+            service = PlacementService.start(
+                graph, config=config, port=0,
+                snapshot_dir=Path(tmp) / "state" if durable else None,
+                queue_depth=queue_depth, batch_max=batch_max)
+            try:
+                feed = _ChunkFeed(graph.num_vertices, batch_size)
+                errors: list[str] = []
+                lat_lists: list[list[float]] = [[] for _ in
+                                                range(clients)]
+                threads = [
+                    threading.Thread(
+                        target=_client_worker,
+                        args=(service.address, feed, lat_lists[c],
+                              pause, errors),
+                        daemon=True)
+                    for c in range(clients)
+                ]
+                t0 = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - t0
+                if errors:
+                    raise RuntimeError(
+                        f"serve-bench client failed: {errors[0]}")
+
+                rng = np.random.default_rng(seed + round_idx)
+                lookup_lat: list[float] = []
+                lookup_threads = [
+                    threading.Thread(
+                        target=_lookup_worker,
+                        args=(service.address,
+                              rng.integers(0, graph.num_vertices,
+                                           size=lookups_per_client),
+                              lookup_lat, errors),
+                        daemon=True)
+                    for _ in range(clients)
+                ]
+                for thread in lookup_threads:
+                    thread.start()
+                for thread in lookup_threads:
+                    thread.join()
+                if errors:
+                    raise RuntimeError(
+                        f"serve-bench lookup client failed: {errors[0]}")
+
+                place_lat = sorted(t for lat in lat_lists for t in lat)
+                lookup_lat.sort()
+                ordered = bool(service._arrival_ordered)
+                parity = bool(np.array_equal(
+                    service._state.route, reference.assignment.route))
+                fused = service._fused_placements
+                total_placed = fused + service._record_placements
+            finally:
+                service.close()
+
+        if not measured:
+            continue
+        place_p50.append(_percentile(place_lat, 0.50))
+        place_p95.append(_percentile(place_lat, 0.95))
+        place_p99.append(_percentile(place_lat, 0.99))
+        lookup_p50.append(_percentile(lookup_lat, 0.50))
+        lookup_p99.append(_percentile(lookup_lat, 0.99))
+        throughputs.append(graph.num_vertices / wall if wall else 0.0)
+        fused_fractions.append(fused / total_placed if total_placed
+                               else 0.0)
+        if ordered:
+            identical_flags.append(parity)
+        else:
+            reordered += 1
+        if verbose:
+            print(f"  repeat {len(place_p50)}/{repeats}: "
+                  f"{throughputs[-1]:,.0f} placements/s, "
+                  f"p99 {place_p99[-1] * 1e3:.2f} ms, "
+                  f"fused {fused_fractions[-1]:.0%}"
+                  f"{'' if ordered else ' (reordered)'}")
+
+    from ..bench.micro import machine_fingerprint
+    place_rec: dict[str, Any] = {
+        "endpoint": "place_batch",
+        "p50": _summary(place_p50),
+        "p95": _summary(place_p95),
+        "p99": _summary(place_p99),
+        "placements_per_s": {
+            "runs": throughputs,
+            "median": statistics.median(throughputs),
+        },
+        "fused_fraction_median": statistics.median(fused_fractions),
+        "reordered_repeats": reordered,
+    }
+    # The parity flag gates only when arrival order held in every
+    # measured repeat; a raced arrival legitimately changes the
+    # assignment and must not flake the byte-identity pseudo-metric.
+    if identical_flags and reordered == 0:
+        place_rec["identical"] = all(identical_flags)
+    artifact: dict[str, Any] = {
+        "benchmark": "service-bench",
+        "created_unix": int(time.time()),
+        "machine": machine_fingerprint(),
+        "config": {
+            "graph": graph.name,
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+            "method": config.method,
+            "num_partitions": int(config.num_partitions),
+            "clients": clients,
+            "batch_size": batch_size,
+            "lookups_per_client": lookups_per_client,
+            "repeats": repeats,
+            "warmup": warmup,
+            "target_rps": target_rps,
+            "durable": durable,
+            "queue_depth": queue_depth,
+            "batch_max": batch_max,
+            "seed": seed,
+        },
+        "results": [
+            place_rec,
+            {
+                "endpoint": "lookup",
+                "p50": _summary(lookup_p50),
+                "p99": _summary(lookup_p99),
+            },
+        ],
+    }
+    if out_path is not None:
+        atomic_write_text(Path(out_path),
+                          json.dumps(artifact, indent=2) + "\n")
+    return artifact

@@ -1,0 +1,144 @@
+"""Wire protocol for the placement service (version 1).
+
+Transport is a plain TCP connection carrying newline-delimited UTF-8
+JSON: one object per line, requests up and responses down, answered in
+order per connection.  Every request names the protocol version it
+speaks::
+
+    {"protocol": 1, "op": "place", "id": 7, "vertex": 42,
+     "neighbors": [1, 2, 3]}
+
+and every response echoes the request ``id`` (an opaque client-chosen
+value) with an ``ok`` discriminator::
+
+    {"id": 7, "ok": true, "vertex": 42, "pid": 3, "cached": false}
+    {"id": 7, "ok": false,
+     "error": {"code": "backpressure", "message": "...",
+               "retry_after_ms": 20}}
+
+**Versioning contract.**  The integer :data:`PROTOCOL_VERSION` only
+bumps on a *breaking* change (field removed, meaning changed).  Adding
+fields to requests or responses is non-breaking by rule: servers ignore
+request fields they do not know, clients ignore response fields they do
+not know.  A server answers a request carrying an unsupported version
+with ``code: "unsupported-protocol"`` and the list it speaks
+(``supported: [1]``), so a client can detect the mismatch on its first
+exchange — the ``hello`` handshake exists exactly for that probe.
+
+Operations (see ``docs/service.md`` for the full reference):
+
+``hello``
+    Version/identity handshake; returns server info + the boot config.
+``place``
+    Place one vertex (neighbors explicit, or from the loaded graph).
+``place_batch``
+    Place many vertices in one round trip (``items``).
+``lookup``
+    Partition id of a placed vertex (``pid: null`` when unplaced).
+``stats``
+    Live counters, loads, and per-endpoint latency percentiles.
+``snapshot``
+    Force a durable snapshot now; returns its path + position.
+``health``
+    Liveness/readiness probe (cheap; never touches the engine queue).
+
+Error codes: ``bad-request``, ``unsupported-protocol``,
+``unknown-vertex``, ``backpressure`` (bounded queue full — retry after
+``retry_after_ms``), ``draining`` (server is shutting down),
+``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
+    "OPS",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+    "error_body",
+    "validate_request",
+]
+
+PROTOCOL_VERSION = 1
+SUPPORTED_PROTOCOLS = (1,)
+
+#: Every operation a version-1 server answers.
+OPS = ("hello", "place", "place_batch", "lookup", "stats", "snapshot",
+       "health")
+
+#: Upper bound on one request/response line.  A line is buffered whole
+#: before parsing, so the bound is what keeps a malicious or confused
+#: client from ballooning server memory; generous enough for a
+#: place_batch of tens of thousands of placements.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: not JSON, not an object, or oversized."""
+
+    def __init__(self, message: str, *, code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode_message(obj: dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + the terminating newline."""
+    return json.dumps(obj, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a message dict.
+
+    Raises :class:`ProtocolError` (never json's own errors) so servers
+    and clients can map every malformed frame to one error path.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-"
+            f"byte line limit")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def error_body(code: str, message: str, **extra: Any) -> dict[str, Any]:
+    """The ``error`` payload of a failure response."""
+    body: dict[str, Any] = {"code": code, "message": message}
+    body.update(extra)
+    return body
+
+
+def validate_request(request: dict[str, Any]) -> str:
+    """Check version + op of a decoded request; returns the op name.
+
+    Raises :class:`ProtocolError` with the right error code for the
+    three ways a structurally-valid JSON object can still be
+    unanswerable: missing/unsupported protocol version, missing op,
+    unknown op.  Unknown *extra fields* are deliberately not rejected —
+    that is the additive-evolution rule that keeps version 1 stable.
+    """
+    version = request.get("protocol")
+    if version not in SUPPORTED_PROTOCOLS:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r}; this server "
+            f"speaks {list(SUPPORTED_PROTOCOLS)}",
+            code="unsupported-protocol")
+    op = request.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request is missing the 'op' field")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; this server answers {list(OPS)}")
+    return op

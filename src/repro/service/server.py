@@ -1,0 +1,890 @@
+"""The long-lived placement server (partition-as-a-service).
+
+:class:`PlacementService` turns the repo's batch machinery into an
+online system: it loads a graph once (through the binary CSR cache when
+given a path), holds a live partitioner + :class:`PartitionState`, and
+answers the version-1 wire protocol (:mod:`repro.service.protocol`) over
+TCP for as long as the process lives.
+
+Architecture — one engine, many connections::
+
+    client conns ──> bounded queue ──> engine thread ──> WAL ──> acks
+        (parse,          (backpressure     (apply,      (fsync)
+         validate)        when full)        coalesce)
+
+* Every connection gets a reader thread that parses and validates
+  requests.  Read-only ops (``hello``, ``health``, ``lookup``,
+  ``stats``) are answered right there; mutating ops (``place``,
+  ``place_batch``, ``snapshot``) are enqueued to the single engine
+  thread, which is the only code that touches partitioner state — no
+  state locks on the hot path, no torn placements.
+* The queue is **bounded**: when it is full the connection answers
+  ``code: "backpressure"`` with a ``retry_after_ms`` hint instead of
+  buffering without limit.  Slow consumers shed load explicitly.
+* The engine drains up to ``batch_max`` queued requests per wake-up and
+  applies their placements as one group.  While arrivals are exactly
+  id-contiguous (vertex ids ``0, 1, 2, …`` with no explicit neighbor
+  overrides — the paper's streaming arrival model), the group runs
+  through the partitioner's **fused vectorized kernel**
+  (:meth:`StreamingPartitioner._run_fast`), the same code path the
+  batch fast loop uses, so coalescing concurrent clients recovers batch
+  throughput.  The first out-of-order or explicit-neighbor placement
+  permanently downgrades to the record-at-a-time path: the kernel's
+  maintained images cannot absorb out-of-band commits, and correctness
+  beats speed.
+* Durability is snapshot + WAL (:mod:`repro.service.wal`): the engine
+  applies a group, appends it to the fsynced placement log, and only
+  then acks.  Periodic snapshots (the recovery layer's
+  :class:`~repro.recovery.checkpoint.Checkpointer`) bound replay time;
+  the WAL rotates at each snapshot.  ``resume_from`` at boot restores
+  the newest snapshot and replays the WAL tail **through the
+  partitioner** (re-scoring each logged record and checking the choice
+  matches the logged pid), so a SIGKILLed server comes back answering
+  ``lookup`` identically for every placement it ever acknowledged.
+* Graceful shutdown (:meth:`close`, wired to SIGTERM by the CLI) stops
+  accepting work, drains the queue, writes a final snapshot, and closes
+  connections — in that order.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .. import __version__
+from ..graph.digraph import AdjacencyRecord, DiGraph
+from ..graph.stream import ArrayStream
+from ..partitioning.assignment import UNASSIGNED
+from ..partitioning.base import StreamingPartitioner
+from ..partitioning.config import PartitionConfig
+from ..partitioning.registry import resolve
+from ..recovery.checkpoint import (
+    CheckpointConfig,
+    Checkpointer,
+    latest_snapshot,
+)
+from ..recovery.snapshot import read_snapshot
+from .protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_body,
+)
+from .wal import PlacementLog, WalEntry, replay_entries
+
+__all__ = ["PlacementService"]
+
+_SERVER_NAME = "repro-placement-service"
+
+#: Engine-queue sentinel that tells the engine thread to exit after the
+#: FIFO ahead of it has fully drained.
+_STOP = object()
+
+
+class _LatencyRecorder:
+    """Per-endpoint latency reservoir feeding the ``stats`` endpoint."""
+
+    def __init__(self, keep: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._keep = keep
+        self._samples: dict[str, deque] = {}
+        self._counts: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+
+    def observe(self, op: str, seconds: float, ok: bool) -> None:
+        with self._lock:
+            bucket = self._samples.get(op)
+            if bucket is None:
+                bucket = self._samples[op] = deque(maxlen=self._keep)
+            bucket.append(seconds)
+            self._counts[op] = self._counts.get(op, 0) + 1
+            if not ok:
+                self._errors[op] = self._errors.get(op, 0) + 1
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        # Nearest-rank percentile over the retained reservoir.
+        idx = max(0, min(len(ordered) - 1,
+                         int(-(-q * len(ordered) // 1)) - 1))
+        return ordered[idx]
+
+    def summary(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            snapshot = {op: list(bucket)
+                        for op, bucket in self._samples.items()}
+            counts = dict(self._counts)
+            errors = dict(self._errors)
+        out: dict[str, dict[str, Any]] = {}
+        for op, samples in snapshot.items():
+            samples.sort()
+            out[op] = {
+                "count": counts.get(op, 0),
+                "errors": errors.get(op, 0),
+                "p50_ms": self._percentile(samples, 0.50) * 1e3,
+                "p95_ms": self._percentile(samples, 0.95) * 1e3,
+                "p99_ms": self._percentile(samples, 0.99) * 1e3,
+                "max_ms": samples[-1] * 1e3,
+            }
+        return out
+
+
+class _Work:
+    """One queued engine task: a group of placements or a snapshot."""
+
+    __slots__ = ("kind", "placements", "event", "results", "error")
+
+    def __init__(self, kind: str,
+                 placements: list[tuple[int, list[int] | None]]) -> None:
+        self.kind = kind
+        self.placements = placements
+        self.event = threading.Event()
+        self.results: Any = None
+        self.error: tuple[str, str] | None = None
+
+    def resolve(self, results: Any) -> None:
+        self.results = results
+        self.event.set()
+
+    def fail(self, code: str, message: str) -> None:
+        self.error = (code, message)
+        self.event.set()
+
+
+def _resolve_graph(graph: Any) -> DiGraph:
+    """Accept a ready graph or a path (loaded via the CSR cache)."""
+    if isinstance(graph, DiGraph):
+        return graph
+    if isinstance(graph, (str, Path)):
+        from ..ingest.cache import load_or_parse
+        return load_or_parse(Path(graph), cache=True)
+    raise TypeError(
+        f"graph must be a DiGraph or a path, got {type(graph).__name__}")
+
+
+class PlacementService:
+    """A live, restartable placement server over one loaded graph.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`DiGraph` or a path to a graph file (loaded through the
+        ``.reprocsr`` cache sidecar).
+    config:
+        The run's :class:`PartitionConfig` (default: ``PartitionConfig()``
+        — SPNL, K=32).  Must name a *streaming* method.
+    host, port:
+        Bind address; port 0 picks a free port (read :attr:`address`).
+    snapshot_dir:
+        Durability directory for snapshots + the placement WAL.  ``None``
+        runs volatile (no durability — acks do not survive a crash).
+    resume_from:
+        Snapshot directory (or single ``.snap`` file) of a previous run
+        to warm-restart from; the WAL tail beside it is replayed so every
+        previously-acked placement is answered identically.
+    queue_depth:
+        Bound on queued engine requests; beyond it, ``backpressure``.
+    batch_max:
+        Max queued requests coalesced into one engine step.
+    snapshot_every:
+        Placements between automatic snapshots (when durable).
+    snapshot_keep:
+        Snapshots retained by pruning.
+    wal_fsync:
+        ``False`` trades crash durability for latency (testing only).
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation`; the
+        engine emits one ``service_request`` trace record per processed
+        group and the checkpointer its usual ``checkpoint`` records.
+    throttle_seconds:
+        Artificial per-group engine delay — a test hook for driving the
+        backpressure path deterministically.
+    """
+
+    def __init__(self, graph: Any, *, config: PartitionConfig | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 snapshot_dir: str | Path | None = None,
+                 resume_from: str | Path | None = None,
+                 queue_depth: int = 64, batch_max: int = 256,
+                 snapshot_every: int = 100_000, snapshot_keep: int = 3,
+                 wal_fsync: bool = True, instrumentation: Any = None,
+                 throttle_seconds: float = 0.0,
+                 retry_after_ms: int = 25) -> None:
+        if config is None:
+            config = PartitionConfig()
+        elif isinstance(config, dict):
+            config = PartitionConfig.from_dict(config)
+        if not resolve(config.method).is_streaming:
+            raise ValueError(
+                f"the placement service needs a streaming method; "
+                f"{config.method!r} is offline")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.graph = _resolve_graph(graph)
+        self.config = config
+        self.instrumentation = instrumentation
+        self.throttle_seconds = float(throttle_seconds)
+        self.retry_after_ms = int(retry_after_ms)
+        self._host = host
+        self._port = port
+        self._batch_max = batch_max
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._latency = _LatencyRecorder()
+        self._started_monotonic = time.monotonic()
+
+        partitioner = config.make()
+        if not isinstance(partitioner, StreamingPartitioner):
+            raise ValueError(
+                f"{config.method!r} did not build a StreamingPartitioner")
+        self.partitioner = partitioner
+        self._stream = ArrayStream.from_graph(self.graph)
+        self._state_lock = threading.Lock()
+        self._elapsed = 0.0  # cumulative engine apply time (snapshot PT)
+        self._position = 0   # acked placements == WAL sequence head
+        self._fused_placements = 0
+        self._record_placements = 0
+        self._fast_batches = 0
+        self._groups_processed = 0
+        self._kernel = None
+        self._kernel_unavailable = False
+        # Whether every placement so far arrived in exact id order (the
+        # paper's streaming arrival model); bench parity checks read it.
+        self._arrival_ordered = True
+        self._next_expected = 0
+
+        if resume_from is not None:
+            self._resume(Path(resume_from))
+        else:
+            self._state = partitioner.make_state(self._stream)
+            partitioner._setup(self._stream, self._state)
+            self._fast_ok = True
+            self._fast_cursor = 0
+            self._resumed_from = None
+
+        # Durability: snapshots + WAL share snapshot_dir.  A fresh boot
+        # into a directory holding a previous run's artifacts would
+        # append conflicting sequence numbers — refuse instead.
+        self._checkpointer = None
+        self._wal = None
+        self._last_snapshot_position = self._position
+        if snapshot_dir is not None:
+            snapshot_dir = Path(snapshot_dir)
+            if resume_from is None and (
+                    latest_snapshot(snapshot_dir) is not None
+                    or any(snapshot_dir.glob("wal-*.jsonl"))):
+                raise ValueError(
+                    f"{snapshot_dir} holds a previous run's snapshots/WAL;"
+                    f" pass resume_from= to warm-restart, or point "
+                    f"snapshot_dir at a clean directory")
+            self._checkpointer = Checkpointer(
+                partitioner,
+                CheckpointConfig(snapshot_dir, every=snapshot_every,
+                                 keep=snapshot_keep),
+                instrumentation=instrumentation)
+            self._wal = PlacementLog(snapshot_dir, start=self._position,
+                                     fsync=wal_fsync)
+
+        self._draining = threading.Event()
+        self._shutdown_requested = threading.Event()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+
+    # -- boot ----------------------------------------------------------
+    @classmethod
+    def start(cls, graph: Any, **kwargs: Any) -> "PlacementService":
+        """Construct and begin serving; the one-call boot used by
+        :func:`repro.serve`."""
+        service = cls(graph, **kwargs)
+        service.serve()
+        return service
+
+    def serve(self) -> None:
+        """Bind the listener and start the accept + engine threads."""
+        self._listener = socket.create_server(
+            (self._host, self._port), reuse_port=False)
+        self._listener.listen(64)
+        engine = threading.Thread(target=self._engine_loop,
+                                  name="placement-engine", daemon=True)
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="placement-accept", daemon=True)
+        self._threads += [engine, acceptor]
+        engine.start()
+        acceptor.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — read this when booting on port 0."""
+        if self._listener is None:
+            raise RuntimeError("service is not serving yet")
+        addr = self._listener.getsockname()
+        return (addr[0], addr[1])
+
+    # -- warm restart --------------------------------------------------
+    def _resume(self, source: Path) -> None:
+        """Restore the newest snapshot under ``source``, replay the WAL.
+
+        Replay re-runs every logged placement through the partitioner's
+        normal ``place`` path and checks the deterministic choice equals
+        the logged pid — a mismatch means the log and code disagree and
+        serving on would hand out wrong ``lookup`` answers.
+        """
+        directory = source if source.is_dir() else source.parent
+        snapshot = source if source.is_file() else latest_snapshot(source)
+        if snapshot is not None:
+            payload = read_snapshot(snapshot)
+            self._state = self.partitioner.load_state(self._stream, payload)
+            self._position = int(payload["position"])
+            self._elapsed = float(payload.get("elapsed_seconds", 0.0))
+        else:
+            self._state = self.partitioner.make_state(self._stream)
+            self.partitioner._setup(self._stream, self._state)
+            self._position = 0
+        replayed = 0
+        for entry in replay_entries(directory,
+                                    from_position=self._position):
+            if entry.neighbors is None:
+                neighbors = self.graph.out_neighbors(entry.vertex)
+            else:
+                neighbors = np.asarray(entry.neighbors, dtype=np.int64)
+            record = AdjacencyRecord(entry.vertex, neighbors)
+            pid = self.partitioner.place(record, self._state)
+            if pid != entry.pid:
+                raise ValueError(
+                    f"WAL replay diverged at seq {entry.seq}: vertex "
+                    f"{entry.vertex} re-places to {pid}, log says "
+                    f"{entry.pid}")
+            self._position += 1
+            replayed += 1
+        # The fused kernel is only valid if history was exactly the
+        # id-ordered prefix (every placement so far is vertex 0..p-1).
+        route = self._state.route
+        p = self._position
+        self._fast_ok = (int(self._state.placed_vertices) == p
+                         and bool((route[:p] != UNASSIGNED).all()))
+        self._fast_cursor = p if self._fast_ok else 0
+        self._arrival_ordered = self._fast_ok
+        self._next_expected = p if self._fast_ok else 0
+        self._resumed_from = str(snapshot) if snapshot is not None \
+            else str(directory)
+        if self.instrumentation is not None and snapshot is not None:
+            self.instrumentation.count("resumes")
+            self.instrumentation.emit({
+                "type": "resume",
+                "position": int(self._position),
+                "placements": int(self._state.placed_vertices),
+                "path": str(snapshot),
+                "partitioner": self.partitioner.name,
+            })
+        self._replayed = replayed
+
+    # -- engine --------------------------------------------------------
+    def _ensure_kernel(self) -> bool:
+        if self._kernel is None and not self._kernel_unavailable:
+            self._kernel = self.partitioner._fast_kernel(
+                self._state, self._stream)
+            if self._kernel is None:
+                self._kernel_unavailable = True
+        return self._kernel is not None
+
+    def _engine_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            group = [item]
+            while len(group) < self._batch_max:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._process_group(group)
+                    group = []
+                    break
+                group.append(nxt)
+            else:
+                self._process_group(group)
+                continue
+            if not group:  # saw _STOP mid-drain
+                break
+            self._process_group(group)
+        # Anything enqueued after the sentinel never runs; fail it
+        # explicitly so no connection blocks forever.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not _STOP:
+                leftover.fail("draining",
+                              "server is draining; placement not applied")
+
+    def _process_group(self, group: list[_Work]) -> None:
+        """Apply one drained group: coalesce, group-commit, then ack.
+
+        Place requests in the group are stable-sorted by their first
+        vertex id before applying.  Commit order within a group is the
+        server's to choose (nothing has been acked yet), and sorting
+        repairs the id-order inversions that concurrent clients
+        naturally produce — which is what lets a multi-client id-ordered
+        workload keep riding the fused kernel.  All WAL lines for the
+        group go down in one fsync (group commit); acks release after.
+        """
+        if self.throttle_seconds:
+            time.sleep(self.throttle_seconds)
+        t0 = time.perf_counter()
+        placements = 0
+        fused_before = self._fused_placements
+        ok = True
+        place_works = [w for w in group if w.kind == "place"]
+        other_works = [w for w in group if w.kind != "place"]
+        place_works.sort(
+            key=lambda w: w.placements[0][0] if w.placements else -1)
+        applied: list[tuple[_Work, list[dict[str, Any]]]] = []
+        entries: list[WalEntry] = []
+        with self._state_lock:
+            for work in place_works:
+                placements += len(work.placements)
+                try:
+                    results, work_entries = self._apply_placements(
+                        work.placements)
+                except Exception as exc:
+                    ok = False
+                    work.fail("internal", f"placement failed: {exc}")
+                    continue
+                entries.extend(work_entries)
+                applied.append((work, results))
+            if self._wal is not None and entries:
+                self._wal.append_batch(entries)
+            for work, results in applied:
+                work.resolve(results)
+            for work in other_works:
+                try:
+                    work.resolve(self._snapshot_now())
+                except ProtocolError as exc:
+                    ok = False
+                    work.fail(exc.code, str(exc))
+                except Exception as exc:  # pragma: no cover
+                    ok = False
+                    work.fail("internal", f"snapshot failed: {exc}")
+            if (self._checkpointer is not None
+                    and self._position - self._last_snapshot_position
+                    >= self._checkpointer.config.every):
+                self._snapshot_now()
+        self._groups_processed += 1
+        if self.instrumentation is not None:
+            self.instrumentation.emit({
+                "type": "service_request",
+                "op": "place" if placements else group[0].kind,
+                "count": int(placements),
+                "queue_depth": int(self._queue.qsize()),
+                "elapsed_seconds": time.perf_counter() - t0,
+                "ok": ok,
+                "fused": int(self._fused_placements - fused_before),
+            })
+
+    def _apply_placements(
+            self, placements: list[tuple[int, list[int] | None]]
+    ) -> tuple[list[dict[str, Any]], list[WalEntry]]:
+        """Apply one request's placements; returns (results, WAL entries).
+
+        Idempotent: an already-placed vertex answers its existing pid
+        with ``cached: true`` and writes no WAL line.  Runs of
+        id-contiguous, graph-adjacency placements go through the fused
+        kernel; anything else takes the record path and permanently
+        retires the kernel (its maintained images cannot see out-of-band
+        commits).
+        """
+        state = self._state
+        route = state.route
+        results: list[dict[str, Any]] = []
+        entries: list[WalEntry] = []
+        n = len(placements)
+        i = 0
+        while i < n:
+            vertex, neighbors = placements[i]
+            if route[vertex] != UNASSIGNED:
+                results.append({"vertex": vertex,
+                                "pid": int(route[vertex]),
+                                "cached": True})
+                i += 1
+                continue
+            if (self._fast_ok and neighbors is None
+                    and vertex == self._fast_cursor):
+                stop = vertex
+                j = i
+                while j < n:
+                    vj, nj = placements[j]
+                    if (nj is not None or vj != stop
+                            or route[vj] != UNASSIGNED):
+                        break
+                    stop += 1
+                    j += 1
+                if stop > vertex and self._ensure_kernel():
+                    self._elapsed += self.partitioner._run_fast(
+                        self._stream, state, self._kernel,
+                        start=vertex, stop=stop)
+                    self._fast_cursor = stop
+                    self._next_expected = stop
+                    self._fast_batches += 1
+                    for v in range(vertex, stop):
+                        pid = int(route[v])
+                        results.append({"vertex": v, "pid": pid,
+                                        "cached": False})
+                        entries.append(WalEntry(self._position, v, None,
+                                                pid))
+                        self._position += 1
+                        self._fused_placements += 1
+                    i = j
+                    continue
+            # Record path: one placement at a time, kernel retired.
+            self._fast_ok = False
+            if neighbors is None:
+                nbrs = self.graph.out_neighbors(vertex)
+                logged = None
+            else:
+                nbrs = np.asarray(neighbors, dtype=np.int64)
+                logged = [int(u) for u in neighbors]
+            t0 = time.perf_counter()
+            pid = self.partitioner.place(
+                AdjacencyRecord(vertex, nbrs), state)
+            self._elapsed += time.perf_counter() - t0
+            results.append({"vertex": vertex, "pid": int(pid),
+                            "cached": False})
+            entries.append(WalEntry(self._position, vertex, logged,
+                                    int(pid)))
+            self._position += 1
+            self._record_placements += 1
+            if self._arrival_ordered:
+                if vertex == self._next_expected:
+                    self._next_expected += 1
+                else:
+                    self._arrival_ordered = False
+            i += 1
+        return results, entries
+
+    def _snapshot_now(self) -> dict[str, Any]:
+        """Write a snapshot + rotate/prune the WAL (engine thread only)."""
+        if self._checkpointer is None:
+            raise ProtocolError(
+                "server is running without a snapshot_dir; nothing to "
+                "snapshot")
+        path = self._checkpointer.save(self._state, self._position,
+                                       self._elapsed)
+        self._last_snapshot_position = self._position
+        if self._wal is not None:
+            self._wal.rotate(self._position)
+            self._wal.prune(self._position)
+        return {"path": str(path), "position": int(self._position)}
+
+    # -- connections ---------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            with self._conn_lock:
+                self._conns.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="placement-conn", daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            fh = conn.makefile("rb")
+            while True:
+                line = fh.readline(MAX_LINE_BYTES + 2)
+                if not line:
+                    return
+                t0 = time.perf_counter()
+                op, response = self._handle_line(line)
+                try:
+                    conn.sendall(encode_message(response))
+                finally:
+                    self._latency.observe(
+                        op, time.perf_counter() - t0,
+                        bool(response.get("ok")))
+        except (OSError, ValueError):
+            return  # peer vanished or socket closed under us
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_line(self, line: bytes) -> tuple[str, dict[str, Any]]:
+        request_id: Any = None
+        op = "invalid"
+        try:
+            request = decode_line(line)
+            request_id = request.get("id")
+            version = request.get("protocol")
+            if version not in SUPPORTED_PROTOCOLS:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r}",
+                    code="unsupported-protocol")
+            op_field = request.get("op")
+            if not isinstance(op_field, str) or op_field not in OPS:
+                raise ProtocolError(
+                    f"unknown op {op_field!r}; this server answers "
+                    f"{list(OPS)}")
+            op = op_field
+            body = self._dispatch(op, request)
+        except ProtocolError as exc:
+            error = error_body(exc.code, str(exc))
+            if exc.code == "unsupported-protocol":
+                error["supported"] = list(SUPPORTED_PROTOCOLS)
+            elif exc.code == "backpressure":
+                error["retry_after_ms"] = self.retry_after_ms
+            return op, {"id": request_id, "ok": False, "error": error}
+        except Exception as exc:  # pragma: no cover - defensive
+            return op, {"id": request_id, "ok": False,
+                        "error": error_body("internal", repr(exc))}
+        body["id"] = request_id
+        body["ok"] = True
+        return op, body
+
+    def _dispatch(self, op: str,
+                  request: dict[str, Any]) -> dict[str, Any]:
+        if op == "hello":
+            return self._op_hello()
+        if op == "health":
+            return self._op_health()
+        if op == "lookup":
+            return self._op_lookup(request)
+        if op == "stats":
+            return self._op_stats()
+        if op == "place":
+            item = dict(request)
+            item.setdefault("vertex", None)
+            [result] = self._op_place([item])
+            return result
+        if op == "place_batch":
+            items = request.get("items")
+            if not isinstance(items, list) or not items:
+                raise ProtocolError(
+                    "place_batch needs a non-empty 'items' list")
+            results = self._op_place(items)
+            return {"results": results, "count": len(results)}
+        if op == "snapshot":
+            return self._op_snapshot()
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    # -- endpoint implementations --------------------------------------
+    def _op_hello(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "supported": list(SUPPORTED_PROTOCOLS),
+            "server": _SERVER_NAME,
+            "version": __version__,
+            "ops": list(OPS),
+            "partitioner": self.partitioner.name,
+            "config": self.config.to_dict(),
+            "graph": {
+                "name": self.graph.name,
+                "num_vertices": int(self.graph.num_vertices),
+                "num_edges": int(self.graph.num_edges),
+            },
+            "durable": self._checkpointer is not None,
+        }
+
+    def _op_health(self) -> dict[str, Any]:
+        status = "draining" if self._draining.is_set() else "serving"
+        return {"status": status,
+                "queue_depth": int(self._queue.qsize()),
+                "uptime_seconds":
+                    time.monotonic() - self._started_monotonic}
+
+    def _op_lookup(self, request: dict[str, Any]) -> dict[str, Any]:
+        vertex = self._check_vertex(request.get("vertex"))
+        pid = int(self._state.route[vertex])
+        return {"vertex": vertex,
+                "pid": None if pid == UNASSIGNED else pid}
+
+    def stats(self) -> dict[str, Any]:
+        """The ``stats`` endpoint body, callable in-process (no socket).
+
+        The CLI's drain summary and embedding tests use this; remote
+        clients get the identical dict through ``client.stats()``.
+        """
+        return self._op_stats()
+
+    def _op_stats(self) -> dict[str, Any]:
+        with self._state_lock:
+            state = self._state
+            loads = [int(x) for x in state.vertex_counts]
+            edge_loads = [int(x) for x in state.edge_counts]
+            placements = int(state.placed_vertices)
+            overflows = int(state.capacity_overflows)
+            position = int(self._position)
+        stats: dict[str, Any] = {
+            "partitioner": self.partitioner.name,
+            "num_partitions": int(state.num_partitions),
+            "position": position,
+            "placements": placements,
+            "capacity_overflows": overflows,
+            "capacity": float(state.capacity),
+            "loads": loads,
+            "edge_loads": edge_loads,
+            "queue_depth": int(self._queue.qsize()),
+            "queue_capacity": int(self._queue.maxsize),
+            "groups_processed": int(self._groups_processed),
+            "engine_seconds": float(self._elapsed),
+            "uptime_seconds":
+                time.monotonic() - self._started_monotonic,
+            "arrival_ordered": bool(self._arrival_ordered),
+            "fast_path": {
+                "active": bool(self._fast_ok),
+                "cursor": int(self._fast_cursor),
+                "fused_placements": int(self._fused_placements),
+                "record_placements": int(self._record_placements),
+                "fast_batches": int(self._fast_batches),
+            },
+            "latency": self._latency.summary(),
+        }
+        if self._checkpointer is not None:
+            stats["durability"] = {
+                "snapshots_written":
+                    int(self._checkpointer.snapshots_written),
+                "last_snapshot_position":
+                    int(self._last_snapshot_position),
+                "wal_appended": int(self._wal.appended),
+                "wal_segment": self._wal.active_path.name,
+            }
+        if self._resumed_from is not None:
+            stats["resumed_from"] = self._resumed_from
+        return stats
+
+    def _check_vertex(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                f"vertex must be an integer, got {value!r}")
+        if not 0 <= value < self.graph.num_vertices:
+            raise ProtocolError(
+                f"vertex {value} is outside this graph's id range "
+                f"[0, {self.graph.num_vertices})",
+                code="unknown-vertex")
+        return value
+
+    def _parse_placement(self, item: Any) -> tuple[int, list[int] | None]:
+        if isinstance(item, dict):
+            vertex = self._check_vertex(item.get("vertex"))
+            neighbors = item.get("neighbors")
+        else:
+            vertex = self._check_vertex(item)
+            neighbors = None
+        if neighbors is None:
+            return vertex, None
+        if not isinstance(neighbors, list):
+            raise ProtocolError(
+                f"neighbors must be a list of vertex ids or null, got "
+                f"{type(neighbors).__name__}")
+        return vertex, [self._check_vertex(u) for u in neighbors]
+
+    def _op_place(self, items: list[Any]) -> list[dict[str, Any]]:
+        placements = [self._parse_placement(item) for item in items]
+        work = _Work("place", placements)
+        self._submit(work)
+        work.event.wait()
+        if work.error is not None:
+            raise ProtocolError(work.error[1], code=work.error[0])
+        return work.results
+
+    def _op_snapshot(self) -> dict[str, Any]:
+        work = _Work("snapshot", [])
+        self._submit(work)
+        work.event.wait()
+        if work.error is not None:
+            raise ProtocolError(work.error[1], code=work.error[0])
+        return work.results
+
+    def _submit(self, work: _Work) -> None:
+        if self._draining.is_set():
+            raise ProtocolError(
+                "server is draining; no new placements accepted",
+                code="draining")
+        try:
+            self._queue.put_nowait(work)
+        except queue.Full:
+            raise ProtocolError(
+                f"engine queue is full "
+                f"({self._queue.maxsize} requests); retry shortly",
+                code="backpressure") from None
+
+    # -- lifecycle -----------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe shutdown trigger; :meth:`wait` returns."""
+        self._shutdown_requested.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`request_shutdown` (the CLI's foreground
+        loop); returns True when shutdown was requested."""
+        return self._shutdown_requested.wait(timeout)
+
+    def close(self, *, timeout: float = 30.0) -> None:
+        """Graceful drain: stop intake, finish the queue, snapshot, stop.
+
+        Idempotent; also invoked by ``with PlacementService.start(...)``
+        blocks and the CLI's SIGTERM handler.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._draining.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        engine_alive = any(t.name == "placement-engine" and t.is_alive()
+                           for t in self._threads)
+        if engine_alive:
+            self._queue.put(_STOP)
+            for thread in self._threads:
+                if thread.name == "placement-engine":
+                    thread.join(timeout)
+        if (self._checkpointer is not None
+                and self._position > self._last_snapshot_position):
+            with self._state_lock:
+                self._snapshot_now()
+        if self._wal is not None:
+            self._wal.close()
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._shutdown_requested.set()
+
+    def __enter__(self) -> "PlacementService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -21,6 +21,26 @@ from repro.bench.baseline import (
 from tests.bench.test_compare import make_streaming_artifact
 
 
+def make_service_artifact():
+    """A minimal valid ``service-bench`` artifact (endpoint records)."""
+    return {
+        "benchmark": "service-bench",
+        "created_unix": 1700000000.0,
+        "machine": make_streaming_artifact()["machine"],
+        "config": {"clients": 2, "batch_size": 64},
+        "results": [
+            {"endpoint": "place_batch",
+             "p50": {"runs_s": [0.013, 0.014]},
+             "p95": {"runs_s": [0.016, 0.017]},
+             "p99": {"runs_s": [0.018, 0.019]},
+             "identical": True},
+            {"endpoint": "lookup",
+             "p50": {"runs_s": [0.0001, 0.0001]},
+             "p99": {"runs_s": [0.0003, 0.0003]}},
+        ],
+    }
+
+
 class TestFingerprintKey:
     def test_stable_and_short(self):
         machine = make_streaming_artifact()["machine"]
@@ -85,6 +105,29 @@ class TestEnvelope:
         bad = copy.deepcopy(envelope)
         bad["artifact"]["machine"]["cpu_count"] = 512
         with pytest.raises(BaselineError, match="does not match"):
+            validate_baseline(bad)
+
+    def test_validate_accepts_service_endpoint_records(self):
+        envelope = make_baseline(make_service_artifact(),
+                                 promoted_unix=0.0)
+        assert envelope["bench"] == "service-bench"
+        assert validate_baseline(envelope) is None
+
+    def test_validate_rejects_endpoint_without_percentiles(self):
+        envelope = make_baseline(make_service_artifact(),
+                                 promoted_unix=0.0)
+        bad = copy.deepcopy(envelope)
+        rec = bad["artifact"]["results"][1]
+        del rec["p50"], rec["p99"]
+        with pytest.raises(BaselineError, match="percentile"):
+            validate_baseline(bad)
+
+    def test_validate_rejects_anonymous_record(self):
+        envelope = make_baseline(make_service_artifact(),
+                                 promoted_unix=0.0)
+        bad = copy.deepcopy(envelope)
+        del bad["artifact"]["results"][0]["endpoint"]
+        with pytest.raises(BaselineError, match="method, stage, or"):
             validate_baseline(bad)
 
     def test_load_rejects_torn_json(self, tmp_path):

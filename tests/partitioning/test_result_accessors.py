@@ -1,0 +1,77 @@
+"""StreamingResult typed accessors: the stats dict, without the strings."""
+
+import pytest
+
+from repro import PartitionConfig, partition_stream
+from repro.graph import GraphStream, community_web_graph
+
+
+class _AccountingStream:
+    """A stream that reports ingest accounting, like PrefetchStream."""
+
+    def __init__(self, stream):
+        self._stream = stream
+        self.num_vertices = stream.num_vertices
+        self.num_edges = stream.num_edges
+
+    def __iter__(self):
+        return iter(self._stream)
+
+    def ingest_stats(self):
+        return {"producer_busy_s": 0.5, "consumer_wait_s": 0.1}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_web_graph(500, avg_degree=8, seed=6)
+
+
+@pytest.fixture(scope="module")
+def result(graph):
+    return partition_stream(graph, config=PartitionConfig(
+        method="spnl", num_partitions=8))
+
+
+class TestTypedAccessors:
+    def test_placements_mirrors_the_dict(self, result):
+        assert result.placements == result.stats["placements"] == 500
+        assert isinstance(result.placements, int)
+
+    def test_capacity_overflows(self, result):
+        assert result.capacity_overflows \
+            == result.stats.get("capacity_overflows", 0)
+        assert result.capacity_overflows >= 0
+
+    def test_fast_path_flag(self, result):
+        assert result.fast_path is bool(
+            result.stats.get("fast_path", False))
+
+    def test_expectation_table_accessors(self, result):
+        assert result.expectation_table_entries \
+            == result.stats.get("expectation_table_entries", 0)
+        assert result.expectation_table_bytes >= 0
+
+    def test_ingest_defaults_to_none_without_prefetch(self, result):
+        assert result.ingest is None
+
+    def test_ingest_surfaces_stream_accounting(self, graph):
+        stream = _AccountingStream(GraphStream(graph))
+        result = partition_stream(stream, config=PartitionConfig(
+            method="spnl", num_partitions=8))
+        assert result.ingest == {"producer_busy_s": 0.5,
+                                 "consumer_wait_s": 0.1}
+        assert result.ingest == result.stats["ingest"]
+
+    def test_dict_access_still_works(self, result):
+        # The accessors are sugar, not a migration: the dict stays.
+        assert result.stats["placements"] == result.placements
+
+    def test_accessors_default_cleanly_on_sparse_stats(self, result):
+        from repro.partitioning.base import StreamingResult
+        bare = StreamingResult(
+            assignment=result.assignment, partitioner="test",
+            elapsed_seconds=0.0, num_partitions=8, stats={})
+        assert bare.placements == 0
+        assert bare.capacity_overflows == 0
+        assert bare.fast_path is False
+        assert bare.ingest is None

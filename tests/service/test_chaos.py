@@ -1,0 +1,122 @@
+"""Service chaos suite: SIGKILL the server process, resume, verify acks.
+
+The durability contract under test is exactly the one ``docs/service.md``
+states: once the server acknowledges a placement, a crash (the real
+thing here — ``SIGKILL`` to a live subprocess, not an injected
+exception) followed by ``--resume-from`` answers every acknowledged
+``lookup`` identically.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.graph import community_web_graph, write_adjacency
+from repro.service import ServiceClient
+
+pytestmark = pytest.mark.chaos
+
+K = 4
+
+
+def _spawn_serve(graph_file: Path, state_dir: Path, *,
+                 resume: bool = False) -> tuple[subprocess.Popen,
+                                                tuple[str, int]]:
+    src_root = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root), env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    cmd = [sys.executable, "-m", "repro", "serve", str(graph_file),
+           "-k", str(K), "--snapshot-dir", str(state_dir),
+           "--snapshot-every", "100"]
+    if resume:
+        cmd += ["--resume-from", str(state_dir)]
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    line = proc.stdout.readline().strip()  # "listening on HOST:PORT"
+    assert line.startswith("listening on "), line
+    host, port = line.rsplit(" ", 1)[-1].rsplit(":", 1)
+    return proc, (host, int(port))
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    graph = community_web_graph(1200, avg_degree=8, seed=11)
+    path = tmp_path_factory.mktemp("chaos-graph") / "web.adj"
+    write_adjacency(graph, path)
+    return path
+
+
+class TestSigkillResume:
+    def test_no_acked_placement_is_lost(self, graph_file, tmp_path):
+        state_dir = tmp_path / "state"
+        proc, address = _spawn_serve(graph_file, state_dir)
+        acked: dict[int, int] = {}
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def traffic() -> None:
+            try:
+                with ServiceClient(*address) as client:
+                    vertex = 0
+                    while not stop.is_set() and vertex < 1200:
+                        batch = list(range(vertex, vertex + 40))
+                        results = client.place_batch(batch, retries=20)
+                        with lock:
+                            for res in results:
+                                acked[res["vertex"]] = res["pid"]
+                        vertex += 40
+                        time.sleep(0.005)
+            except Exception:
+                # The SIGKILL severs the connection mid-request; whatever
+                # response never arrived was never acked.
+                pass
+
+        thread = threading.Thread(target=traffic, daemon=True)
+        thread.start()
+        # Let real traffic flow (past at least one periodic snapshot),
+        # then kill the process without any chance to clean up.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            with lock:
+                if len(acked) >= 300:
+                    break
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        stop.set()
+        thread.join(timeout=10)
+        with lock:
+            assert len(acked) >= 300, "chaos run acked too little traffic"
+
+        revived, address = _spawn_serve(graph_file, state_dir, resume=True)
+        try:
+            with ServiceClient(*address) as client:
+                stats = client.stats()
+                assert stats["position"] >= len(acked)
+                with lock:
+                    for vertex, pid in acked.items():
+                        assert client.lookup(vertex) == pid, vertex
+                # The revived server keeps serving new traffic.
+                rest = [v for v in range(1200) if v not in acked]
+                for start in range(0, len(rest), 100):
+                    client.place_batch(rest[start:start + 100],
+                                       retries=20)
+                assert client.stats()["placements"] == 1200
+        finally:
+            revived.send_signal(signal.SIGTERM)
+            assert revived.wait(timeout=30) == 0
+
+    def test_sigterm_drains_gracefully(self, graph_file, tmp_path):
+        proc, address = _spawn_serve(graph_file, tmp_path / "state")
+        with ServiceClient(*address) as client:
+            client.place_batch(list(range(100)))
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0

@@ -1,0 +1,85 @@
+"""serve-bench artifact tests: structure, metrics extraction, gating."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    compare_artifacts,
+    extract_identity_flags,
+    extract_metrics,
+)
+from repro.graph import community_web_graph
+from repro.partitioning.config import PartitionConfig
+from repro.service.loadgen import run_service_bench
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    out = tmp_path_factory.mktemp("serve-bench") / "BENCH_service.json"
+    graph = community_web_graph(800, avg_degree=8, seed=9)
+    return run_service_bench(
+        graph, config=PartitionConfig(method="spnl", num_partitions=8),
+        clients=2, batch_size=64, lookups_per_client=50,
+        repeats=2, warmup=0, durable=False, out_path=out), out
+
+
+class TestArtifact:
+    def test_structure(self, artifact):
+        art, _ = artifact
+        assert art["benchmark"] == "service-bench"
+        assert "machine" in art and "config" in art
+        endpoints = {r["endpoint"] for r in art["results"]}
+        assert endpoints == {"place_batch", "lookup"}
+        place = art["results"][0]
+        for quantile in ("p50", "p95", "p99"):
+            summary = place[quantile]
+            assert len(summary["runs_s"]) == 2
+            assert summary["min_s"] <= summary["median_s"] \
+                <= summary["max_s"]
+        assert place["placements_per_s"]["median"] > 0
+
+    def test_meets_the_throughput_floor(self, artifact):
+        # The PR's acceptance bar: >= 1000 placements/s sustained, with
+        # latency percentiles captured in the artifact.
+        art, _ = artifact
+        assert art["results"][0]["placements_per_s"]["median"] >= 1000
+
+    def test_written_file_is_the_returned_artifact(self, artifact):
+        art, out = artifact
+        assert json.loads(out.read_text(encoding="utf-8")) == art
+
+    def test_extract_metrics_keys(self, artifact):
+        art, _ = artifact
+        metrics = extract_metrics(art)
+        for key in ("place_batch/p50", "place_batch/p95",
+                    "place_batch/p99", "lookup/p50", "lookup/p99"):
+            assert key in metrics, key
+            assert len(metrics[key]) == 2
+
+    def test_identity_flag_rides_the_compare_machinery(self, artifact):
+        art, _ = artifact
+        flags = extract_identity_flags(art)
+        if "reordered_repeats" in art["results"][0] \
+                and art["results"][0].get("identical") is not None:
+            assert flags.get("place_batch/identical") is True
+
+    def test_self_comparison_gates_clean(self, artifact):
+        art, _ = artifact
+        result = compare_artifacts(art, art)
+        assert result.gate_exit_code() == 0
+        assert not result.regressions
+
+
+class TestKnobs:
+    def test_target_rps_paces_the_feed(self):
+        graph = community_web_graph(300, avg_degree=6, seed=2)
+        art = run_service_bench(
+            graph, config=PartitionConfig(method="spnl",
+                                          num_partitions=4),
+            clients=1, batch_size=150, lookups_per_client=5,
+            repeats=1, warmup=0, durable=False, target_rps=20,
+            out_path=None)
+        # 2 requests paced at 20 rps across 1 client -> >= ~50 ms wall.
+        assert art["results"][0]["placements_per_s"]["median"] < 300 / 0.05
+        assert art["config"]["target_rps"] == 20

@@ -1,0 +1,341 @@
+"""Placement-service integration tests (in-process, ephemeral ports)."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro import PartitionConfig, partition_stream
+from repro.graph import community_web_graph
+from repro.service import (
+    BackpressureError,
+    PlacementService,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.protocol import decode_line, encode_message
+
+K = 8
+N = 600
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_web_graph(N, avg_degree=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PartitionConfig(method="spnl", num_partitions=K)
+
+
+@pytest.fixture(scope="module")
+def reference_route(graph, config):
+    return partition_stream(graph, config=config).assignment.route
+
+
+@pytest.fixture
+def service(graph, config):
+    with PlacementService.start(graph, config=config) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(*service.address) as c:
+        yield c
+
+
+class TestRoundTrip:
+    def test_hello_handshake(self, client, config):
+        info = client.server_info
+        assert info["protocol"] == 1
+        assert info["server"] == "repro-placement-service"
+        assert info["partitioner"] == "SPNL"
+        assert info["config"]["num_partitions"] == K
+        assert info["graph"]["num_vertices"] == N
+
+    def test_id_ordered_stream_matches_batch_pass(
+            self, client, service, reference_route):
+        for start in range(0, N, 128):
+            client.place_batch(list(range(start, min(N, start + 128))))
+        assert np.array_equal(service._state.route, reference_route)
+        stats = client.stats()
+        assert stats["placements"] == N
+        assert stats["fast_path"]["fused_placements"] == N
+        assert stats["arrival_ordered"] is True
+
+    def test_single_place_and_lookup(self, client):
+        res = client.place(0)
+        assert res["cached"] is False
+        assert client.lookup(0) == res["pid"]
+
+    def test_place_is_idempotent(self, client):
+        first = client.place(3)
+        again = client.place(3)
+        assert again["pid"] == first["pid"]
+        assert again["cached"] is True
+
+    def test_lookup_unplaced_is_none(self, client):
+        assert client.lookup(N - 1) is None
+
+    def test_explicit_neighbors_take_the_record_path(
+            self, client, service):
+        res = client.place(10, neighbors=[1, 2, 3])
+        assert 0 <= res["pid"] < K
+        assert service.stats()["fast_path"]["record_placements"] >= 1
+
+    def test_out_of_order_arrival_still_places_everything(
+            self, client, service):
+        order = list(range(N))
+        rng = np.random.default_rng(3)
+        rng.shuffle(order)
+        for start in range(0, N, 200):
+            client.place_batch(order[start:start + 200])
+        assert client.stats()["placements"] == N
+        assert (service._state.route != -1).all()
+
+    def test_stats_shape(self, client):
+        client.place(0)
+        stats = client.stats()
+        for key in ("partitioner", "num_partitions", "position",
+                    "placements", "capacity_overflows", "loads",
+                    "edge_loads", "queue_depth", "queue_capacity",
+                    "groups_processed", "arrival_ordered", "fast_path",
+                    "latency", "uptime_seconds"):
+            assert key in stats, key
+        assert len(stats["loads"]) == K
+        assert "place" in stats["latency"]
+        assert stats["latency"]["place"]["count"] >= 1
+        assert stats["latency"]["place"]["p99_ms"] >= 0.0
+
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "serving"
+
+    def test_concurrent_clients_place_everything_once(
+            self, service, reference_route):
+        errors = []
+
+        def worker(lo):
+            try:
+                with ServiceClient(*service.address) as c:
+                    for start in range(lo, N, 4 * 50):
+                        c.place_batch(list(range(start, start + 50)),
+                                      retries=20)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(lo * 50,))
+                   for lo in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert service.stats()["placements"] == N
+        # Sorted group-commit keeps id-contiguous multi-client traffic
+        # equivalent to the batch pass whenever arrival never raced.
+        if service._arrival_ordered:
+            assert np.array_equal(service._state.route, reference_route)
+
+
+class TestProtocolErrors:
+    def _raw(self, service, message: dict) -> dict:
+        with socket.create_connection(service.address, timeout=10) as sock:
+            sock.sendall(encode_message(message))
+            return decode_line(sock.makefile("rb").readline())
+
+    def test_unsupported_protocol_version(self, service):
+        response = self._raw(service, {"protocol": 99, "op": "hello",
+                                       "id": 1})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unsupported-protocol"
+        assert response["error"]["supported"] == [1]
+
+    def test_unknown_op(self, service):
+        response = self._raw(service, {"protocol": 1, "op": "explode",
+                                       "id": 1})
+        assert response["error"]["code"] == "bad-request"
+
+    def test_unknown_fields_are_ignored(self, service):
+        # The additive-evolution rule, end to end.
+        response = self._raw(service, {"protocol": 1, "op": "health",
+                                       "id": 1, "future_field": True})
+        assert response["ok"] is True
+
+    def test_unknown_vertex(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.lookup(N + 5)
+        assert exc.value.code == "unknown-vertex"
+
+    def test_bool_vertex_is_rejected(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.place(True)
+        assert exc.value.code == "bad-request"
+
+    def test_bad_neighbors_type(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.request("place", vertex=0, neighbors="nope")
+        assert exc.value.code == "bad-request"
+
+    def test_snapshot_on_volatile_server_fails_cleanly(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.snapshot()
+        assert "snapshot" in str(exc.value)
+
+
+class TestBackpressure:
+    def test_queue_full_answers_backpressure(self, graph, config):
+        with PlacementService.start(
+                graph, config=config, queue_depth=1,
+                throttle_seconds=0.08) as svc:
+            hits, errors = [], []
+
+            def worker(v):
+                try:
+                    with ServiceClient(*svc.address) as c:
+                        c.place(v)
+                except BackpressureError as exc:
+                    hits.append(exc.retry_after_ms)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(v,))
+                       for v in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert hits, "expected at least one backpressure rejection"
+            assert all(ms >= 1 for ms in hits)
+
+    def test_retries_absorb_backpressure(self, graph, config):
+        with PlacementService.start(
+                graph, config=config, queue_depth=1,
+                throttle_seconds=0.02) as svc:
+            errors = []
+
+            def worker(lo):
+                try:
+                    with ServiceClient(*svc.address) as c:
+                        c.place_batch(list(range(lo, lo + 40)),
+                                      retries=100)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(lo * 40,))
+                       for lo in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert svc.stats()["placements"] == 160
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_drains(self, graph, config):
+        svc = PlacementService.start(graph, config=config)
+        with ServiceClient(*svc.address) as c:
+            c.place_batch(list(range(100)))
+        svc.close()
+        svc.close()
+        assert svc.stats()["placements"] == 100
+
+    def test_requests_after_drain_fail(self, graph, config):
+        svc = PlacementService.start(graph, config=config)
+        host, port = svc.address
+        svc.close()
+        with pytest.raises((ServiceError, OSError)):
+            ServiceClient(host, port).place(0)
+
+    def test_request_shutdown_wakes_wait(self, graph, config):
+        svc = PlacementService.start(graph, config=config)
+        try:
+            assert svc.wait(0.01) is False
+            svc.request_shutdown()
+            assert svc.wait(5) is True
+        finally:
+            svc.close()
+
+    def test_offline_method_is_rejected(self, graph):
+        with pytest.raises(ValueError, match="streaming"):
+            PlacementService(graph, config=PartitionConfig(
+                method="metis", num_partitions=K))
+
+
+class TestDurability:
+    def test_snapshot_op_and_boot_guard(self, graph, config, tmp_path):
+        state_dir = tmp_path / "state"
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=state_dir) as svc:
+            with ServiceClient(*svc.address) as c:
+                c.place_batch(list(range(200)))
+                snap = c.snapshot()
+            assert snap["position"] == 200
+            assert (state_dir / snap["path"].split("/")[-1]).exists()
+        # Fresh boot into the now-dirty directory must refuse.
+        with pytest.raises(ValueError, match="resume_from"):
+            PlacementService(graph, config=config,
+                             snapshot_dir=state_dir)
+
+    def test_simulated_crash_resume_answers_acked_lookups(
+            self, graph, config, tmp_path):
+        state_dir = tmp_path / "state"
+        svc = PlacementService.start(graph, config=config,
+                                     snapshot_dir=state_dir,
+                                     snapshot_every=150)
+        acked = {}
+        with ServiceClient(*svc.address) as c:
+            for res in c.place_batch(list(range(0, 300))):
+                acked[res["vertex"]] = res["pid"]
+            # A few out-of-order + explicit-neighbor placements too.
+            res = c.place(450, neighbors=[0, 1, 2])
+            acked[450] = res["pid"]
+            res = c.place(400)
+            acked[400] = res["pid"]
+        # Simulated SIGKILL: no close(), no final snapshot — only what
+        # the WAL and periodic snapshots made durable survives.
+        svc._listener.close()
+
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=state_dir,
+                                    resume_from=state_dir) as revived:
+            with ServiceClient(*revived.address) as c:
+                stats = c.stats()
+                assert stats["position"] == len(acked)
+                assert "resumed_from" in stats
+                for vertex, pid in acked.items():
+                    assert c.lookup(vertex) == pid, vertex
+
+    def test_resume_continues_fused_after_ordered_history(
+            self, graph, config, tmp_path):
+        state_dir = tmp_path / "state"
+        svc = PlacementService.start(graph, config=config,
+                                     snapshot_dir=state_dir)
+        with ServiceClient(*svc.address) as c:
+            c.place_batch(list(range(0, 256)))
+        svc._listener.close()  # crash
+
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=state_dir,
+                                    resume_from=state_dir) as revived:
+            with ServiceClient(*revived.address) as c:
+                c.place_batch(list(range(256, N)))
+                stats = c.stats()
+            assert stats["placements"] == N
+            assert stats["fast_path"]["active"] is True
+            assert stats["fast_path"]["fused_placements"] == N - 256
+
+
+class TestFacade:
+    def test_serve_connect_compose(self, graph, config):
+        with repro.serve(graph, config) as service, \
+                repro.connect(service) as client:
+            pid = client.place(0)["pid"]
+            assert client.lookup(0) == pid
+            assert client.server_info["protocol"] == 1
