@@ -39,6 +39,7 @@ from .micro import (
     machine_fingerprint,
     run_streaming_microbench,
 )
+from .parallel import bench_parallel_method, run_parallel_scaling_bench
 from .report import (
     format_compare_report,
     format_markdown,
@@ -65,6 +66,7 @@ __all__ = [
     "DEFAULT_METHODS",
     "MetricDelta",
     "bench_method",
+    "bench_parallel_method",
     "compare_artifacts",
     "compare_samples",
     "fingerprint_key",
@@ -74,6 +76,7 @@ __all__ = [
     "make_baseline",
     "promote",
     "resolve_baseline",
+    "run_parallel_scaling_bench",
     "run_streaming_microbench",
     "save_baseline",
     "validate_baseline",

@@ -142,7 +142,8 @@ def validate_baseline(obj: Any) -> None:
                      f"results[{i}] must carry at least one percentile")
         else:
             sides = [key for key in ("fast", "seed", "baseline",
-                                     "optimized") if key in rec]
+                                     "optimized", "sequential",
+                                     "parallel") if key in rec]
             _require(len(sides) >= 2,
                      f"results[{i}] must carry two timed sides")
         for side in sides:

@@ -199,7 +199,11 @@ def extract_metrics(artifact: Mapping[str, Any]) -> dict[str, list[float]]:
       ``<stage>/baseline``;
     * ``service-bench`` → ``<endpoint>/p50`` / ``/p95`` / ``/p99``
       (per-repeat latency percentiles of the placement service;
-      throughput fields are informational and not gated).
+      throughput fields are informational and not gated);
+    * ``parallel-scaling`` → ``<method>/sequential`` and
+      ``<method>/parallel`` (speedup/ECR fields are informational —
+      the gate compares wall clock against a same-fingerprint
+      baseline, never against a multicore speedup bar).
 
     All metrics are durations in seconds: lower is better.  Unknown
     benchmark layouts raise :class:`CompareError` rather than guessing.
@@ -223,11 +227,17 @@ def extract_metrics(artifact: Mapping[str, Any]) -> dict[str, list[float]]:
                 if quantile in rec:
                     metrics[f"{name}/{quantile}"] = \
                         list(rec[quantile]["runs_s"])
+    elif kind == "parallel-scaling":
+        for rec in artifact.get("results", []):
+            name = rec["method"]
+            metrics[f"{name}/sequential"] = \
+                list(rec["sequential"]["runs_s"])
+            metrics[f"{name}/parallel"] = list(rec["parallel"]["runs_s"])
     else:
         raise CompareError(
             f"unknown benchmark kind {kind!r}; expected "
-            "'streaming-hot-path', 'ingest-pipeline', or "
-            "'service-bench'")
+            "'streaming-hot-path', 'ingest-pipeline', "
+            "'service-bench', or 'parallel-scaling'")
     if not metrics:
         raise CompareError(f"artifact {kind!r} contains no results")
     return metrics
@@ -440,6 +450,24 @@ def compare_artifacts(baseline: Mapping[str, Any],
             f"machine fingerprints differ (baseline {base_key}, candidate "
             f"{cand_key}): absolute timings are not comparable across "
             "hosts; interpret deltas with care")
+        base_cpus = base_machine.get("cpu_count")
+        cand_cpus = cand_machine.get("cpu_count")
+        if base_cpus != cand_cpus and cand_cpus is not None \
+                and base_cpus is not None:
+            # CPU affinity drift is the silent gate-killer: the
+            # fingerprint key includes the *usable* CPU count, so a
+            # runner throttled to fewer cores resolves a different
+            # baseline file entirely and the gate compares against
+            # whatever fell back — loudly call it out.
+            warnings.append(
+                f"CROSS-AFFINITY COMPARISON: baseline ran with "
+                f"cpu_count={base_cpus} but candidate with "
+                f"cpu_count={cand_cpus} (affinity-restricted runner?). "
+                "The fingerprint key includes the usable CPU count, so "
+                "this baseline was recorded under a different core "
+                "budget — timing verdicts may be vacuous. Promote a "
+                "baseline from a matching-affinity run, or pin the "
+                "runner's affinity to match.")
 
     base_metrics = extract_metrics(baseline)
     cand_metrics = extract_metrics(candidate)

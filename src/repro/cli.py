@@ -183,6 +183,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: {args.method} is offline; checkpoint/resume applies "
             "to streaming passes only")
+    processes = getattr(args, "processes", 1)
+    if processes > 1 and args.threads > 1:
+        raise SystemExit(
+            "error: --threads and --processes are mutually exclusive; "
+            "pick one executor")
+    if processes > 1 and is_offline:
+        raise SystemExit(
+            f"error: {args.method} is offline; --processes applies to "
+            "streaming passes only")
     if checkpointing and args.threads > 1:
         raise SystemExit(
             "error: --checkpoint-every/--resume-from are incompatible "
@@ -190,6 +199,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.threads > 1 and not is_offline:
         partitioner = ThreadedParallelPartitioner(
             partitioner, parallelism=args.threads)
+    elif processes > 1:
+        # The sharded executor snapshots at drained group boundaries,
+        # so (unlike --threads) checkpoint/resume stays available.
+        from .parallel.process import ProcessShardedPartitioner
+        try:
+            partitioner = ProcessShardedPartitioner(
+                partitioner, parallelism=processes)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
     instrumentation = _make_instrumentation(args)
     ckpt_dir = args.checkpoint_dir or str(args.output) + ".ckpt"
 
@@ -200,6 +218,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                       "flags are ignored", file=sys.stderr)
             return partitioner.partition(graph)
         stream = GraphStream(graph)
+        if checkpointing and processes > 1:
+            every = args.checkpoint_every
+            if args.resume_from is not None:
+                return partitioner.resume_partition(
+                    stream, args.resume_from, config=ckpt_dir,
+                    every=every, instrumentation=instrumentation)
+            return partitioner.partition_with_checkpoints(
+                stream, ckpt_dir, every=every,
+                instrumentation=instrumentation)
         if checkpointing:
             from .recovery.checkpoint import (
                 partition_with_checkpoints,
@@ -217,11 +244,18 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         return partitioner.partition(stream,
                                      instrumentation=instrumentation)
 
-    if instrumentation is not None and not is_offline:
-        with instrumentation:
+    try:
+        if instrumentation is not None and not is_offline:
+            with instrumentation:
+                result = _run()
+        else:
             result = _run()
-    else:
-        result = _run()
+    except ValueError as exc:
+        if processes > 1:
+            # e.g. the heuristic declares no shared score lanes; the
+            # sharded executor only finds out once the pass starts.
+            raise SystemExit(f"error: {exc}")
+        raise
     quality = evaluate(graph, result.assignment)
     from .partitioning.persistence import save_assignment
     save_assignment(result.assignment, args.output, graph=graph,
@@ -348,7 +382,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     candidate = _load_bench_artifact(args.candidate)
     baseline_spec = args.baseline or args.baselines_dir
     try:
-        baseline_obj, baseline_path, _exact = resolve_baseline(
+        baseline_obj, baseline_path, exact = resolve_baseline(
             baseline_spec, candidate)
     except BaselineError as exc:
         raise SystemExit(f"error: {exc}")
@@ -356,6 +390,23 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         baseline_artifact = baseline_obj["artifact"]
     else:
         baseline_artifact = baseline_obj
+    if not exact:
+        base_cpus = (baseline_artifact.get("machine") or {}).get(
+            "cpu_count")
+        cand_cpus = (candidate.get("machine") or {}).get("cpu_count")
+        if base_cpus is not None and cand_cpus is not None \
+                and base_cpus != cand_cpus:
+            print(f"warning: CROSS-AFFINITY FALLBACK — no baseline for "
+                  f"this machine fingerprint; fell back to "
+                  f"{baseline_path} recorded at cpu_count={base_cpus}, "
+                  f"but this runner sees cpu_count={cand_cpus}. An "
+                  "affinity-throttled runner resolves a different "
+                  "baseline and the gate may pass vacuously.",
+                  file=sys.stderr)
+        else:
+            print(f"warning: no baseline for this machine fingerprint; "
+                  f"fell back to {baseline_path} (cross-host timings "
+                  "compare loosely)", file=sys.stderr)
 
     instrumentation = None
     if args.trace is not None:
@@ -490,6 +541,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         } for r in artifact["results"]]
         print(report.format_table(
             rows, title="Ingest pipeline — optimized vs baseline"))
+        print(f"artifact written to {out}")
+    elif target == "parallel-scaling":
+        from .bench.parallel import run_parallel_scaling_bench
+        out = args.bench_out
+        if out == "BENCH_streaming.json":  # targeted default
+            out = "BENCH_parallel.json"
+        if args.quick:
+            artifact = run_parallel_scaling_bench(
+                n=4000, k=args.k, warmup=1, repeats=3, out_path=out)
+        else:
+            artifact = run_parallel_scaling_bench(k=args.k, out_path=out)
+        rows = [{
+            "method": r["method"],
+            "sequential median (s)": f"{r['sequential']['median_s']:.4f}",
+            "parallel median (s)": f"{r['parallel']['median_s']:.4f}",
+            "speedup": f"{r['speedup_median']:.2f}x",
+            "ECR delta": f"{r['ecr_delta_pct']:+.2f}%",
+            "identical": r["identical"],
+        } for r in artifact["results"]]
+        cfg = artifact["config"]
+        print(report.format_table(
+            rows, title=f"Parallel scaling — sequential vs "
+                        f"{cfg['num_workers']}-worker sharded "
+                        f"(M={cfg['parallelism']})"))
+        if not cfg["scaling_expected"]:
+            print(f"note: only {artifact['machine']['cpu_count']} usable "
+                  f"CPU(s) for {cfg['num_workers']} worker(s); no speedup "
+                  "expected on this host", file=sys.stderr)
         print(f"artifact written to {out}")
     elif target == "streaming":
         from .bench.micro import run_streaming_microbench
@@ -668,7 +747,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="route-table output path")
     _add_heuristic_flags(p, methods=available_partitioners())
     p.add_argument("--threads", type=int, default=1,
-                   help="parallel placement workers")
+                   help="parallel placement workers (threaded executor; "
+                        "GIL-bound)")
+    p.add_argument("--processes", type=int, default=1, metavar="M",
+                   help="score M records per group across worker "
+                        "processes (sharded executor; deterministic, "
+                        "checkpoint/resume capable)")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
                    help="write a windowed JSONL stream trace")
     p.add_argument("--probe-every", type=int, default=None, metavar="N",
@@ -732,15 +816,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target",
                    choices=["table2", "table3", "table4", "table5", "fig3",
                             "fig7", "fig8", "fig9", "fig10", "fig11",
-                            "fig12", "streaming", "ingest", "all",
-                            "compare", "promote"])
+                            "fig12", "streaming", "ingest",
+                            "parallel-scaling", "all", "compare",
+                            "promote"])
     p.add_argument("-k", type=int, default=32)
     p.add_argument("--output", default="reports",
                    help="output directory for 'all'")
     p.add_argument("--quick", action="store_true",
                    help="shrunken sweeps for 'all'/'streaming'")
     p.add_argument("--bench-out", default="BENCH_streaming.json",
-                   help="artifact path for the 'streaming' microbench")
+                   help="artifact path for the 'streaming' / 'ingest' / "
+                        "'parallel-scaling' microbenches (each defaults "
+                        "to its own BENCH_*.json)")
     p.add_argument("--baseline", default=None, metavar="FILE|DIR",
                    help="[compare] baseline artifact/envelope file, or a "
                         "baselines directory (default: --baselines-dir, "

@@ -1,10 +1,16 @@
 """Parallel streaming partitioning with RCT dependency detection."""
 
 from .executor import SimulatedParallelPartitioner, ThreadedParallelPartitioner
+from .process import ProcessShardedPartitioner, WorkerCrashedError
 from .rct import ReversedCountingTable
+from .shared import SharedArrayBlock, SharedConflictTable
 
 __all__ = [
+    "ProcessShardedPartitioner",
     "ReversedCountingTable",
+    "SharedArrayBlock",
+    "SharedConflictTable",
     "SimulatedParallelPartitioner",
     "ThreadedParallelPartitioner",
+    "WorkerCrashedError",
 ]

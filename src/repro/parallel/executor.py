@@ -128,8 +128,17 @@ class SimulatedParallelPartitioner(_ParallelBase):
             if rct is not None:
                 for record, _ in batch:
                     rct.register(record.vertex)
-                for record, _ in batch:
-                    rct.note_references(record.neighbors)
+                for record, delays in batch:
+                    # Only *fresh* records note their references: a
+                    # carried record's notes from its first batch are
+                    # still outstanding (they drain on commit), so
+                    # re-noting every batch would inflate neighbor
+                    # counters without bound and keep the delay
+                    # threshold artificially hot — an adversarial hub
+                    # could then hold the whole table above threshold
+                    # until every record burned its full delay budget.
+                    if delays == 0:
+                        rct.note_references(record.neighbors)
 
             # Phase 1 — concurrent scoring against batch-start state.
             scored: list[tuple[AdjacencyRecord, int, np.ndarray]] = []
@@ -202,9 +211,11 @@ class ThreadedParallelPartitioner(_ParallelBase):
     Once the budget is exhausted — or a worker dies *inside* the commit
     section, where shared state may be half-updated and a retry could
     double-place — the run aborts and the original error surfaces.
-    (A requeued record whose RCT references were already noted may be
-    noted again on retry; the table then over-counts dependencies, which
-    at worst delays a few extra placements — never corrupts them.)
+    Requeued records carry a ``noted`` flag so their RCT references are
+    counted exactly once across retries: a record handed back by a dying
+    worker is re-scored but never re-noted, keeping the dependency
+    counters and the ``delayed``/``conflicts`` stats identical to a run
+    where the worker survived.
     """
 
     def __init__(self, base: StreamingPartitioner, *, parallelism: int = 4,
@@ -270,7 +281,7 @@ class ThreadedParallelPartitioner(_ParallelBase):
                     # un-counted so the drain invariant stays exact.
                     while True:
                         try:
-                            buffer.put((record, 0), timeout=0.05)
+                            buffer.put((record, 0, False), timeout=0.05)
                             break
                         except queue.Full:
                             if fatal or abort.is_set():
@@ -286,7 +297,7 @@ class ThreadedParallelPartitioner(_ParallelBase):
         def worker(index: int) -> None:
             while True:
                 try:
-                    record, delays = buffer.get(timeout=0.02)
+                    record, delays, noted = buffer.get(timeout=0.02)
                 except queue.Empty:
                     if abort.is_set():
                         return
@@ -297,20 +308,27 @@ class ThreadedParallelPartitioner(_ParallelBase):
                             return
                     continue
                 try:
-                    if rct is not None and delays == 0:
+                    if rct is not None and not noted:
                         rct.note_references(record.neighbors)
+                        # Flip *after* the notes land: a retry after a
+                        # crash mid-noting re-notes (rare, best-effort)
+                        # rather than silently under-counting.
+                        noted = True
                     scores = base._score(record, state)
                     delay = (rct is not None and delays < self.max_delays
                              and rct.should_delay(record.vertex))
                 except BaseException as exc:
                     # Scoring touched nothing the commit path depends on;
                     # hand the record back (so no placement is lost) and
-                    # report for a supervised restart.  The put blocks
-                    # with an abort check: dropping the record would
-                    # leave ``pending`` permanently non-zero.
+                    # report for a supervised restart.  The ``noted``
+                    # flag rides along so the retry counts this record's
+                    # RCT references exactly once.  The put blocks with
+                    # an abort check: dropping the record would leave
+                    # ``pending`` permanently non-zero.
                     while not abort.is_set():
                         try:
-                            buffer.put((record, delays), timeout=0.05)
+                            buffer.put((record, delays, noted),
+                                       timeout=0.05)
                             break
                         except queue.Full:
                             continue
@@ -322,7 +340,7 @@ class ThreadedParallelPartitioner(_ParallelBase):
                         # re-queue into a full buffer at once they
                         # would deadlock; placing immediately is the
                         # safe degradation.
-                        buffer.put_nowait((record, delays + 1))
+                        buffer.put_nowait((record, delays + 1, True))
                         # Guarded: `list[0] += 1` is a read-modify-
                         # write that loses increments when workers
                         # race on it.

@@ -1,0 +1,686 @@
+"""Process-sharded parallel streaming partitioning (true multicore).
+
+:class:`ProcessShardedPartitioner` is the multicore realization of the
+paper's Sec. V-B design that the GIL denies
+:class:`~repro.parallel.executor.ThreadedParallelPartitioner`: N worker
+*processes* score adjacency records against a
+``multiprocessing.shared_memory``-backed route table and vertex-major
+(V, K) Γ lanes, while a sequential reader in the parent feeds record
+groups through a bounded shared ring and applies every commit itself.
+
+Execution model (one *group* = the paper's M concurrent records):
+
+1. the parent assembles the next group — RCT-delayed records carried
+   from the previous group first, then fresh records from the stream —
+   and writes it into the next ring slot (vertices, CSR-packed
+   neighbors, freshness flags);
+2. all group vertices are registered in the shared RCT, then contiguous
+   sub-ranges are dispatched to the workers, which score their records
+   against the shared (group-start) state, note RCT conflicts into
+   private per-worker lanes, and write length-K score vectors into the
+   slot's score block;
+3. after the barrier the parent folds the conflict lanes and replays
+   the exact commit discipline of
+   :class:`~repro.parallel.executor.SimulatedParallelPartitioner`:
+   commits are applied group-by-group in the group's arrival order
+   (id-sorted for the default id-ordered streams), deferring
+   heavily-depended vertices up to ``max_delays`` times.
+
+Because scoring is pure (workers write only their score block and
+conflict lane) and all state mutation happens in the parent between
+barriers, the result is **byte-identical** to the simulated executor at
+the same ``parallelism`` — and byte-identical to the sequential record
+path at ``parallelism=1`` — while the scoring work spreads over real
+cores.  The registry-wide parity suite pins both properties.
+
+Fault tolerance mirrors the threaded executor's supervision, extended
+to processes: a worker that dies mid-group (even SIGKILL) is respawned
+with bounded restarts and its sub-range re-dispatched — safe because
+workers are idempotent (re-scoring rewrites the same deterministic
+bytes) and no committed placement ever lives in a worker.  Checkpoints
+compose with the recovery layer: at snapshot barriers the parent drains
+all in-flight (carried) records, so a snapshot is exactly the
+sequential triple (state, heuristic, position) and resuming is
+byte-identical to the checkpointed run that never crashed.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import multiprocessing as mp
+import time
+from multiprocessing.connection import wait as _wait_connections
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..graph.digraph import AdjacencyRecord
+from ..graph.stream import VertexStream, as_array_stream
+from ..partitioning.base import StreamingPartitioner, StreamingResult
+from ..recovery.checkpoint import (CheckpointConfig, Checkpointer,
+                                   latest_snapshot)
+from ..recovery.snapshot import read_snapshot
+from .executor import _ParallelBase
+from .shared import SharedArrayBlock, SharedConflictTable
+
+__all__ = ["ProcessShardedPartitioner", "WorkerCrashedError"]
+
+
+class WorkerCrashedError(RuntimeError):
+    """A worker process died and the restart budget is exhausted."""
+
+
+class _StreamMeta:
+    """Picklable stream façade carrying only what ``_setup`` reads.
+
+    Workers rebuild their partitioner clone against this instead of the
+    real stream (which may hold open files, mmaps, or whole graphs):
+    every ``_setup`` in the tree only consumes the totals and the
+    id-order flag.
+    """
+
+    def __init__(self, stream: VertexStream) -> None:
+        self.num_vertices = stream.num_vertices
+        self.num_edges = stream.num_edges
+        self.is_id_ordered = bool(getattr(stream, "is_id_ordered", False))
+        arrays = as_array_stream(stream)
+        if arrays is not None:
+            self.max_degree: int | None = arrays.max_degree
+        else:
+            self.max_degree = getattr(stream, "max_degree", None)
+
+
+def _worker_main(worker_id: int, template: StreamingPartitioner,
+                 meta: _StreamMeta, spec, shm_name: str, use_rct: bool,
+                 conn) -> None:
+    """Score sub-ranges of ring slots until told to stop.
+
+    The worker is *pure*: it reads the shared route/tallies/Γ lanes and
+    the ring's record data, and writes only (a) its own RCT conflict
+    lane and (b) the score block of the dispatched range.  Dying at any
+    instruction therefore loses nothing the parent cannot redo.
+
+    Results go back over the worker's **own** duplex pipe, never a
+    shared queue: a worker SIGKILLed mid-``send`` leaves a torn pickle
+    frame in its pipe, and on a shared channel that frame would wedge
+    every later message from every surviving worker behind it.  With
+    per-worker pipes the torn frame dies with the pipe — the parent
+    sees EOF, respawns, and the replacement gets a fresh channel.
+    """
+    block = SharedArrayBlock.attach(shm_name, spec)
+    views = block.views
+    try:
+        state = template.make_state(meta)
+        template._setup(meta, state)
+        state.route = views["route"]
+        state.vertex_counts = views["vertex_counts"]
+        state.edge_counts = views["edge_counts"]
+        lane_keys = template.score_lanes() or {}
+        template.attach_score_lanes(
+            {key: views["lane_" + key] for key in lane_keys})
+        in_flight = views["rct_inflight"]
+        lane = views["rct_lanes"][worker_id] if use_rct else None
+        ring_vertices = views["ring_vertices"]
+        ring_indptr = views["ring_indptr"]
+        ring_neighbors = views["ring_neighbors"]
+        ring_fresh = views["ring_fresh"]
+        ring_scores = views["ring_scores"]
+        score = template._score
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return
+            _, slot, lo, hi, epoch = msg
+            vertices = ring_vertices[slot]
+            indptr = ring_indptr[slot]
+            neighbors_flat = ring_neighbors[slot]
+            fresh = ring_fresh[slot]
+            scores_out = ring_scores[slot]
+            try:
+                for i in range(lo, hi):
+                    neighbors = neighbors_flat[indptr[i]:indptr[i + 1]]
+                    if use_rct and fresh[i] and neighbors.size:
+                        # The paper piggybacks conflict detection on the
+                        # neighbor traversal scoring already performs:
+                        # any in-flight neighbor gets its dependency
+                        # counter bumped — here into this worker's
+                        # private lane, folded by the parent at the
+                        # barrier (deterministic commutative sum).
+                        hits = neighbors[in_flight[neighbors] != 0]
+                        if hits.size:
+                            np.add.at(lane, hits, 1)
+                    record = AdjacencyRecord(int(vertices[i]), neighbors)
+                    scores_out[i, :] = score(record, state)
+            except Exception as exc:
+                conn.send(("error", worker_id, slot, epoch, repr(exc)))
+                return
+            conn.send(("done", worker_id, slot, epoch))
+    finally:
+        block.close()
+
+
+class ProcessShardedPartitioner(_ParallelBase):
+    """M-way concurrent placement sharded over N worker processes.
+
+    Parameters
+    ----------
+    base:
+        The wrapped streaming heuristic.  It must declare its mutable
+        score state via
+        :meth:`~repro.partitioning.base.StreamingPartitioner
+        .score_lanes` (ldg/fennel/spn/spnl with the dense or hashed Γ
+        store do; the sliding-window store is refused — its rotation
+        cursor is inherently sequential).
+    parallelism:
+        The paper's M — records scored concurrently per group.  This is
+        the *semantic* knob: results are byte-identical to
+        :class:`~repro.parallel.executor.SimulatedParallelPartitioner`
+        at the same value, regardless of ``num_workers``.
+    num_workers:
+        Worker processes the group is sharded over (the *throughput*
+        knob).  Default: ``min(parallelism, usable CPUs)``.
+    epsilon, use_rct, max_delays:
+        As in the other executors (RCT capacity ``ε·M``, delay budget).
+    ring_slots:
+        Slots in the bounded shared ring (≥ 1).  Slots are cycled
+        round-robin; each holds one group's records and score block.
+    max_worker_restarts, restart_backoff:
+        Supervision budget for dead workers (including SIGKILL) with
+        exponential backoff, mirroring the threaded executor.
+    worker_timeout:
+        Seconds a live worker may stay silent on a dispatched range
+        before the run aborts (guards against hung workers; deaths are
+        detected much sooner via liveness checks).
+    mp_context:
+        ``multiprocessing`` start method (default: ``fork`` when
+        available, else ``spawn``).
+
+    A ``barrier_hook`` attribute (``callable(group_index, processes)``
+    or ``None``) runs after each dispatch, before the barrier wait —
+    the chaos suite uses it to SIGKILL workers mid-group.
+    """
+
+    def __init__(self, base: StreamingPartitioner, *, parallelism: int = 4,
+                 num_workers: int | None = None, epsilon: int = 2,
+                 use_rct: bool = True, max_delays: int = 3,
+                 ring_slots: int = 2, max_worker_restarts: int = 2,
+                 restart_backoff: float = 0.05,
+                 worker_timeout: float = 120.0,
+                 mp_context: str | None = None) -> None:
+        super().__init__(base, parallelism=parallelism, epsilon=epsilon,
+                         use_rct=use_rct, max_delays=max_delays)
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
+        if worker_timeout <= 0:
+            raise ValueError("worker_timeout must be > 0")
+        if num_workers is None:
+            import os
+            cpus = os.cpu_count() or 1
+            num_workers = max(1, min(parallelism, cpus))
+        self.num_workers = num_workers
+        self.ring_slots = ring_slots
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_backoff = restart_backoff
+        self.worker_timeout = worker_timeout
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.mp_context = mp_context
+        self.barrier_hook = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}-par{self.parallelism}" \
+            f"(proc{self.num_workers})"
+
+    # ------------------------------------------------------------------
+    def partition(self, stream: VertexStream, *,
+                  instrumentation=None) -> StreamingResult:
+        return self._run(stream, instrumentation=instrumentation)
+
+    def partition_with_checkpoints(
+            self, stream: VertexStream,
+            config: CheckpointConfig | str | Path, *,
+            every: int | None = None, keep: int | None = None,
+            instrumentation=None) -> StreamingResult:
+        """One sharded pass with a snapshot every ``config.every`` records.
+
+        Snapshots are taken at group boundaries: the parent drains every
+        carried (in-flight) record first, so the snapshot is the plain
+        sequential triple — interchangeable with the recovery layer's
+        (a crashed sharded run can even be resumed sequentially).
+        Draining may commit a delayed record earlier than the
+        uninterrupted run would have, so a checkpointed run is
+        byte-identical to its *resumed* runs, not necessarily to an
+        uncheckpointed one.
+        """
+        config = _as_config(config, every, keep)
+        return self._run(stream, instrumentation=instrumentation,
+                         ckpt_config=config)
+
+    def resume_partition(
+            self, stream: VertexStream, snapshot: str | Path, *,
+            config: CheckpointConfig | str | Path | None = None,
+            every: int | None = None, keep: int | None = None,
+            instrumentation=None) -> StreamingResult:
+        """Finish a crashed sharded pass from ``snapshot``.
+
+        Byte-identical to the checkpointed run that never crashed: the
+        snapshot was taken at a drained group boundary, so resuming
+        restarts with an empty RCT and the same group sequence.
+        """
+        snapshot = Path(snapshot)
+        if snapshot.is_dir():
+            found = latest_snapshot(snapshot)
+            if found is None:
+                raise FileNotFoundError(
+                    f"no ckpt-*.snap snapshots in {snapshot}")
+            snapshot = found
+        payload = read_snapshot(snapshot)
+        if config is None:
+            config = snapshot.parent
+        config = _as_config(config, every, keep)
+        return self._run(stream, instrumentation=instrumentation,
+                         ckpt_config=config, resume_payload=payload,
+                         resumed_from=str(snapshot))
+
+    # ------------------------------------------------------------------
+    def _run(self, stream: VertexStream, *, instrumentation=None,
+             ckpt_config: CheckpointConfig | None = None,
+             resume_payload: dict[str, Any] | None = None,
+             resumed_from: str | None = None) -> StreamingResult:
+        base = self.base
+        # Pristine clone for the workers, taken before _setup allocates
+        # the big per-run structures (each worker runs its own _setup
+        # against the stream façade and attaches the shared lanes).
+        template = copy.deepcopy(base)
+        base_elapsed = 0.0
+        if resume_payload is not None:
+            position = int(resume_payload["position"])
+            if not hasattr(stream, "seek"):
+                raise TypeError(
+                    f"cannot resume on a non-seekable stream "
+                    f"({type(stream).__name__})")
+            state = base.load_state(stream, resume_payload)
+            stream.seek(position)
+            base_elapsed = float(
+                resume_payload.get("elapsed_seconds", 0.0))
+            if instrumentation is not None:
+                instrumentation.count("resumes")
+                instrumentation.emit({
+                    "type": "resume",
+                    "position": position,
+                    "placements": int(state.placed_vertices),
+                    "path": resumed_from,
+                    "partitioner": base.name,
+                })
+        else:
+            state = base.make_state(stream)
+            base._setup(stream, state)
+        lanes = base.score_lanes()
+        if lanes is None:
+            raise ValueError(
+                f"{base.name} does not declare shared score lanes and "
+                "cannot run process-sharded (sliding-window Γ stores "
+                "are sequential by design; use gamma_store='dense' or "
+                "'hashed')")
+
+        meta = _StreamMeta(stream)
+        spec = self._build_spec(meta, lanes)
+        block = SharedArrayBlock.create(spec)
+        ctx = mp.get_context(self.mp_context)
+        procs: list[Any] = [None] * self.num_workers
+        conns: list[Any] = [None] * self.num_workers
+        try:
+            return self._drive(
+                stream, state, lanes, block, ctx, procs, conns,
+                template, meta, spec,
+                instrumentation=instrumentation, ckpt_config=ckpt_config,
+                base_elapsed=base_elapsed, resumed_from=resumed_from)
+        finally:
+            for conn, proc in zip(conns, procs):
+                if conn is not None:
+                    try:
+                        if proc is not None and proc.is_alive():
+                            conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for proc in procs:
+                if proc is None:
+                    continue
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            for conn in conns:
+                if conn is not None:
+                    conn.close()
+            block.close()
+
+    # ------------------------------------------------------------------
+    def _build_spec(self, meta: _StreamMeta, lanes: dict[str, np.ndarray]):
+        v = meta.num_vertices
+        k = self.num_partitions
+        m = self.parallelism
+        s = self.ring_slots
+        w = self.num_workers
+        if meta.max_degree is not None:
+            ncap = min(meta.num_edges, m * meta.max_degree)
+        else:
+            ncap = meta.num_edges
+        ncap = max(ncap, 1)
+        spec = [
+            ("route", (v,), np.int32),
+            ("vertex_counts", (k,), np.int64),
+            ("edge_counts", (k,), np.int64),
+            ("rct_counts", (v,), np.int32),
+            ("rct_inflight", (v,), np.uint8),
+            ("rct_lanes", (w, v), np.int32),
+            ("ring_vertices", (s, m), np.int64),
+            ("ring_indptr", (s, m + 1), np.int64),
+            ("ring_neighbors", (s, ncap), np.int64),
+            ("ring_fresh", (s, m), np.uint8),
+            ("ring_scores", (s, m, k), np.float64),
+        ]
+        for key in sorted(lanes):
+            arr = lanes[key]
+            spec.append(("lane_" + key, arr.shape, arr.dtype))
+        return spec
+
+    # ------------------------------------------------------------------
+    def _drive(self, stream, state, lanes, block, ctx, procs,
+               conns, template, meta, spec, *, instrumentation,
+               ckpt_config, base_elapsed, resumed_from) -> StreamingResult:
+        base = self.base
+        views = block.views
+
+        # Move the canonical state into the segment.
+        np.copyto(views["route"], state.route)
+        state.route = views["route"]
+        np.copyto(views["vertex_counts"], state.vertex_counts)
+        state.vertex_counts = views["vertex_counts"]
+        np.copyto(views["edge_counts"], state.edge_counts)
+        state.edge_counts = views["edge_counts"]
+        for key, arr in lanes.items():
+            np.copyto(views["lane_" + key], arr)
+        base.attach_score_lanes(
+            {key: views["lane_" + key] for key in lanes})
+
+        rct = SharedConflictTable(
+            views["rct_counts"], views["rct_inflight"],
+            views["rct_lanes"],
+            capacity=self.epsilon * self.parallelism) \
+            if self.use_rct else None
+        ring_vertices = views["ring_vertices"]
+        ring_indptr = views["ring_indptr"]
+        ring_neighbors = views["ring_neighbors"]
+        ring_fresh = views["ring_fresh"]
+        ring_scores = views["ring_scores"]
+
+        epoch_seq = itertools.count(1)
+        restarts = [0]
+        last_error: list[str] = []
+
+        def spawn(worker_id: int) -> None:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, template, meta, spec, block.name,
+                      rct is not None, child_conn),
+                name=f"shard-worker-{worker_id}", daemon=True)
+            proc.start()
+            child_conn.close()
+            if conns[worker_id] is not None:
+                conns[worker_id].close()
+            procs[worker_id], conns[worker_id] = proc, parent_conn
+
+        def respawn(worker_id: int, reason: str) -> None:
+            if restarts[0] >= self.max_worker_restarts:
+                raise WorkerCrashedError(
+                    f"worker {worker_id} died ({reason}) and the "
+                    f"restart budget ({self.max_worker_restarts}) is "
+                    "exhausted"
+                    + (f"; last worker error: {last_error[-1]}"
+                       if last_error else ""))
+            restarts[0] += 1
+            if rct is not None:
+                # Discard the dead worker's partial conflict notes; the
+                # replacement redoes the whole sub-range, keeping the
+                # barrier fold exactly-once.
+                rct.clear_lane(worker_id)
+            backoff = self.restart_backoff * 2 ** (restarts[0] - 1)
+            if backoff:
+                time.sleep(backoff)
+            spawn(worker_id)
+            if instrumentation is not None:
+                instrumentation.count("parallel.worker_restarts")
+                instrumentation.emit({
+                    "type": "worker_restart",
+                    "worker": worker_id,
+                    "restarts": restarts[0],
+                    "error": reason,
+                    "backoff_seconds": backoff,
+                })
+
+        def redispatch(worker_id: int, slot: int, outstanding,
+                       reason: str) -> None:
+            lo, hi, _ = outstanding[worker_id]
+            respawn(worker_id, reason)
+            eid = next(epoch_seq)
+            conns[worker_id].send(("score", slot, lo, hi, eid))
+            outstanding[worker_id] = (lo, hi, eid)
+
+        def dispatch_and_wait(slot: int, count: int,
+                              group_index: int) -> None:
+            active = min(self.num_workers, count)
+            outstanding: dict[int, tuple[int, int, int]] = {}
+            for worker_id in range(active):
+                lo = worker_id * count // active
+                hi = (worker_id + 1) * count // active
+                if lo >= hi:
+                    continue
+                if procs[worker_id] is None:
+                    spawn(worker_id)
+                elif not procs[worker_id].is_alive():
+                    respawn(worker_id, "died between groups")
+                eid = next(epoch_seq)
+                conns[worker_id].send(("score", slot, lo, hi, eid))
+                outstanding[worker_id] = (lo, hi, eid)
+            if self.barrier_hook is not None:
+                self.barrier_hook(group_index, procs)
+            deadline = time.monotonic() + self.worker_timeout
+            while outstanding:
+                by_conn = {conns[w]: w for w in outstanding}
+                # A dead worker's pipe hits EOF, so ``wait`` wakes for
+                # deaths as well as results — no liveness polling.
+                ready = _wait_connections(list(by_conn), timeout=0.05)
+                if not ready:
+                    if time.monotonic() > deadline:
+                        raise WorkerCrashedError(
+                            f"workers {sorted(outstanding)} made no "
+                            f"progress for {self.worker_timeout}s")
+                    continue
+                for conn in ready:
+                    worker_id = by_conn[conn]
+                    if worker_id not in outstanding \
+                            or conns[worker_id] is not conn:
+                        continue  # replaced earlier in this sweep
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        # Killed mid-group — possibly mid-send, leaving
+                        # a torn frame; the pipe dies with the worker.
+                        redispatch(worker_id, slot, outstanding,
+                                   "killed mid-group")
+                        deadline = time.monotonic() + self.worker_timeout
+                        continue
+                    expected = outstanding[worker_id]
+                    if msg[0] == "done":
+                        _, _, mslot, meid = msg
+                        if expected[2] == meid and mslot == slot:
+                            outstanding.pop(worker_id)
+                            deadline = time.monotonic() \
+                                + self.worker_timeout
+                    else:  # ("error", worker, slot, epoch, repr)
+                        _, _, _, meid, err = msg
+                        if expected[2] == meid:
+                            last_error.append(err)
+                            redispatch(worker_id, slot, outstanding,
+                                       f"scoring error: {err}")
+                            deadline = time.monotonic() \
+                                + self.worker_timeout
+
+        # -- the group loop --------------------------------------------
+        probe = instrumentation.stream_probe(base, state) \
+            if instrumentation is not None else None
+        ckpt = Checkpointer(base, ckpt_config,
+                            instrumentation=instrumentation) \
+            if ckpt_config is not None else None
+        total = stream.num_vertices
+        consumed = stream.tell() if hasattr(stream, "tell") else 0
+        next_ckpt = consumed + ckpt_config.every if ckpt else None
+        delayed_total = 0
+        group_index = 0
+        carried: list[tuple[AdjacencyRecord, int]] = []
+        iterator = iter(stream)
+        exhausted = [False]
+        elapsed = base_elapsed
+        seg_start = time.perf_counter()
+
+        def process_group(batch: list[tuple[AdjacencyRecord, int]]) -> None:
+            nonlocal delayed_total, group_index, carried
+            slot = group_index % self.ring_slots
+            indptr = ring_indptr[slot]
+            offset = 0
+            indptr[0] = 0
+            for i, (record, delays) in enumerate(batch):
+                ring_vertices[slot, i] = record.vertex
+                degree = len(record.neighbors)
+                ring_neighbors[slot, offset:offset + degree] = \
+                    record.neighbors
+                offset += degree
+                indptr[i + 1] = offset
+                ring_fresh[slot, i] = 1 if delays == 0 else 0
+            if rct is not None:
+                for record, _ in batch:
+                    rct.register(record.vertex)
+            dispatch_and_wait(slot, len(batch), group_index)
+            if rct is not None:
+                rct.fold_lanes()
+            # Commit phase — the simulated executor's discipline, verbatim.
+            scores_slot = ring_scores[slot]
+            batch_delayed = 0
+            for i, (record, delays) in enumerate(batch):
+                if (rct is not None and delays < self.max_delays
+                        and rct.should_delay(record.vertex)):
+                    carried.append((record, delays + 1))
+                    delayed_total += 1
+                    batch_delayed += 1
+                    continue
+                scores = scores_slot[i]
+                if probe is None:
+                    pid = base.choose(scores, state)
+                else:
+                    pid, margin = base.choose_with_margin(scores, state)
+                state.commit(record, pid)
+                base._after_commit(record, pid, state)
+                if probe is not None:
+                    probe.observe(record, pid, margin)
+                if rct is not None:
+                    rct.remove(record.vertex)
+                    rct.release_references(record.neighbors)
+            group_index += 1
+            if instrumentation is not None:
+                instrumentation.emit({
+                    "type": "parallel_group",
+                    "group": group_index,
+                    "batch_size": len(batch),
+                    "delayed": batch_delayed,
+                    "placements": int(state.placed_vertices),
+                    "workers": self.num_workers,
+                })
+
+        while not exhausted[0] or carried:
+            batch = carried
+            carried = []
+            while len(batch) < self.parallelism and not exhausted[0]:
+                try:
+                    batch.append((next(iterator), 0))
+                    consumed += 1
+                except StopIteration:
+                    exhausted[0] = True
+            if not batch:
+                break
+            process_group(batch)
+            if ckpt is not None and consumed < total \
+                    and consumed >= next_ckpt:
+                # Snapshot barrier: drain every in-flight record so the
+                # snapshot is a plain sequential (state, position) pair.
+                while carried:
+                    drain, carried = carried, []
+                    process_group(drain)
+                elapsed += time.perf_counter() - seg_start
+                ckpt.save(state, consumed, elapsed)
+                seg_start = time.perf_counter()
+                next_ckpt = consumed + ckpt_config.every
+
+        elapsed += time.perf_counter() - seg_start
+        if probe is not None:
+            probe.finish(elapsed)
+            instrumentation.count("parallel.delayed", delayed_total)
+            if rct is not None:
+                instrumentation.gauge("parallel.conflicts",
+                                      rct.total_conflicts)
+
+        assignment = state.to_assignment()
+        stats = self._stats(rct, delayed_total, state)
+        stats.update(
+            num_workers=self.num_workers,
+            worker_restarts=restarts[0],
+            groups=group_index,
+        )
+        if ckpt is not None:
+            stats["checkpoints_written"] = ckpt.snapshots_written
+        if resumed_from is not None:
+            stats["resumed_from"] = resumed_from
+
+        # Detach: rebind the canonical state and the heuristic's lanes
+        # onto private copies so both outlive the shared segment (the
+        # caller may inspect the Γ store after the run).
+        state.route = np.array(views["route"])
+        state.vertex_counts = np.array(views["vertex_counts"])
+        state.edge_counts = np.array(views["edge_counts"])
+        base.attach_score_lanes(
+            {key: np.array(views["lane_" + key]) for key in lanes})
+        if rct is not None:
+            rct.counts = np.array(rct.counts)
+            rct.in_flight = np.array(rct.in_flight)
+            rct.lanes = np.array(rct.lanes)
+
+        return StreamingResult(
+            assignment=assignment,
+            partitioner=self.name,
+            elapsed_seconds=elapsed,
+            num_partitions=base.num_partitions,
+            stats=stats,
+        )
+
+
+def _as_config(config: CheckpointConfig | str | Path,
+               every: int | None, keep: int | None) -> CheckpointConfig:
+    if isinstance(config, CheckpointConfig):
+        return config
+    kwargs: dict[str, Any] = {}
+    if every is not None:
+        kwargs["every"] = every
+    if keep is not None:
+        kwargs["keep"] = keep
+    return CheckpointConfig(Path(config), **kwargs)

@@ -1,0 +1,268 @@
+"""Shared-memory plumbing for the process-sharded executor.
+
+Two pieces live here:
+
+* :class:`SharedArrayBlock` — one ``multiprocessing.shared_memory``
+  segment carved into named numpy views from a declarative layout spec.
+  The parent creates the block; workers attach by name and rebuild the
+  identical views, so a single segment carries the route table, the
+  per-partition tallies, the heuristic's Γ lanes, the record ring, and
+  the RCT counters — one ``shm_open`` per worker instead of a dozen.
+* :class:`SharedConflictTable` — the paper's Reversed Counting Table
+  (Sec. V-B) over shared arrays.  The *parent* owns the canonical
+  counters and the in-flight membership bitmap (it is the only process
+  that registers/removes/releases, always between scoring barriers, so
+  no cross-process locking is needed); workers record the conflicts they
+  observe during neighbor traversal into private per-worker lanes, which
+  the parent folds into the canonical counters at each group barrier.
+  Folding is a commutative integer sum, so the result is deterministic
+  regardless of worker scheduling — the foundation of the executor's
+  byte-parity with :class:`~repro.parallel.executor
+  .SimulatedParallelPartitioner`.
+
+Semantics mirror :class:`~repro.parallel.rct.ReversedCountingTable`
+operation-for-operation (capacity ``ε·M``, mean-of-nonzero threshold,
+release floored at zero, membership keyed on registration order); the
+parity test suite pins the two tables against each other.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayBlock", "SharedConflictTable", "attach_shared_memory"]
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Workers only *view* the parent's segment; registering the attachment
+    with their own ``resource_tracker`` would make the tracker unlink
+    the segment when a worker exits (the well-known CPython 3.8–3.12
+    over-tracking wart, fixed by ``track=False`` in 3.13).  The parent
+    created the block, the parent unlinks it.
+    """
+    try:  # Python >= 3.13
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Pre-3.13: attaching registers with the resource tracker too.
+        # Suppress the registration instead of unregistering after the
+        # fact — under fork the tracker process is shared, and a second
+        # worker's unregister of the same name raises KeyError noise in
+        # the tracker.
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedArrayBlock:
+    """One shared-memory segment holding several named numpy arrays.
+
+    ``spec`` is an ordered list of ``(name, shape, dtype)`` triples; the
+    arrays are packed back-to-back with 64-byte alignment (so no view
+    straddles a cache line shared with its neighbor — workers bump their
+    conflict lanes while the parent reads other views).  Both sides must
+    build from the *same* spec; the creating side embeds nothing in the
+    segment, the spec travels to workers as a plain picklable list.
+    """
+
+    _ALIGN = 64
+
+    def __init__(self, spec, shm: shared_memory.SharedMemory,
+                 *, owner: bool) -> None:
+        self.spec = list(spec)
+        self._shm = shm
+        self._owner = owner
+        needed = self.layout_size(self.spec)
+        if needed > shm.size:
+            raise ValueError(
+                f"layout needs {needed} bytes but the segment holds "
+                f"{shm.size} (spec mismatch between creator and attacher?)")
+        self.views: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, shape, dtype in self.spec:
+            dt = np.dtype(dtype)
+            size = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+            self.views[name] = np.ndarray(
+                shape, dtype=dt, buffer=shm.buf, offset=offset)
+            offset += -(-size // self._ALIGN) * self._ALIGN
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def layout_size(cls, spec) -> int:
+        """Total bytes the packed layout of ``spec`` occupies."""
+        total = 0
+        for _name, shape, dtype in spec:
+            size = int(np.prod(shape, dtype=np.int64)) \
+                * np.dtype(dtype).itemsize
+            total += -(-size // cls._ALIGN) * cls._ALIGN
+        return max(total, 1)
+
+    @classmethod
+    def create(cls, spec) -> "SharedArrayBlock":
+        """Allocate a fresh zero-filled segment for ``spec``."""
+        shm = shared_memory.SharedMemory(
+            create=True, size=cls.layout_size(spec))
+        return cls(spec, shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, spec) -> "SharedArrayBlock":
+        """Attach to the segment ``name`` created from the same ``spec``."""
+        return cls(spec, attach_shared_memory(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach by."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (and the segment name, if owner).
+
+        Unlinking is attempted even when a live external view blocks the
+        ``close()`` (BufferError): POSIX keeps the segment alive until
+        every mapping drops, so unlink-first can never corrupt a reader,
+        while skipping it would leak the name in ``/dev/shm``.
+        """
+        self.views.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # a live external view keeps the mapping; harmless
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class SharedConflictTable:
+    """The RCT over shared arrays: parent-owned counters, worker lanes.
+
+    Parameters
+    ----------
+    counts:
+        ``(V,) int32`` canonical dependency counters (shared, but only
+        the parent writes).
+    in_flight:
+        ``(V,) uint8`` membership bitmap — nonzero while the vertex is
+        registered.  Workers read it during neighbor traversal to decide
+        which references to note (the dict-membership test of
+        :class:`~repro.parallel.rct.ReversedCountingTable`).
+    lanes:
+        ``(num_workers, V) int32`` per-worker conflict lanes.  Worker
+        ``w`` only ever writes ``lanes[w]``; the parent folds and zeroes
+        lanes at each group barrier, so there are no write-write races
+        by construction.
+    capacity:
+        The paper's ``ε·M`` bound on registered vertices.
+    """
+
+    def __init__(self, counts: np.ndarray, in_flight: np.ndarray,
+                 lanes: np.ndarray, *, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.counts = counts
+        self.in_flight = in_flight
+        self.lanes = lanes
+        self.capacity = capacity
+        # Registration order, mirrored from the dict-based table so the
+        # mean-of-nonzero threshold sums in the identical order.
+        self._members: dict[int, None] = {}
+        self.total_conflicts = 0
+        self.total_delays = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- parent-side operations (between barriers only) ----------------
+    def register(self, vertex: int) -> bool:
+        """Enter ``vertex`` as in-flight; False if the table is full."""
+        if vertex in self._members:
+            return True
+        if len(self._members) >= self.capacity:
+            return False
+        self._members[vertex] = None
+        self.in_flight[vertex] = 1
+        self.counts[vertex] = 0
+        return True
+
+    def fold_lanes(self) -> int:
+        """Fold every worker lane into the canonical counters.
+
+        Called once per group barrier, after all workers went idle.
+        Returns (and accumulates) how many conflicts the group noted.
+        The fold only visits registered vertices: workers filter their
+        notes through ``in_flight``, and membership does not change
+        while they score, so nothing can land outside that set.
+        """
+        if not self._members:
+            return 0
+        members = np.fromiter(self._members, dtype=np.int64,
+                              count=len(self._members))
+        noted = self.lanes[:, members].sum(axis=0, dtype=np.int64)
+        hits = int(noted.sum())
+        if hits:
+            self.counts[members] += noted.astype(np.int32)
+            self.lanes[:, members] = 0
+        self.total_conflicts += hits
+        return hits
+
+    def clear_lane(self, worker: int) -> None:
+        """Discard worker ``worker``'s partial notes (pre-restart).
+
+        A respawned worker redoes its sub-range from scratch, re-noting
+        every reference; zeroing first keeps the fold exactly-once.
+        """
+        if self._members:
+            members = np.fromiter(self._members, dtype=np.int64,
+                                  count=len(self._members))
+            self.lanes[worker, members] = 0
+
+    def release_references(self, neighbors: np.ndarray) -> None:
+        """Drain counters once the referencing vertex has committed."""
+        counts = self.counts
+        in_flight = self.in_flight
+        for u in neighbors:
+            u = int(u)
+            if in_flight[u] and counts[u] > 0:
+                counts[u] -= 1
+
+    def dependency_of(self, vertex: int) -> int:
+        """Current dependency counter of ``vertex`` (0 if absent)."""
+        if not self.in_flight[vertex]:
+            return 0
+        return int(self.counts[vertex])
+
+    def _nonzero(self) -> list[int]:
+        counts = self.counts
+        return [int(counts[u]) for u in self._members if counts[u] > 0]
+
+    def threshold(self) -> float:
+        """The paper's delay threshold: mean of non-zero counters."""
+        nonzero = self._nonzero()
+        if not nonzero:
+            return float("inf")
+        return float(np.mean(nonzero))
+
+    def should_delay(self, vertex: int) -> bool:
+        """True when ``vertex``'s dependency exceeds the live threshold."""
+        count = self.dependency_of(vertex)
+        nonzero = self._nonzero()
+        if count == 0 or not nonzero:
+            return False
+        delay = count > float(np.mean(nonzero))
+        if delay:
+            self.total_delays += 1
+        return delay
+
+    def remove(self, vertex: int) -> None:
+        """Drop ``vertex`` from the table (it has been placed)."""
+        if self._members.pop(vertex, False) is None:
+            self.in_flight[vertex] = 0
+            self.counts[vertex] = 0

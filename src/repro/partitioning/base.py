@@ -601,6 +601,49 @@ class StreamingPartitioner(ABC):
     def _load_heuristic_state(self, payload: dict[str, Any]) -> None:
         """Restore :meth:`_heuristic_state_dict` output (after ``_setup``)."""
 
+    # -- process sharding -----------------------------------------------
+    def score_lanes(self) -> dict[str, np.ndarray] | None:
+        """Declare the heuristic-private arrays ``_score`` reads.
+
+        The process-sharded executor moves every array that scoring
+        depends on into shared memory: the :class:`PartitionState`
+        triple (route table, vertex/edge tallies) is handled by the
+        executor itself, and this hook names whatever *else* the
+        heuristic mutates between records — Γ lanes, SPNL's shrinking
+        ``|V^lt|`` tally.  Called after ``_setup``.
+
+        Returning ``None`` (the default) declares the heuristic
+        *unsupported* for process sharding: it may hold mutable score
+        state the executor cannot see, so sharding it would silently
+        score against stale private copies.  A heuristic whose only
+        mutable score state is the shared :class:`PartitionState`
+        returns ``{}``.
+        """
+        return None
+
+    def attach_score_lanes(self, lanes: dict[str, np.ndarray]) -> None:
+        """Rebind the :meth:`score_lanes` arrays onto shared views.
+
+        ``lanes`` maps the same keys :meth:`score_lanes` declared to
+        equal-shape/dtype arrays backed by shared memory.  Called once
+        per process after ``_setup`` — in the parent after the initial
+        values were copied in, in each worker on zero-copy views of the
+        live segment.
+        """
+        mine = self.score_lanes()
+        if mine is None:
+            raise ValueError(
+                f"{self.name} does not declare score lanes; it cannot "
+                "run under the process-sharded executor")
+        if set(lanes) != set(mine):
+            raise ValueError(
+                f"lane mismatch: expected {sorted(mine)}, "
+                f"got {sorted(lanes)}")
+        if mine:  # heuristics with lanes must override the rebind
+            raise NotImplementedError(
+                f"{self.name} declares lanes {sorted(mine)} but does not "
+                "implement attach_score_lanes")
+
     # -- checkpoint/restore -------------------------------------------------
     def state_dict(self, state: PartitionState) -> dict[str, Any]:
         """Capture the full mid-run state of this partitioner.

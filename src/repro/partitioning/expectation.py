@@ -151,6 +151,21 @@ class FullExpectationStore:
     def num_entries(self) -> int:
         return int(self._table.size)
 
+    def shared_lanes(self) -> dict:
+        """Mutable counter arrays the process-sharded executor shares."""
+        return {"table": self._table}
+
+    def attach_shared_lanes(self, lanes: dict) -> None:
+        """Rebind the counter table onto a shared-memory view."""
+        table = lanes["table"]
+        if table.shape != self._table.shape \
+                or table.dtype != self._table.dtype:
+            raise ValueError(
+                f"shared Γ lane {table.shape}/{table.dtype} does not "
+                f"match {self._table.shape}/{self._table.dtype}")
+        self._table = table
+        self._gather_buf = None
+
     def state_dict(self) -> dict:
         return {"kind": "full", "table": self._table.copy()}
 
@@ -280,6 +295,21 @@ class HashedExpectationStore:
 
     def num_entries(self) -> int:
         return int(self._table.size)
+
+    def shared_lanes(self) -> dict:
+        """Mutable counter arrays the process-sharded executor shares."""
+        return {"table": self._table}
+
+    def attach_shared_lanes(self, lanes: dict) -> None:
+        """Rebind the bucket table onto a shared-memory view."""
+        table = lanes["table"]
+        if table.shape != self._table.shape \
+                or table.dtype != self._table.dtype:
+            raise ValueError(
+                f"shared Γ lane {table.shape}/{table.dtype} does not "
+                f"match {self._table.shape}/{self._table.dtype}")
+        self._table = table
+        self._gather_buf = None
 
     def state_dict(self) -> dict:
         return {"kind": "hashed", "table": self._table.copy(),

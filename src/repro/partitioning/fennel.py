@@ -68,6 +68,12 @@ class FennelPartitioner(StreamingPartitioner):
     def _load_heuristic_state(self, payload: dict) -> None:
         self._alpha_effective = float(payload["alpha_effective"])
 
+    def score_lanes(self) -> dict:
+        # α is pinned at _setup and static for the rest of the run;
+        # every worker's own _setup derives the identical value, so no
+        # array needs to be shared beyond the PartitionState.
+        return {}
+
     def _score(self, record: AdjacencyRecord,
                state: PartitionState) -> np.ndarray:
         intersections = state.neighbor_partition_counts(record.neighbors)

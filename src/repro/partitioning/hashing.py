@@ -63,6 +63,10 @@ class HashPartitioner(StreamingPartitioner):
         scores[pid] = 1.0
         return scores
 
+    def score_lanes(self):
+        # Stateless scoring: only the shared PartitionState is mutable.
+        return {}
+
 
 @register("random", summary="seeded uniform random placement")
 class RandomPartitioner(StreamingPartitioner):
@@ -121,6 +125,11 @@ class RangePartitioner(StreamingPartitioner):
         scores = np.zeros(state.num_partitions)
         scores[range_partition_of(record.vertex, self._boundaries)] = 1.0
         return scores
+
+    def score_lanes(self):
+        # ``_boundaries`` is static after ``_setup``; every worker's own
+        # ``_setup`` derives the identical table.
+        return {}
 
 
 @register("chunked", summary="round-robin over arrival chunks")

@@ -31,6 +31,10 @@ class LDGPartitioner(StreamingPartitioner):
     def name(self) -> str:
         return "LDG"
 
+    def score_lanes(self) -> dict[str, np.ndarray]:
+        # LDG's only mutable score state is the shared PartitionState.
+        return {}
+
     def _score(self, record: AdjacencyRecord,
                state: PartitionState) -> np.ndarray:
         intersections = state.neighbor_partition_counts(record.neighbors)

@@ -172,6 +172,36 @@ class SPNPartitioner(StreamingPartitioner):
         # stream; restoring overwrites its counters (and window cursor).
         self.expectation_store.load_state(payload["store"])
 
+    def score_lanes(self) -> dict[str, np.ndarray] | None:
+        """SPN's extra mutable score state is the Γ store's counters.
+
+        Stores without shared-lane support (the sliding window, whose
+        rotation cursor is inherently sequential) return ``None`` —
+        process sharding refuses them instead of silently scoring
+        against stale windows.
+        """
+        store = self.expectation_store
+        lanes = getattr(store, "shared_lanes", None)
+        if lanes is None:
+            return None
+        return {f"gamma_{key}": arr for key, arr in lanes().items()}
+
+    def attach_score_lanes(self, lanes: dict[str, np.ndarray]) -> None:
+        mine = self.score_lanes()
+        if mine is None:
+            raise ValueError(
+                f"{self.name}'s Γ store "
+                f"({type(self.expectation_store).__name__}) has no "
+                "shared-lane support; use gamma_store='dense' or "
+                "'hashed' for process sharding")
+        if set(lanes) != set(mine):
+            raise ValueError(
+                f"lane mismatch: expected {sorted(mine)}, "
+                f"got {sorted(lanes)}")
+        self.expectation_store.attach_shared_lanes(
+            {key[len("gamma_"):]: arr for key, arr in lanes.items()
+             if key.startswith("gamma_")})
+
     def _in_term(self, record: AdjacencyRecord) -> np.ndarray:
         """The (1-λ)-weighted in-neighbor knowledge vector."""
         store = self.expectation_store

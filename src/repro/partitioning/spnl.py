@@ -141,6 +141,29 @@ class SPNLPartitioner(SPNPartitioner):
         super()._load_heuristic_state(payload)
         np.copyto(self._lt_counts, payload["lt_counts"])
 
+    def score_lanes(self) -> dict[str, np.ndarray] | None:
+        # _boundaries/_logical_pid/_range_sizes are static functions of
+        # (|V|, K) rebuilt by every process's own _setup; only the
+        # shrinking |V^lt| tally mutates between records.
+        lanes = super().score_lanes()
+        if lanes is None:
+            return None
+        lanes["lt_counts"] = self._lt_counts
+        return lanes
+
+    def attach_score_lanes(self, lanes: dict[str, np.ndarray]) -> None:
+        lt = lanes.get("lt_counts")
+        if lt is None or lt.shape != self._lt_counts.shape \
+                or lt.dtype != self._lt_counts.dtype:
+            raise ValueError(
+                "shared lt_counts lane missing or mismatched "
+                f"(expected {self._lt_counts.shape}/"
+                f"{self._lt_counts.dtype})")
+        # super() validates the full key set against (polymorphic)
+        # score_lanes and binds the gamma_* lanes; lt_counts is ours.
+        super().attach_score_lanes(lanes)
+        self._lt_counts = lt
+
     # -- vectorized fast path ------------------------------------------
     def _fast_kernel(self, state: PartitionState,
                      stream: ArrayStream) -> FastKernel:

@@ -276,6 +276,43 @@ class TestCompareArtifacts:
         assert record["unchanged"] == 3  # ldg fast + seed + identity
 
 
+class TestCrossAffinityWarnings:
+    """Regression: a runner throttled to fewer cores resolves (or falls
+    back to) a baseline recorded under a different core budget, and the
+    gate silently compared apples to oranges.  The comparator must call
+    out CPU-affinity drift explicitly, not just 'fingerprints differ'."""
+
+    def test_cpu_count_drift_warns_loudly(self):
+        base = make_streaming_artifact()
+        throttled = make_streaming_artifact(
+            machine={"platform": "test", "machine": "x86_64",
+                     "processor": "", "python": "3.11.7",
+                     "numpy": "2.4.6", "cpu_count": 4,
+                     "cpu_count_logical": 8, "commit": "abc1234",
+                     "dirty": False})
+        result = compare_artifacts(base, throttled)
+        assert any("CROSS-AFFINITY COMPARISON" in w
+                   for w in result.warnings)
+        assert any("cpu_count=1" in w and "cpu_count=4" in w
+                   for w in result.warnings)
+
+    def test_cross_host_without_cpu_drift_stays_generic(self):
+        base = make_streaming_artifact()
+        other = make_streaming_artifact(
+            machine={"platform": "test", "machine": "aarch64",
+                     "processor": "", "python": "3.11.7",
+                     "numpy": "2.4.6", "cpu_count": 1,
+                     "cpu_count_logical": 1, "commit": "abc1234",
+                     "dirty": False})
+        result = compare_artifacts(base, other)
+        assert any("fingerprints differ" in w for w in result.warnings)
+        assert not any("CROSS-AFFINITY" in w for w in result.warnings)
+
+    def test_matching_fingerprints_warn_nothing(self):
+        art = make_streaming_artifact()
+        assert compare_artifacts(art, art).warnings == []
+
+
 class TestReportRendering:
     def test_report_header_carries_commit_and_dirty(self):
         from repro.bench.report import format_compare_report

@@ -144,6 +144,38 @@ class TestCompareCLI:
                      "--baseline", str(envelope_path), "--gate"])
         assert code == 0
 
+    def test_affinity_fallback_warns_on_stderr(self, store, tmp_path,
+                                               capsys):
+        """Regression: an affinity-throttled runner fingerprints
+        differently, silently falls back to another host's baseline,
+        and the gate passes vacuously.  The fallback must shout about
+        the CPU-count mismatch on stderr."""
+        artifact, _candidate, baselines = store
+        throttled = copy.deepcopy(artifact)
+        throttled["machine"]["cpu_count"] = 8
+        cand_path = tmp_path / "BENCH_affinity.json"
+        cand_path.write_text(json.dumps(throttled), encoding="utf-8")
+        code = main(["bench", "compare", "--candidate", str(cand_path),
+                     "--baselines-dir", str(baselines)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "CROSS-AFFINITY FALLBACK" in err
+        assert "cpu_count=1" in err and "cpu_count=8" in err
+
+    def test_cross_host_fallback_without_cpu_drift_is_generic(
+            self, store, tmp_path, capsys):
+        artifact, _candidate, baselines = store
+        foreign = copy.deepcopy(artifact)
+        foreign["machine"]["machine"] = "aarch64"
+        cand_path = tmp_path / "BENCH_foreign.json"
+        cand_path.write_text(json.dumps(foreign), encoding="utf-8")
+        code = main(["bench", "compare", "--candidate", str(cand_path),
+                     "--baselines-dir", str(baselines)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "no baseline for this machine fingerprint" in err
+        assert "CROSS-AFFINITY" not in err
+
     def test_missing_candidate_errors(self, store):
         _artifact, _candidate, baselines = store
         with pytest.raises(SystemExit, match="requires --candidate"):

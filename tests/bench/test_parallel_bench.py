@@ -1,0 +1,151 @@
+"""Tests for the parallel-scaling benchmark and its gate plumbing.
+
+The synthetic-artifact tests pin the ``parallel-scaling`` layout into
+``extract_metrics`` / ``validate_baseline`` / ``compare_artifacts``;
+the benchsmoke class runs the real harness end to end (tiny graph) and
+drives the promote → compare → gate loop the CI job uses.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.baseline import make_baseline, validate_baseline
+from repro.bench.compare import (CompareError, compare_artifacts,
+                                 extract_identity_flags, extract_metrics)
+from tests.bench.test_compare import _summary
+
+
+def make_parallel_artifact(scale=1.0, *, identical=True,
+                           methods=("spnl",), repeats=5, machine=None):
+    """A minimal but schema-complete parallel-scaling artifact."""
+    results = []
+    for method in methods:
+        seq = [0.2 * scale * (1 + 0.01 * i) for i in range(repeats)]
+        par = [0.5 * scale * (1 + 0.01 * i) for i in range(repeats)]
+        results.append({"method": method, "kwargs": {},
+                        "parallelism": 4, "num_workers": 1,
+                        "sequential": _summary(seq),
+                        "parallel": _summary(par),
+                        "speedup_median": 0.4, "identical": identical,
+                        "ecr_sequential": 0.20, "ecr_parallel": 0.21,
+                        "ecr_delta_pct": 5.0,
+                        "records_per_s_sequential": 1.0,
+                        "records_per_s_parallel": 1.0})
+    return {
+        "benchmark": "parallel-scaling",
+        "created_unix": 1700000000.0,
+        "machine": machine or {"platform": "test", "machine": "x86_64",
+                               "processor": "", "python": "3.11.7",
+                               "numpy": "2.4.6", "cpu_count": 1,
+                               "cpu_count_logical": 1,
+                               "commit": "abc1234", "dirty": False},
+        "config": {"graph": "community_web", "num_vertices": 100,
+                   "num_edges": 400, "k": 4, "parallelism": 4,
+                   "num_workers": 1, "warmup": 0, "repeats": repeats,
+                   "seed": 11, "scaling_expected": False},
+        "results": results,
+    }
+
+
+class TestExtraction:
+    def test_metrics_expose_both_sides(self):
+        metrics = extract_metrics(
+            make_parallel_artifact(methods=("spnl", "ldg")))
+        assert set(metrics) == {"spnl/sequential", "spnl/parallel",
+                                "ldg/sequential", "ldg/parallel"}
+        assert len(metrics["spnl/parallel"]) == 5
+
+    def test_identity_flags_cover_methods(self):
+        flags = extract_identity_flags(
+            make_parallel_artifact(identical=False))
+        assert flags == {"spnl/identical": False}
+
+    def test_unknown_kind_error_names_parallel_scaling(self):
+        with pytest.raises(CompareError, match="parallel-scaling"):
+            extract_metrics({"benchmark": "no-such-bench"})
+
+
+class TestBaselineEnvelope:
+    def test_round_trip_validates(self):
+        envelope = make_baseline(make_parallel_artifact())
+        validate_baseline(envelope)  # must not raise
+        assert envelope["bench"] == "parallel-scaling"
+
+    def test_single_sided_record_rejected(self):
+        artifact = make_parallel_artifact()
+        del artifact["results"][0]["parallel"]
+        with pytest.raises(Exception, match="two timed sides"):
+            validate_baseline(make_baseline(artifact))
+
+
+class TestCompareVerdicts:
+    def test_self_compare_is_no_change(self):
+        artifact = make_parallel_artifact()
+        result = compare_artifacts(artifact, artifact)
+        assert result.verdict == "no-change"
+
+    def test_parallel_side_slowdown_regresses(self):
+        baseline = make_parallel_artifact()
+        slow = copy.deepcopy(baseline)
+        for rec in slow["results"]:
+            rec["parallel"]["runs_s"] = \
+                [t * 1.4 for t in rec["parallel"]["runs_s"]]
+        result = compare_artifacts(baseline, slow)
+        assert result.verdict == "regressed"
+        assert any(d.metric == "spnl/parallel" and d.verdict == "regressed"
+                   for d in result.metrics)
+
+    def test_identity_loss_regresses_even_with_equal_timings(self):
+        baseline = make_parallel_artifact()
+        broken = make_parallel_artifact(identical=False)
+        result = compare_artifacts(baseline, broken)
+        assert result.verdict == "regressed"
+        assert any(d.metric == "spnl/identical"
+                   and "byte-identity" in d.note
+                   for d in result.metrics)
+
+
+@pytest.mark.benchsmoke
+class TestParallelBenchSmoke:
+    """Real harness on a tiny graph + the CI promote/compare loop."""
+
+    def test_harness_invariants_and_gate_round_trip(self, tmp_path,
+                                                    capsys):
+        from repro.cli import main
+
+        from repro.bench.parallel import run_parallel_scaling_bench
+
+        out = tmp_path / "BENCH_parallel.json"
+        artifact = run_parallel_scaling_bench(
+            n=600, k=4, repeats=2, warmup=0, out_path=out)
+        (rec,) = artifact["results"]
+        # Machine-independent invariants: byte-parity with the simulated
+        # executor and bounded ECR drift.  Wall-clock speedup is never
+        # asserted here — this may be a single-core container.
+        assert rec["identical"] is True
+        assert abs(rec["ecr_delta_pct"]) < 15.0  # tiny-graph slack
+        assert artifact["config"]["scaling_expected"] in (True, False)
+        on_disk = json.loads(out.read_text(encoding="utf-8"))
+        assert on_disk["benchmark"] == "parallel-scaling"
+
+        baselines = tmp_path / "baselines"
+        assert main(["bench", "promote", "--candidate", str(out),
+                     "--baselines-dir", str(baselines)]) == 0
+        assert main(["bench", "compare", "--candidate", str(out),
+                     "--baselines-dir", str(baselines), "--gate"]) == 0
+        assert "verdict: no-change" in capsys.readouterr().out
+
+    def test_multi_method_sweep_reports_each(self, tmp_path):
+        from repro.bench.parallel import run_parallel_scaling_bench
+
+        artifact = run_parallel_scaling_bench(
+            n=400, k=4, repeats=1, warmup=0, methods=("hash", "ldg"),
+            out_path=None)
+        names = [r["method"] for r in artifact["results"]]
+        assert names == ["hash", "ldg"]
+        assert all(r["identical"] for r in artifact["results"])
+        assert all(np.isfinite(r["speedup_median"])
+                   for r in artifact["results"])

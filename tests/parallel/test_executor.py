@@ -4,8 +4,9 @@ import threading
 
 import pytest
 
-from repro.graph import GraphStream
+from repro.graph import GraphStream, from_adjacency
 from repro.parallel import (
+    ReversedCountingTable,
     SimulatedParallelPartitioner,
     ThreadedParallelPartitioner,
 )
@@ -152,6 +153,129 @@ class _DelayOnceRCT:
 
     def remove(self, vertex):
         pass
+
+
+class _NoteCountingRCT(ReversedCountingTable):
+    """Real RCT that additionally counts ``note_references`` *calls*.
+
+    Exactly-once noting means one call per adjacency record — retries,
+    delays, and carried batches must not call again for the same record.
+    """
+
+    instances: list["_NoteCountingRCT"] = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.note_calls = 0
+        type(self).instances.append(self)
+
+    def note_references(self, neighbors):
+        with self._lock:
+            self.note_calls += 1
+        return super().note_references(neighbors)
+
+
+@pytest.fixture
+def counting_rct(monkeypatch):
+    from repro.parallel import executor as executor_module
+
+    _NoteCountingRCT.instances = []
+    monkeypatch.setattr(executor_module, "ReversedCountingTable",
+                        _NoteCountingRCT)
+    return _NoteCountingRCT.instances
+
+
+def star_graph(num_spokes: int):
+    """Hub 0 referenced by every spoke — the RCT's worst case: while
+    the hub is in flight, every concurrent spoke bumps its counter."""
+    adjacency = {0: list(range(1, num_spokes + 1))}
+    adjacency.update({v: [0] for v in range(1, num_spokes + 1)})
+    return from_adjacency(adjacency, num_vertices=num_spokes + 1,
+                          name="star")
+
+
+class TestSimulatedCarriedRecords:
+    """Regression (adversarial star graph): carried records used to
+    re-note their references on every batch they were carried through,
+    inflating neighbor counters without bound — the hub stayed above
+    the delay threshold until every record burned its whole delay
+    budget, and the ``conflicts`` stat lied."""
+
+    def test_star_graph_terminates_and_places_exactly_once(self):
+        graph = star_graph(64)
+        p = SimulatedParallelPartitioner(LDGPartitioner(4), parallelism=8,
+                                         max_delays=3)
+        result = p.partition(GraphStream(graph))
+        result.assignment.validate(graph.num_vertices)
+        # Force-commit bound: nothing can be delayed more than
+        # max_delays times, so the stat is hard-capped.
+        assert result.stats["delayed"] <= 3 * graph.num_vertices
+
+    def test_references_noted_exactly_once_per_record(self, counting_rct):
+        graph = star_graph(64)
+        p = SimulatedParallelPartitioner(LDGPartitioner(4), parallelism=8,
+                                         max_delays=3)
+        result = p.partition(GraphStream(graph))
+        result.assignment.validate(graph.num_vertices)
+        (rct,) = counting_rct
+        assert rct.note_calls == graph.num_vertices
+        assert len(rct) == 0  # fully drained: no ghost registrations
+
+    def test_star_graph_deterministic(self):
+        graph = star_graph(48)
+
+        def run():
+            p = SimulatedParallelPartitioner(SPNLPartitioner(4),
+                                             parallelism=8)
+            return p.partition(GraphStream(graph)).assignment
+
+        assert run() == run()
+
+
+class _CrashOnVertexLDG(LDGPartitioner):
+    """Scoring dies the first time it sees a chosen vertex, simulating
+    a worker crash mid-record; the retry must succeed."""
+
+    def __init__(self, *args, crash_vertex=37, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._crash_vertex = crash_vertex
+        self._crashed = threading.Event()
+
+    def _score(self, record, state):
+        if record.vertex == self._crash_vertex \
+                and not self._crashed.is_set():
+            self._crashed.set()
+            raise RuntimeError("injected one-shot score failure")
+        return super()._score(record, state)
+
+
+class TestThreadedExactlyOnceStats:
+    """Regression (satellite of the chaos suite): a record handed back
+    by a dying worker was re-noted on retry, so ``conflicts`` and the
+    delay behaviour of a crash-recovered run drifted from a clean run's.
+    The ``noted`` flag must make noting exactly-once across retries."""
+
+    def test_crash_recovered_run_notes_each_record_once(self, web_graph,
+                                                        counting_rct):
+        p = ThreadedParallelPartitioner(
+            _CrashOnVertexLDG(8), parallelism=2,
+            queue_capacity=web_graph.num_vertices + 8,
+            max_worker_restarts=2, restart_backoff=0.0)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+        assert result.stats["worker_restarts"] == 1
+        (rct,) = counting_rct
+        assert rct.note_calls == web_graph.num_vertices
+
+    def test_clean_run_notes_each_record_once(self, web_graph,
+                                              counting_rct):
+        p = ThreadedParallelPartitioner(
+            LDGPartitioner(8), parallelism=2,
+            queue_capacity=web_graph.num_vertices + 8)
+        result = p.partition(GraphStream(web_graph))
+        result.assignment.validate(web_graph.num_vertices)
+        (rct,) = counting_rct
+        assert rct.note_calls == web_graph.num_vertices
 
 
 class TestThreadedExecutorRegressions:

@@ -66,6 +66,52 @@ class TestPartitionEvaluateInfo:
                      "--threads", "2"]) == 0
         assert len(np.loadtxt(routes, dtype=int)) == 800
 
+    def test_process_sharded_partition(self, graph_file, tmp_path):
+        routes = tmp_path / "routes.txt"
+        assert main(["partition", str(graph_file), str(routes),
+                     "--method", "spnl", "-k", "4", "--shards", "1",
+                     "--processes", "4"]) == 0
+        assert len(np.loadtxt(routes, dtype=int)) == 800
+
+    def test_process_sharded_checkpoint_resume(self, graph_file,
+                                               tmp_path, capsys):
+        base = ["partition", str(graph_file), "--method", "spnl",
+                "-k", "4", "--shards", "1", "--processes", "4"]
+        clean = tmp_path / "clean.txt"
+        assert main([base[0], base[1], str(clean), *base[2:],
+                     "--checkpoint-every", "200"]) == 0
+        snaps = sorted((tmp_path / "clean.txt.ckpt").glob("*.snap"))
+        assert snaps
+        resumed = tmp_path / "resumed.txt"
+        assert main([base[0], base[1], str(resumed), *base[2:],
+                     "--resume-from", str(snaps[0]),
+                     "--checkpoint-dir",
+                     str(tmp_path / "clean.txt.ckpt")]) == 0
+        assert "resumed from" in capsys.readouterr().out
+        np.testing.assert_array_equal(np.loadtxt(clean, dtype=int),
+                                      np.loadtxt(resumed, dtype=int))
+
+    def test_processes_and_threads_are_exclusive(self, graph_file,
+                                                 tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["partition", str(graph_file),
+                  str(tmp_path / "r.txt"), "--method", "spnl",
+                  "-k", "4", "--threads", "2", "--processes", "2"])
+
+    def test_processes_reject_offline_method(self, graph_file,
+                                             tmp_path):
+        with pytest.raises(SystemExit, match="offline"):
+            main(["partition", str(graph_file),
+                  str(tmp_path / "r.txt"), "--method", "metis",
+                  "-k", "4", "--processes", "2"])
+
+    def test_processes_reject_unsupported_heuristic(self, graph_file,
+                                                    tmp_path):
+        with pytest.raises(SystemExit, match="score lanes"):
+            main(["partition", str(graph_file),
+                  str(tmp_path / "r.txt"), "--method", "random",
+                  "-k", "4", "--processes", "2"])
+
     def test_evaluate_roundtrip(self, graph_file, tmp_path, capsys):
         routes = tmp_path / "routes.txt"
         main(["partition", str(graph_file), str(routes), "-k", "4"])

@@ -66,11 +66,16 @@ class TestVertexPartitioners:
         assert _cut(SPNLPartitioner(K, num_shards=4), web_graph) == 4162
 
     def test_simulated_parallel(self, web_graph):
+        # Re-pinned after the carried-record fix: a delayed record now
+        # notes its RCT references only in its first batch (re-noting
+        # every batch inflated neighbor counters and kept the delay
+        # threshold artificially hot), which shifts placements and
+        # lands a better cut.
         partitioner = SimulatedParallelPartitioner(SPNLPartitioner(K),
                                                    parallelism=4)
         result = partitioner.partition(GraphStream(web_graph))
         assert evaluate(web_graph,
-                        result.assignment).num_cut_edges == 6701
+                        result.assignment).num_cut_edges == 6085
 
 
 class TestEdgePartitioners:
