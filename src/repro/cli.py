@@ -618,6 +618,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_keep=args.snapshot_keep,
             wal_fsync=not args.no_fsync,
             queue_depth=args.queue_depth, batch_max=args.batch_max,
+            shed_watermark=args.shed_watermark,
+            max_lag_seconds=args.max_lag_seconds,
+            recovery_probe_interval=args.recovery_probe_interval,
             instrumentation=instrumentation)
     except (ValueError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -674,7 +677,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             batch_size=args.batch_size, lookups_per_client=lookups,
             repeats=repeats, warmup=warmup, target_rps=args.target_rps,
             durable=not args.volatile, queue_depth=args.queue_depth,
-            batch_max=args.batch_max, out_path=args.bench_out,
+            batch_max=args.batch_max,
+            overload=not args.no_overload,
+            overload_queue_depth=args.overload_queue_depth,
+            overload_throttle=args.overload_throttle,
+            out_path=args.bench_out,
             verbose=True)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -691,10 +698,76 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             row["fused"] = f"{rec['fused_fraction_median']:.0%}"
             if "identical" in rec:
                 row["identical"] = rec["identical"]
+        if "shed_rate" in rec:
+            row["shed rate"] = f"{rec['shed_rate']['median']:.0%}"
         rows.append(row)
     print(format_table(rows, title="service bench"))
     print(f"artifact written to {args.bench_out}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: replay a fault schedule, check the invariants.
+
+    Exit code 0 means every resilience invariant held (acked
+    placements durable across the crash, route parity after revival,
+    shed rate bounded; with ``--replay-check``, also that a second run
+    of the same schedule produced the identical fault/health trace).
+    Nonzero means the report (printed as JSON) names the violation —
+    this is what the CI ``service-chaos`` step runs.
+    """
+    import json
+    import tempfile
+
+    from .resilience.schedule import (
+        SCENARIOS,
+        ChaosSchedule,
+        run_executor_schedule,
+        run_schedule,
+    )
+
+    if args.schedule is not None:
+        schedule = ChaosSchedule.from_json(args.schedule)
+    else:
+        schedule = SCENARIOS[args.scenario]()
+    if args.graph is not None:
+        graph = _load_graph(args.graph,
+                            cache=getattr(args, "graph_cache", None))
+    else:
+        from .graph.generators import community_web_graph
+        graph = community_web_graph(args.vertices, seed=args.seed)
+    config = _config_from_args(args)
+
+    def run_once(tag: str):
+        if args.executor:
+            return run_executor_schedule(
+                schedule, graph, method=config.method,
+                parallelism=args.parallelism, num_workers=args.workers,
+                max_worker_restarts=args.max_worker_restarts)
+        with tempfile.TemporaryDirectory(
+                prefix=f"repro-chaos-{tag}-") as tmp:
+            return run_schedule(schedule, graph, workdir=tmp,
+                                config=config)
+
+    report = run_once("a")
+    if args.replay_check and not args.executor:
+        replay = run_once("b")
+        report.check(
+            "replay_deterministic",
+            report.replay_key() == replay.replay_key(),
+            "second run reproduced the identical fault/health trace")
+    payload = report.to_dict()
+    if args.out is not None:
+        from .recovery.atomic import atomic_write_text
+        atomic_write_text(Path(args.out),
+                          json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    verdict = "ok" if report.ok else "FAILED"
+    bad = [inv["name"] for inv in report.invariants if not inv["ok"]]
+    print(f"chaos schedule '{schedule.name}': {verdict}"
+          + (f" ({', '.join(bad)})" if bad else ""),
+          file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -893,6 +966,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-max", type=int, default=256,
                    help="max requests coalesced per engine step "
                         "(default 256)")
+    p.add_argument("--shed-watermark", type=float, default=0.85,
+                   metavar="F",
+                   help="admission control sheds new placements once "
+                        "the queue passes this fraction of "
+                        "--queue-depth (default 0.85)")
+    p.add_argument("--max-lag-seconds", type=float, default=None,
+                   metavar="S",
+                   help="also shed when the predicted queue wait "
+                        "exceeds S seconds (default: queue bound only)")
+    p.add_argument("--recovery-probe-interval", type=float, default=0.0,
+                   metavar="S",
+                   help="while read-only, retry recovery every S "
+                        "seconds (default 0: recover only on demand)")
     p.add_argument("--graph-cache", nargs="?", const=True, default=None,
                    metavar="PATH",
                    help="load through a binary .reprocsr cache")
@@ -929,6 +1015,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "+ engine cost)")
     p.add_argument("--queue-depth", type=int, default=64)
     p.add_argument("--batch-max", type=int, default=256)
+    p.add_argument("--no-overload", action="store_true",
+                   help="skip the overload phase (shed rate + "
+                        "p99-under-overload against a throttled server)")
+    p.add_argument("--overload-queue-depth", type=int, default=4,
+                   metavar="N",
+                   help="queue bound for the overload-phase server "
+                        "(default 4)")
+    p.add_argument("--overload-throttle", type=float, default=0.002,
+                   metavar="S",
+                   help="seconds per engine group in the overload "
+                        "phase (default 0.002)")
     p.add_argument("--quick", action="store_true",
                    help="small graph, 2 repeats (CI smoke)")
     p.add_argument("--bench-out", default="BENCH_service.json",
@@ -937,6 +1034,48 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PATH",
                    help="load through a binary .reprocsr cache")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="replay a deterministic fault schedule against the live "
+             "service (or the process executor) and check the "
+             "resilience invariants")
+    p.add_argument("graph", nargs="?", default=None,
+                   help="graph file or named dataset (default: a "
+                        "synthetic community web graph)")
+    _add_heuristic_flags(p, methods=streaming_methods)
+    source = p.add_mutually_exclusive_group()
+    # Names mirror repro.resilience.schedule.SCENARIOS (re-validated at
+    # run time); kept literal here so `--help` stays import-light.
+    source.add_argument("--scenario", default="wal-outage",
+                        choices=("wal-outage", "slow-engine", "wal-flap"),
+                        help="named built-in schedule (default "
+                             "wal-outage)")
+    source.add_argument("--schedule", default=None, metavar="FILE.json",
+                        help="load a ChaosSchedule from JSON instead "
+                             "(the to_dict format)")
+    p.add_argument("--executor", action="store_true",
+                   help="replay kill_worker events against the "
+                        "process-sharded executor instead of the "
+                        "placement service")
+    p.add_argument("--replay-check", action="store_true",
+                   help="run the schedule twice and require identical "
+                        "fault/health traces (service mode)")
+    p.add_argument("--vertices", type=int, default=600,
+                   help="synthetic graph size when no graph is given")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--parallelism", type=int, default=4,
+                   help="--executor: logical shards (default 4)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="--executor: worker processes (default 2)")
+    p.add_argument("--max-worker-restarts", type=int, default=4,
+                   help="--executor: supervision budget (default 4)")
+    p.add_argument("--out", default=None, metavar="REPORT.json",
+                   help="also write the report JSON here")
+    p.add_argument("--graph-cache", nargs="?", const=True, default=None,
+                   metavar="PATH",
+                   help="load through a binary .reprocsr cache")
+    p.set_defaults(func=_cmd_chaos, k=8)
     return parser
 
 

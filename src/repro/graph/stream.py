@@ -303,23 +303,33 @@ class FileStream(_Seekable):
 
     ``retries``/``retry_backoff`` add supervision against *transient*
     ``OSError`` s (NFS hiccups, flaky block devices): a failed pass is
-    reopened after an exponentially backed-off sleep and fast-forwarded
-    past the records already delivered, so consumers never see a
-    duplicate.  Persistent failures still surface after the budget.
-    ``policy`` (an :class:`~repro.recovery.lenient.IngestionPolicy`)
-    selects strict or lenient handling of malformed lines.
+    reopened after a backed-off sleep and fast-forwarded past the
+    records already delivered, so consumers never see a duplicate.
+    Backoff is the repo-wide
+    :class:`~repro.resilience.backoff.BackoffPolicy` — capped
+    exponential with full jitter, so a generous retry budget can no
+    longer produce an unbounded ``backoff * 2**(n-1)`` sleep and
+    concurrent readers of one flaky volume de-correlate instead of
+    retrying in lockstep.  Persistent failures still surface after the
+    budget.  ``policy`` (an
+    :class:`~repro.recovery.lenient.IngestionPolicy`) selects strict or
+    lenient handling of malformed lines.
     """
 
     def __init__(self, path: str | Path, *, num_vertices: int | None = None,
                  num_edges: int | None = None, retries: int = 2,
-                 retry_backoff: float = 0.05, policy=None) -> None:
+                 retry_backoff: float = 0.05, max_backoff: float = 2.0,
+                 retry_seed: int | None = None, policy=None) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        from ..resilience.backoff import BackoffPolicy
         self._path = Path(path)
         self._ordered: bool | None = None
         self._ordered_sig: tuple[int, int] | None = None
         self._retries = retries
         self._retry_backoff = retry_backoff
+        self._backoff = BackoffPolicy(retry_backoff, max_backoff,
+                                      seed=retry_seed)
         self._policy = policy
         if num_vertices is None or num_edges is None:
             from ..ingest.chunked import scan_adjacency_stats
@@ -437,7 +447,7 @@ class FileStream(_Seekable):
                 attempts += 1
                 if attempts > self._retries:
                     raise
-                time.sleep(self._retry_backoff * 2 ** (attempts - 1))
+                time.sleep(self._backoff.delay(attempts))
 
 
 def shuffled(graph: DiGraph, seed: int = 0) -> GraphStream:

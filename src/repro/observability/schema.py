@@ -44,8 +44,13 @@ tooling (and enforced by the test suite over every emitted record):
 
 ``service_request`` — one record per engine batch processed by the
     placement service: seq, op, count, queue_depth, elapsed_seconds,
-    ok, plus the optional ``fused`` gauge (placements that went through
-    the coalesced fast kernel).
+    ok, plus the optional gauges ``fused`` (placements that went
+    through the coalesced fast kernel) and ``shed`` (admission
+    rejections counted since the previous record).
+
+``health_transition`` — the placement service's health-state machine
+    moved: seq, from_state, to_state, reason (free text naming the
+    trigger, e.g. ``wal_append_failed``).
 
 Field specs are ``(types, required)``.  ``validate_record`` raises
 :class:`TraceSchemaError` on an unknown type, a missing required field,
@@ -167,6 +172,14 @@ TRACE_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool, bool]]] = {
         "elapsed_seconds": (_NUM, True, False),
         "ok": (_BOOL, True, False),
         "fused": (_INT, False, True),
+        "shed": (_INT, False, True),
+    },
+    "health_transition": {
+        "type": (_STR, True, False),
+        "seq": (_INT, True, False),
+        "from_state": (_STR, True, False),
+        "to_state": (_STR, True, False),
+        "reason": (_STR, True, False),
     },
     "bench_compare": {
         "type": (_STR, True, False),

@@ -13,7 +13,13 @@ chaos tests are exactly reproducible:
   bit-flip a snapshot file, exercising the integrity checks;
 * :class:`FlakyScorer` — a partitioner wrapper whose scoring dies on
   chosen vertices a bounded number of times, exercising the threaded
-  executor's supervised worker restarts.
+  executor's supervised worker restarts;
+* :class:`FlakyWAL` — a :class:`~repro.service.wal.PlacementLog` whose
+  ``append_batch`` raises ``OSError`` while armed (or once per listed
+  sequence number), exercising the placement service's WAL-failure →
+  read-only degradation and recovery-flush path;
+* :class:`SlowEngine` — throttles a live service's engine loop,
+  exercising admission control's lag watermark and deadline shedding.
 
 Wrappers subclass or delegate rather than monkeypatch, so they compose
 with any stream/partitioner — and, being distinct types, they are never
@@ -31,9 +37,11 @@ import numpy as np
 
 from ..graph.digraph import AdjacencyRecord
 from ..graph.stream import FileStream, VertexStream
+from ..service.wal import PlacementLog, WalEntry
 
 __all__ = ["InjectedCrash", "CrashingStream", "FlakyFileStream",
-           "FlakyScorer", "corrupt_snapshot", "tear_snapshot"]
+           "FlakyScorer", "FlakyWAL", "SlowEngine", "corrupt_snapshot",
+           "tear_snapshot"]
 
 
 class InjectedCrash(RuntimeError):
@@ -151,6 +159,96 @@ class FlakyScorer:
             raise self._error(
                 f"injected worker death scoring vertex {record.vertex}")
         return self._base._score(record, state)
+
+
+class FlakyWAL(PlacementLog):
+    """A placement WAL whose group commits fail on command.
+
+    Two injection modes, composable:
+
+    * ``fail_at`` — a set of global sequence numbers; a batch containing
+      any of them raises once (the matched seqs are then forgotten, so a
+      post-recovery flush of the same entries succeeds).  This is the
+      declarative "fail the commit carrying seq 120" a chaos schedule
+      scripts.
+    * :meth:`fail` / :meth:`restore` — arm/disarm a persistent outage
+      (every append fails while armed), modelling a disk that stops
+      accepting writes and later comes back.
+
+    The failure fires *before* any bytes are written, which is the
+    honest model for a failed ``fsync``: the ack contract says nothing
+    reached durable storage, and the server must treat the whole batch
+    as non-durable.  Plug it into :class:`~repro.service.PlacementService`
+    via ``wal_factory=``.
+    """
+
+    def __init__(self, directory: str | Path, *, start: int = 0,
+                 fsync: bool = True,
+                 fail_at: "set[int] | frozenset[int] | tuple[int, ...]" = ()
+                 ) -> None:
+        self.fail_at = set(fail_at)
+        self._armed = False
+        self.injected_failures = 0
+        super().__init__(directory, start=start, fsync=fsync)
+
+    def fail(self) -> None:
+        """Arm the persistent outage: every append now raises."""
+        self._armed = True
+
+    def restore(self) -> None:
+        """Disarm the outage; appends succeed again."""
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def append_batch(self, entries: list[WalEntry]) -> None:
+        if entries:
+            matched = {e.seq for e in entries} & self.fail_at
+            if self._armed or matched:
+                self.fail_at -= matched
+                self.injected_failures += 1
+                raise OSError(
+                    "injected WAL append failure"
+                    + (f" at seq {sorted(matched)}" if matched else ""))
+        super().append_batch(entries)
+
+
+class SlowEngine:
+    """Throttle a live service's engine loop (and restore it).
+
+    Raising ``throttle_seconds`` on a running
+    :class:`~repro.service.PlacementService` makes every engine group
+    pay an extra sleep — the deterministic stand-in for a degraded
+    disk or an overloaded partitioner that drives the admission
+    controller's lag watermark and queue-depth shedding without any
+    load-generator races.
+    """
+
+    def __init__(self, service, throttle_seconds: float) -> None:
+        if throttle_seconds < 0:
+            raise ValueError("throttle_seconds must be >= 0")
+        self._service = service
+        self.throttle_seconds = float(throttle_seconds)
+        self._saved: float | None = None
+
+    def apply(self) -> None:
+        if self._saved is None:
+            self._saved = self._service.throttle_seconds
+        self._service.throttle_seconds = self.throttle_seconds
+
+    def restore(self) -> None:
+        if self._saved is not None:
+            self._service.throttle_seconds = self._saved
+            self._saved = None
+
+    def __enter__(self) -> "SlowEngine":
+        self.apply()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.restore()
 
 
 def tear_snapshot(path: str | Path, *, keep_fraction: float = 0.5) -> None:

@@ -1,0 +1,77 @@
+"""Cross-cutting resilience: survive overload and partial failure.
+
+The paper pitches SPN/SPNL as *lightweight* partitioners for production
+streaming pipelines; a production placement path needs more than fast
+scoring — it needs defined behavior when offered load exceeds capacity
+and when a durability mechanism fails underneath a healthy route table.
+This package is that behavior, shared by every layer:
+
+* :mod:`~repro.resilience.backoff` — the one backoff implementation
+  repo-wide (capped exponential + full jitter), used by
+  :class:`~repro.graph.stream.FileStream` retries and the service
+  client alike;
+* :mod:`~repro.resilience.policy` — bounded :class:`RetryPolicy`
+  (attempt + sleep budgets, typed :class:`RetriesExhausted`) and the
+  three-state :class:`CircuitBreaker`;
+* :mod:`~repro.resilience.health` — the server health-state machine
+  (``healthy → degraded → read_only → draining``);
+* :mod:`~repro.resilience.admission` — queue-depth/engine-lag
+  watermarks and ``deadline_ms`` budget admission for the placement
+  service;
+* :mod:`~repro.resilience.schedule` — the deterministic chaos-schedule
+  harness: declarative, seeded fault scripts composed from the
+  :mod:`repro.recovery.chaos` injectors, replayed against a live
+  server with registry-wide invariants (no acked placement lost,
+  recovery to byte-identical lookups, bounded shed rate).
+
+``schedule`` is loaded lazily: it imports the service stack, which in
+turn imports this package's leaf modules — eager re-export would be a
+cycle.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .backoff import BackoffPolicy
+from .health import (
+    DEGRADED,
+    DRAINING,
+    HEALTH_STATES,
+    HEALTHY,
+    READ_ONLY,
+    HealthMonitor,
+)
+from .policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetriesExhausted,
+    RetryPolicy,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BackoffPolicy",
+    "ChaosReport",
+    "ChaosSchedule",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DEGRADED",
+    "DRAINING",
+    "FaultEvent",
+    "HEALTH_STATES",
+    "HEALTHY",
+    "HealthMonitor",
+    "READ_ONLY",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "run_schedule",
+]
+
+_LAZY = {"ChaosReport", "ChaosSchedule", "FaultEvent", "run_schedule"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import schedule
+        return getattr(schedule, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,88 @@
+"""The one backoff implementation the whole repo shares.
+
+Every retry loop in the codebase used to roll its own sleep schedule —
+:class:`~repro.graph.stream.FileStream` slept ``backoff * 2**(n-1)``
+with no ceiling (a 10-attempt budget at the default 50 ms base would
+happily sleep 25 s on the final attempt), and
+:class:`~repro.service.client.ServiceClient` slept exactly the server's
+``retry_after_ms`` hint, which synchronizes every backing-off client
+into retry *waves* that re-saturate the queue the instant it drains.
+
+:class:`BackoffPolicy` fixes both failure modes in one place:
+
+* **capped exponential growth** — the ideal delay doubles per attempt
+  but never exceeds ``cap``, so a long outage costs bounded patience
+  per attempt instead of runaway sleeps;
+* **full jitter** (the AWS architecture-blog scheme): the actual delay
+  is drawn uniformly from ``[0, ideal]``, which de-correlates
+  concurrent retriers and empirically minimizes total work to clear a
+  thundering herd;
+* **a floor** for server-supplied hints (``retry_after_ms``): the draw
+  never undercuts what the server asked for, so honoring explicit
+  backpressure still composes with jitter.
+
+Seeded construction makes schedules reproducible where tests need
+determinism; the default (unseeded) draws fresh entropy like any
+production retry loop should.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Parameters
+    ----------
+    base:
+        Ideal delay of the first retry, in seconds.
+    cap:
+        Upper bound on the ideal delay (the exponential stops growing
+        here).  An explicit ``floor`` larger than the cap still wins —
+        a server's ``retry_after`` hint is a contract, not a suggestion.
+    jitter:
+        ``True`` (default) draws the actual delay uniformly from
+        ``[floor, ideal]``; ``False`` returns the ideal delay itself
+        (deterministic, for tests that assert exact schedules).
+    seed:
+        Seeds the jitter RNG for reproducible schedules; ``None`` uses
+        fresh entropy.
+    """
+
+    def __init__(self, base: float = 0.05, cap: float = 2.0, *,
+                 jitter: bool = True, seed: int | None = None) -> None:
+        if base < 0:
+            raise ValueError("base must be >= 0")
+        if cap < base:
+            raise ValueError("cap must be >= base")
+        self.base = float(base)
+        self.cap = float(cap)
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def ideal(self, attempt: int) -> float:
+        """The un-jittered delay for 1-based retry ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        # Compare exponents, not powers: 2**attempt overflows no float
+        # for any sane attempt count but grows needlessly large.
+        ideal = self.base * 2.0 ** min(attempt - 1, 62)
+        return min(self.cap, ideal)
+
+    def delay(self, attempt: int, *, floor: float = 0.0) -> float:
+        """Seconds to sleep before 1-based retry ``attempt``.
+
+        ``floor`` is the minimum acceptable delay — pass a server's
+        ``retry_after_ms / 1000`` here and the jittered draw will honor
+        it even when it exceeds :attr:`cap`.
+        """
+        ideal = self.ideal(attempt)
+        if not self.jitter:
+            return max(floor, ideal)
+        if ideal <= floor:
+            return floor
+        return self._rng.uniform(floor, ideal)

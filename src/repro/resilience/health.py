@@ -1,0 +1,131 @@
+"""The server health-state machine: degrade, don't die.
+
+A long-lived placement server has failure modes that are *partial*: the
+WAL's disk can stop accepting writes while the route table — the thing
+``lookup`` traffic needs — is perfectly intact in memory.  Crashing on
+the first failed fsync throws away every read the server could still
+answer; the resilient move is to stop *promising* durability (reject
+mutations with a typed error) while the read path keeps serving.
+
+:class:`HealthMonitor` is that machine::
+
+    healthy ──────────▶ degraded ─────────▶ read_only ───▶ draining
+      ▲   snapshot failed  │   WAL failed /     │   shutdown
+      │                    │   snapshot limit   │
+      └────── recovered ◀──┴────────────────────┘
+
+* ``healthy`` — everything allowed.
+* ``degraded`` — mutations still allowed, but a durability mechanism
+  is misbehaving (a snapshot failed; shedding is sustained).  The
+  state is a warning with teeth: operators see it in ``health``, and
+  repeated snapshot failures escalate.
+* ``read_only`` — mutations are rejected (``read_only`` error code);
+  lookups, stats, health, and hello keep working.  Entered on a WAL
+  append failure (an ack could no longer be made durable) or when
+  snapshot failures pass their limit.
+* ``draining`` — terminal; graceful shutdown in progress.
+
+Transitions are validated (``draining`` is absorbing, self-transitions
+are no-ops), recorded in a bounded history, counted, and optionally
+emitted as ``health_transition`` trace records through the caller's
+callback — the chaos-schedule harness replays fault scripts and asserts
+the *transition trace* is identical across runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["DEGRADED", "DRAINING", "HEALTHY", "HEALTH_STATES",
+           "HealthMonitor", "READ_ONLY"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+READ_ONLY = "read_only"
+DRAINING = "draining"
+
+HEALTH_STATES = (HEALTHY, DEGRADED, READ_ONLY, DRAINING)
+
+_ALLOWED: dict[str, frozenset[str]] = {
+    HEALTHY: frozenset({DEGRADED, READ_ONLY, DRAINING}),
+    DEGRADED: frozenset({HEALTHY, READ_ONLY, DRAINING}),
+    READ_ONLY: frozenset({HEALTHY, DEGRADED, DRAINING}),
+    DRAINING: frozenset(),  # terminal
+}
+
+
+class HealthMonitor:
+    """Thread-safe holder of one server's health state.
+
+    Parameters
+    ----------
+    on_transition:
+        Optional callback invoked *after* each accepted transition with
+        the transition record (``{"from_state", "to_state", "reason"}``
+        plus whatever ``transition(extra=...)`` adds).  Exceptions from
+        the callback are swallowed — health accounting must never take
+        down the component it describes.
+    history_keep:
+        Bounded transition history length (surfaced by ``health``).
+    """
+
+    def __init__(self, *, on_transition: Callable[[dict[str, Any]], None]
+                 | None = None, history_keep: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._state = HEALTHY
+        self._on_transition = on_transition
+        self.history: deque[dict[str, Any]] = deque(maxlen=history_keep)
+        self.transitions = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def allows_mutation(self) -> bool:
+        """Whether ``place``/``snapshot`` traffic may be admitted."""
+        return self._state in (HEALTHY, DEGRADED)
+
+    def transition(self, to_state: str, reason: str,
+                   **extra: Any) -> bool:
+        """Move to ``to_state``; returns whether the state changed.
+
+        A self-transition is a silent no-op; a transition out of the
+        terminal ``draining`` state is refused (``False``) — shutdown
+        cannot be argued with.  An unknown target raises ``ValueError``
+        (that is a programming error, not a runtime condition).
+        """
+        if to_state not in _ALLOWED:
+            raise ValueError(f"unknown health state {to_state!r}; "
+                             f"known: {list(_ALLOWED)}")
+        with self._lock:
+            if to_state == self._state:
+                return False
+            if to_state not in _ALLOWED[self._state]:
+                return False
+            record: dict[str, Any] = {
+                "from_state": self._state,
+                "to_state": to_state,
+                "reason": reason,
+            }
+            record.update(extra)
+            self._state = to_state
+            self.transitions += 1
+            self.history.append(record)
+        if self._on_transition is not None:
+            try:
+                self._on_transition(dict(record))
+            except Exception:
+                pass
+        return True
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``health`` endpoint's view: state + bounded history."""
+        with self._lock:
+            return {
+                "health_state": self._state,
+                "transitions": self.transitions,
+                "history": [dict(r) for r in self.history],
+            }

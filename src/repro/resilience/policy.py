@@ -1,0 +1,222 @@
+"""Client-side resilience: bounded retries and the circuit breaker.
+
+Retrying forever is how a transient brownout becomes a permanent one:
+every stuck client keeps offering load to a server that needs the
+opposite.  :class:`RetryPolicy` bounds a retry loop on *two* axes — a
+maximum attempt count and a total sleep budget — and always backs off
+through the repo's one :class:`~repro.resilience.backoff.BackoffPolicy`
+(capped exponential + full jitter).  When the budget runs out the loop
+raises :class:`RetriesExhausted` carrying the last underlying error, so
+callers see a typed, actionable outcome instead of the N-th raw
+``backpressure`` frame.
+
+:class:`CircuitBreaker` protects the other direction: when a peer is
+failing *hard* (consecutive failures past a threshold) there is no
+point paying a round trip to learn it again, and every skipped request
+is capacity the struggling peer gets back.  The breaker is the classic
+three-state machine:
+
+* ``closed`` — traffic flows; consecutive failures are counted.
+* ``open`` — requests fail fast locally until ``reset_after`` seconds
+  (or the peer's own ``retry_after`` hint, whichever is larger) have
+  passed.
+* ``half_open`` — exactly one probe request is let through; success
+  closes the breaker, failure re-opens it.
+
+The clock is injectable so the full state machine is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from .backoff import BackoffPolicy
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "RetriesExhausted",
+           "RetryPolicy"]
+
+
+class RetriesExhausted(RuntimeError):
+    """A bounded retry loop ran out of budget.
+
+    Carries the diagnosis a caller needs: how many attempts were made,
+    how long the loop slept in total, and — in :attr:`last_error` — the
+    final underlying error (for the placement service, the last
+    :class:`~repro.service.client.ServiceError` the server answered).
+    """
+
+    def __init__(self, message: str, *, attempts: int, slept: float,
+                 last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.slept = slept
+        self.last_error = last_error
+
+
+class RetryPolicy:
+    """A bounded, jittered retry schedule.
+
+    Parameters
+    ----------
+    max_attempts:
+        Retries after the initial try (0 = never retry).
+    base_backoff, max_backoff:
+        The underlying :class:`BackoffPolicy` knobs (first-retry ideal
+        delay and the cap the exponential growth stops at).
+    total_budget:
+        Upper bound on *cumulative* sleep seconds across the whole
+        loop; ``None`` bounds by attempts alone.  A loop that would
+        exceed the budget raises :class:`RetriesExhausted` instead of
+        sleeping.
+    jitter, seed:
+        Forwarded to :class:`BackoffPolicy`.
+    """
+
+    def __init__(self, max_attempts: int = 5, *,
+                 base_backoff: float = 0.025, max_backoff: float = 1.0,
+                 total_budget: float | None = None, jitter: bool = True,
+                 seed: int | None = None) -> None:
+        if max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if total_budget is not None and total_budget < 0:
+            raise ValueError("total_budget must be >= 0")
+        self.max_attempts = max_attempts
+        self.total_budget = total_budget
+        self.backoff = BackoffPolicy(base_backoff, max_backoff,
+                                     jitter=jitter, seed=seed)
+
+    def call(self, fn: Callable[[], Any], *,
+             retry_on: tuple[type[BaseException], ...] = (Exception,),
+             floor_hint: Callable[[BaseException], float] | None = None,
+             sleep: Callable[[float], None] = time.sleep) -> Any:
+        """Run ``fn`` under this policy.
+
+        ``retry_on`` selects which exceptions are transient;
+        ``floor_hint`` maps a caught error to a minimum delay (the
+        ``retry_after_ms`` extraction for service errors).  Anything
+        not in ``retry_on`` propagates untouched.
+        """
+        attempt = 0
+        slept = 0.0
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                attempt += 1
+                if attempt > self.max_attempts:
+                    raise RetriesExhausted(
+                        f"retry budget exhausted after {attempt} "
+                        f"attempts ({slept:.3f}s slept): {exc}",
+                        attempts=attempt, slept=slept,
+                        last_error=exc) from exc
+                floor = floor_hint(exc) if floor_hint is not None else 0.0
+                delay = self.backoff.delay(attempt, floor=floor)
+                if self.total_budget is not None \
+                        and slept + delay > self.total_budget:
+                    raise RetriesExhausted(
+                        f"retry sleep budget ({self.total_budget}s) "
+                        f"exhausted after {attempt} attempts "
+                        f"({slept:.3f}s slept): {exc}",
+                        attempts=attempt, slept=slept,
+                        last_error=exc) from exc
+                if delay:
+                    sleep(delay)
+                slept += delay
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open; the request was not attempted."""
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        #: Seconds until the breaker will admit a half-open probe.
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_after:
+        Seconds the breaker stays open before admitting one probe.  A
+        peer-supplied ``retry_after`` hint recorded with the tripping
+        failure extends this when larger — the breaker never probes
+        earlier than the peer asked.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, failure_threshold: int = 5, *,
+                 reset_after: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after < 0:
+            raise ValueError("reset_after must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._consecutive = 0
+        self._opened_at: float | None = None
+        self._open_for = 0.0
+        self._probing = False
+        #: Lifetime counters, surfaced by client stats.
+        self.trips = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._probing:
+            return self.HALF_OPEN
+        if self._clock() - self._opened_at >= self._open_for:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """Whether a request may be attempted right now.
+
+        In the half-open state exactly one caller gets ``True`` (the
+        probe); everyone else fails fast until it reports back.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        self.fast_failures += 1
+        return False
+
+    def check(self) -> None:
+        """:meth:`allow`, raising :class:`CircuitOpenError` when denied."""
+        if not self.allow():
+            remaining = 0.0
+            if self._opened_at is not None:
+                remaining = max(0.0, self._open_for
+                                - (self._clock() - self._opened_at))
+            raise CircuitOpenError(
+                f"circuit breaker is {self.state}; retry in "
+                f"{remaining:.3f}s", retry_after=remaining)
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self, *, retry_after: float | None = None) -> None:
+        """Record one failed request (or a failed half-open probe)."""
+        self._consecutive += 1
+        if self._probing or self._consecutive >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._open_for = max(self.reset_after, retry_after or 0.0)
+            self._probing = False
+            self.trips += 1

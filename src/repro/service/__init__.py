@@ -20,18 +20,36 @@ identically.  ``repro-partition serve`` runs the server from the shell;
 and emits ``BENCH_service.json`` for the bench compare/promote gate.
 """
 
-from .client import BackpressureError, ServiceClient, ServiceError
+from .client import (
+    BackpressureError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReadOnlyError,
+    RetriesExhausted,
+    ServiceClient,
+    ServiceError,
+)
 from .loadgen import run_service_bench
-from .protocol import PROTOCOL_VERSION, SUPPORTED_PROTOCOLS, ProtocolError
+from .protocol import (
+    PROTOCOL_REVISION,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
+    ProtocolError,
+)
 from .server import PlacementService
 from .wal import PlacementLog, WalEntry, replay_entries
 
 __all__ = [
     "BackpressureError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "PROTOCOL_REVISION",
     "PROTOCOL_VERSION",
     "PlacementLog",
     "PlacementService",
     "ProtocolError",
+    "ReadOnlyError",
+    "RetriesExhausted",
     "SUPPORTED_PROTOCOLS",
     "ServiceClient",
     "ServiceError",

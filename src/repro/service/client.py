@@ -13,20 +13,41 @@ the first real request::
         pid = client.place(0)["pid"]
         assert client.lookup(0) == pid
 
-Backpressure is a first-class outcome, not an exception to hide: a full
-engine queue raises :class:`BackpressureError` carrying the server's
-``retry_after_ms`` hint.  ``place``/``place_batch`` accept
-``retries=N`` to absorb short bursts by honouring that hint before
-giving up.
+Failure is a typed surface, not a hidden retry loop:
+
+* a full engine queue raises :class:`BackpressureError`; an admission
+  shed (revision 1.1's early load shedding) raises its subclass
+  :class:`OverloadedError` — both carry the server's ``retry_after_ms``
+  hint and both are retryable;
+* a missed/unmeetable ``deadline_ms`` budget raises
+  :class:`DeadlineExceededError`; a degraded server rejecting mutations
+  raises :class:`ReadOnlyError` — neither is retried on a timer;
+* ``place``/``place_batch`` accept ``retries=N`` to absorb retryable
+  rejections through the repo-wide
+  :class:`~repro.resilience.policy.RetryPolicy` (capped exponential
+  backoff + full jitter, honoring ``retry_after_ms`` as the floor, with
+  a total sleep budget).  Exhausting the budget raises
+  :class:`~repro.resilience.policy.RetriesExhausted` carrying the last
+  server error — the old behavior of re-raising the N-th raw
+  backpressure frame survives only for ``retries=0`` (single attempt).
+* an optional :class:`~repro.resilience.policy.CircuitBreaker`
+  (``breaker=``) fails fast locally while the server is rejecting
+  hard, returning capacity to the peer instead of paying round trips
+  to re-learn the outage.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-import time
 from typing import Any
 
+from ..resilience.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetriesExhausted,
+    RetryPolicy,
+)
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -34,7 +55,9 @@ from .protocol import (
     encode_message,
 )
 
-__all__ = ["BackpressureError", "ServiceClient", "ServiceError"]
+__all__ = ["BackpressureError", "DeadlineExceededError", "OverloadedError",
+           "ReadOnlyError", "RetriesExhausted", "ServiceClient",
+           "ServiceError"]
 
 
 class ServiceError(RuntimeError):
@@ -55,11 +78,74 @@ class BackpressureError(ServiceError):
         return int(self.error.get("retry_after_ms", 25))
 
 
+class OverloadedError(BackpressureError):
+    """Admission control shed the request before the queue filled.
+
+    Subclasses :class:`BackpressureError` deliberately: both mean "the
+    server is protecting itself, come back after ``retry_after_ms``",
+    and every retry loop that absorbs backpressure should absorb
+    watermark sheds the same way.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's ``deadline_ms`` budget was (or could not be) met."""
+
+
+class ReadOnlyError(ServiceError):
+    """The server degraded to read-only serving; mutations are rejected.
+
+    Not retryable on a timer — watch ``health()``'s ``health_state``
+    for the recovery to ``healthy`` instead.
+    """
+
+
+_ERROR_TYPES: dict[str, type[ServiceError]] = {
+    "backpressure": BackpressureError,
+    "overloaded": OverloadedError,
+    "deadline_exceeded": DeadlineExceededError,
+    "read_only": ReadOnlyError,
+}
+
+#: Server answers that say "the peer is unhealthy/overloaded", the
+#: signals a circuit breaker should count.  Client-side mistakes
+#: (bad-request, unknown-vertex, ...) never trip the breaker.
+_BREAKER_CODES = frozenset({"backpressure", "overloaded", "read_only",
+                            "draining", "internal", "disconnected"})
+
+
 class ServiceClient:
-    """One connection to a :class:`~repro.service.PlacementService`."""
+    """One connection to a :class:`~repro.service.PlacementService`.
+
+    Parameters
+    ----------
+    host, port:
+        The server address (``*service.address`` when in-process).
+    timeout:
+        Socket timeout for connect and each round trip.
+    handshake:
+        Run ``hello`` on connect (default) to surface version skew
+        immediately.
+    retry_policy:
+        Template for per-call retry loops; per-call ``retries=N``
+        overrides its attempt bound but inherits backoff shape and
+        sleep budget.  Default: 25 ms base, 1 s cap, 30 s total budget.
+    breaker:
+        Optional circuit breaker consulted before every request and fed
+        with every outcome.  While open, requests raise
+        :class:`~repro.resilience.policy.CircuitOpenError` locally;
+        retry loops treat that like backpressure (wait, then re-probe).
+    deadline_ms:
+        Default ``deadline_ms`` attached to every ``place``/
+        ``place_batch`` (per-call values override; ``None`` sends no
+        budget — the 1.0 best-effort behavior).
+    """
 
     def __init__(self, host: str, port: int, *, timeout: float = 30.0,
-                 handshake: bool = True) -> None:
+                 handshake: bool = True,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 deadline_ms: float | None = None) -> None:
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -67,6 +153,11 @@ class ServiceClient:
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy(max_attempts=0, base_backoff=0.025,
+                             max_backoff=1.0, total_budget=30.0)
+        self.breaker = breaker
+        self.deadline_ms = deadline_ms
         #: The server's ``hello`` response (identity, config, graph).
         self.server_info: dict[str, Any] = {}
         if handshake:
@@ -76,9 +167,26 @@ class ServiceClient:
     def request(self, op: str, **fields: Any) -> dict[str, Any]:
         """One round trip; returns the ``ok`` response body.
 
-        Raises :class:`ServiceError` (or :class:`BackpressureError` for
-        ``code: "backpressure"``) when the server answers a failure.
+        Raises the :class:`ServiceError` subtype matching the failure
+        code (see :data:`_ERROR_TYPES`) when the server answers a
+        failure, and feeds the configured circuit breaker either way.
         """
+        if self.breaker is not None:
+            self.breaker.check()
+        try:
+            response = self._roundtrip(op, **fields)
+        except ServiceError as exc:
+            if self.breaker is not None and exc.code in _BREAKER_CODES:
+                retry_after = None
+                if isinstance(exc, BackpressureError):
+                    retry_after = exc.retry_after_ms / 1000.0
+                self.breaker.record_failure(retry_after=retry_after)
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return response
+
+    def _roundtrip(self, op: str, **fields: Any) -> dict[str, Any]:
         with self._lock:
             if self._closed:
                 raise ServiceError("closed", "client is closed")
@@ -100,23 +208,36 @@ class ServiceClient:
         if not response.get("ok"):
             error = response.get("error") or {}
             code = error.get("code", "internal")
-            cls = BackpressureError if code == "backpressure" \
-                else ServiceError
+            cls = _ERROR_TYPES.get(code, ServiceError)
             raise cls(code, error.get("message", "request failed"),
                       error)
         return response
 
+    @staticmethod
+    def _retry_floor(exc: BaseException) -> float:
+        """Minimum backoff for a caught retryable error (the server's
+        own hint, when it gave one)."""
+        if isinstance(exc, BackpressureError):
+            return exc.retry_after_ms / 1000.0
+        if isinstance(exc, CircuitOpenError):
+            return exc.retry_after
+        return 0.0
+
     def _with_retries(self, retries: int, op: str,
                       **fields: Any) -> dict[str, Any]:
-        attempt = 0
-        while True:
-            try:
-                return self.request(op, **fields)
-            except BackpressureError as exc:
-                if attempt >= retries:
-                    raise
-                attempt += 1
-                time.sleep(exc.retry_after_ms / 1000.0)
+        if retries <= 0:
+            return self.request(op, **fields)
+        template = self.retry_policy
+        policy = RetryPolicy(
+            max_attempts=retries,
+            base_backoff=template.backoff.base,
+            max_backoff=template.backoff.cap,
+            total_budget=template.total_budget,
+            jitter=template.backoff.jitter)
+        return policy.call(
+            lambda: self.request(op, **fields),
+            retry_on=(BackpressureError, CircuitOpenError),
+            floor_hint=self._retry_floor)
 
     # -- endpoints -----------------------------------------------------
     def hello(self) -> dict[str, Any]:
@@ -124,29 +245,38 @@ class ServiceClient:
         return self.request("hello")
 
     def place(self, vertex: int, neighbors: list[int] | None = None, *,
-              retries: int = 0) -> dict[str, Any]:
+              retries: int = 0,
+              deadline_ms: float | None = None) -> dict[str, Any]:
         """Place one vertex; returns ``{vertex, pid, cached, ...}``.
 
         ``neighbors=None`` defers to the graph loaded in the server (the
         streaming arrival model); an explicit list supplies the local
         view directly.  Placing an already-placed vertex is idempotent
-        and comes back with ``cached: true``.
+        and comes back with ``cached: true``.  ``deadline_ms`` attaches
+        a latency budget the server may shed against (revision 1.1).
         """
         fields: dict[str, Any] = {"vertex": vertex}
         if neighbors is not None:
             fields["neighbors"] = list(neighbors)
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if budget is not None:
+            fields["deadline_ms"] = budget
         return self._with_retries(retries, "place", **fields)
 
-    def place_batch(self, items: list[Any], *,
-                    retries: int = 0) -> list[dict[str, Any]]:
+    def place_batch(self, items: list[Any], *, retries: int = 0,
+                    deadline_ms: float | None = None
+                    ) -> list[dict[str, Any]]:
         """Place many vertices in one round trip.
 
         ``items`` entries are vertex ids or ``{"vertex": v,
         "neighbors": [...]}`` dicts; returns the per-item result list in
         request order.
         """
-        response = self._with_retries(retries, "place_batch",
-                                      items=items)
+        fields: dict[str, Any] = {"items": items}
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if budget is not None:
+            fields["deadline_ms"] = budget
+        response = self._with_retries(retries, "place_batch", **fields)
         return response["results"]
 
     def lookup(self, vertex: int) -> int | None:

@@ -14,7 +14,11 @@ conventions (:mod:`repro.bench.micro`): ``machine`` fingerprint,
 compare/promote/gate machinery (:mod:`repro.bench.compare`) can verdict
 service latency changes statistically.  The latency metrics
 (``place_batch/p50`` … ``lookup/p99``) are durations — lower is better —
-while throughput rides along as an informational field.
+while throughput rides along as an informational field.  With
+``overload=True`` an extra ``place_overload`` record measures the
+degraded half: p99 latency of *accepted* requests and the shed rate
+while offered load exceeds a deliberately throttled server's capacity
+(see :func:`_overload_round`).
 
 A parity check runs after each repeat: the service's final route table
 is compared against a batch :func:`repro.partition_stream` pass over the
@@ -42,7 +46,7 @@ from ..graph.digraph import DiGraph
 from ..graph.generators import community_web_graph
 from ..partitioning.config import PartitionConfig
 from ..recovery.atomic import atomic_write_text
-from .client import ServiceClient
+from .client import BackpressureError, ServiceClient
 from .server import PlacementService
 
 __all__ = ["DEFAULT_ARTIFACT", "run_service_bench"]
@@ -116,6 +120,85 @@ def _lookup_worker(address: tuple[str, int], vertices: np.ndarray,
         errors.append(repr(exc))
 
 
+def _overload_worker(address: tuple[str, int], feed: _ChunkFeed,
+                     latencies: list[float], sheds: list[int],
+                     errors: list[str]) -> None:
+    """Place chunks against a deliberately under-provisioned server.
+
+    Every shed (``overloaded``/``backpressure``) is counted, then the
+    chunk is re-offered after the server's ``retry_after_ms`` hint
+    (capped — we are measuring the shed path, not sleeping through it).
+    Latencies record accepted attempts only: p99-under-overload is the
+    queueing delay survivors actually paid.
+    """
+    try:
+        with ServiceClient(*address) as client:
+            while True:
+                chunk = feed.take()
+                if chunk is None:
+                    return
+                start, stop = chunk
+                while True:
+                    t0 = time.perf_counter()
+                    try:
+                        client.place_batch(list(range(start, stop)))
+                    except BackpressureError as exc:
+                        sheds[0] += 1
+                        time.sleep(min(exc.retry_after_ms, 5) / 1000.0)
+                    else:
+                        latencies.append(time.perf_counter() - t0)
+                        break
+    except Exception as exc:
+        errors.append(repr(exc))
+
+
+def _overload_round(graph: DiGraph, config: PartitionConfig, *,
+                    clients: int, batch_size: int, num_vertices: int,
+                    queue_depth: int, throttle_seconds: float
+                    ) -> tuple[list[float], int, dict[str, Any]]:
+    """One overload repeat: fresh throttled server, offered load > capacity.
+
+    ``batch_max=1`` makes every request its own engine group so the
+    throttle bounds the drain rate directly (one batch per
+    ``throttle_seconds``), and the shed watermark sits at half the
+    (small) ``queue_depth`` — synchronous clients can only stack the
+    queue as deep as their connection count, so the watermark must sit
+    below it for admission control to engage at all.  Returns (accepted
+    latencies, client-side shed count, server admission stats).
+    """
+    service = PlacementService.start(
+        graph, config=config, port=0, snapshot_dir=None,
+        queue_depth=queue_depth, batch_max=1,
+        throttle_seconds=throttle_seconds,
+        shed_watermark=0.5)
+    try:
+        feed = _ChunkFeed(num_vertices, batch_size)
+        errors: list[str] = []
+        lat_lists: list[list[float]] = [[] for _ in range(clients)]
+        shed_cells: list[list[int]] = [[0] for _ in range(clients)]
+        threads = [
+            threading.Thread(
+                target=_overload_worker,
+                args=(service.address, feed, lat_lists[c],
+                      shed_cells[c], errors),
+                daemon=True)
+            for c in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise RuntimeError(f"serve-bench overload client failed: "
+                               f"{errors[0]}")
+        admission = service._admission.stats()
+    finally:
+        service.close()
+    latencies = sorted(t for lat in lat_lists for t in lat)
+    sheds = sum(cell[0] for cell in shed_cells)
+    return latencies, sheds, admission
+
+
 def run_service_bench(graph: DiGraph | None = None, *,
                       num_vertices: int = 20_000, seed: int = 7,
                       config: PartitionConfig | None = None,
@@ -125,6 +208,9 @@ def run_service_bench(graph: DiGraph | None = None, *,
                       target_rps: float | None = None,
                       durable: bool = True, queue_depth: int = 64,
                       batch_max: int = 256,
+                      overload: bool = False,
+                      overload_queue_depth: int = 4,
+                      overload_throttle: float = 0.002,
                       out_path: str | Path | None = DEFAULT_ARTIFACT,
                       verbose: bool = False) -> dict[str, Any]:
     """Bench the service end to end; returns (and writes) the artifact.
@@ -135,6 +221,15 @@ def run_service_bench(graph: DiGraph | None = None, *,
     ``batch_size`` chunks, then issues ``lookups_per_client`` random
     lookups per client.  ``target_rps`` paces placement *requests*
     per second across all clients (``None`` = full speed).
+
+    ``overload=True`` appends an overload phase: per repeat, a fresh
+    *throttled* server (``overload_throttle`` seconds per engine group,
+    ``batch_max=1``, a short ``overload_queue_depth`` queue) is offered
+    more load than it can drain, so revision 1.1's admission control
+    sheds.  The ``place_overload`` record captures
+    p50/p95/p99-under-overload of the accepted requests plus the
+    observed ``shed_rate`` — the graceful-degradation half of the
+    latency story the healthy-path percentiles cannot show.
     """
     if graph is None:
         graph = community_web_graph(num_vertices, seed=seed)
@@ -258,6 +353,55 @@ def run_service_bench(graph: DiGraph | None = None, *,
     # assignment and must not flake the byte-identity pseudo-metric.
     if identical_flags and reordered == 0:
         place_rec["identical"] = all(identical_flags)
+
+    overload_rec: dict[str, Any] | None = None
+    if overload:
+        o_p50: list[float] = []
+        o_p95: list[float] = []
+        o_p99: list[float] = []
+        shed_rates: list[float] = []
+        overload_vertices = min(graph.num_vertices,
+                                clients * batch_size * 8)
+        for _ in range(repeats):
+            # More connections than the healthy phase: offered
+            # concurrency must exceed the watermark depth for the
+            # throttled engine to shed.
+            lat, sheds, admission = _overload_round(
+                graph, config, clients=max(4, clients * 2),
+                batch_size=batch_size,
+                num_vertices=overload_vertices,
+                queue_depth=overload_queue_depth,
+                throttle_seconds=overload_throttle)
+            if not lat:  # pathological: everything shed — skip repeat
+                continue
+            o_p50.append(_percentile(lat, 0.50))
+            o_p95.append(_percentile(lat, 0.95))
+            o_p99.append(_percentile(lat, 0.99))
+            accepted = len(lat)
+            shed_rates.append(sheds / (sheds + accepted)
+                              if sheds + accepted else 0.0)
+            if verbose:
+                print(f"  overload {len(o_p50)}/{repeats}: "
+                      f"p99 {o_p99[-1] * 1e3:.2f} ms, "
+                      f"shed rate {shed_rates[-1]:.0%} "
+                      f"(server: {admission['shed_rate']:.0%})")
+        if o_p50:
+            overload_rec = {
+                "endpoint": "place_overload",
+                "p50": _summary(o_p50),
+                "p95": _summary(o_p95),
+                "p99": _summary(o_p99),
+                "shed_rate": {
+                    "runs": shed_rates,
+                    "median": statistics.median(shed_rates),
+                },
+                "overload_config": {
+                    "queue_depth": overload_queue_depth,
+                    "throttle_seconds": overload_throttle,
+                    "num_vertices": overload_vertices,
+                },
+            }
+
     artifact: dict[str, Any] = {
         "benchmark": "service-bench",
         "created_unix": int(time.time()),
@@ -278,6 +422,7 @@ def run_service_bench(graph: DiGraph | None = None, *,
             "queue_depth": queue_depth,
             "batch_max": batch_max,
             "seed": seed,
+            "overload": overload,
         },
         "results": [
             place_rec,
@@ -288,6 +433,8 @@ def run_service_bench(graph: DiGraph | None = None, *,
             },
         ],
     }
+    if overload_rec is not None:
+        artifact["results"].append(overload_rec)
     if out_path is not None:
         atomic_write_text(Path(out_path),
                           json.dumps(artifact, indent=2) + "\n")

@@ -25,6 +25,26 @@ with ``code: "unsupported-protocol"`` and the list it speaks
 (``supported: [1]``), so a client can detect the mismatch on its first
 exchange — the ``hello`` handshake exists exactly for that probe.
 
+**Revision 1.1** (additive — still ``protocol: 1`` on the wire; see
+:data:`PROTOCOL_REVISION`) adds the resilience surface:
+
+* ``place``/``place_batch`` requests may carry ``deadline_ms``, the
+  client's total latency budget for the request.  A server that can
+  already tell the budget is unmeetable (expected engine wait exceeds
+  it) or finds it expired while the request was queued answers
+  ``code: "deadline_exceeded"`` without applying the placement.
+  Servers predating 1.1 ignore the field — the request degrades to
+  best-effort, exactly what additive evolution promises.
+* New load-shed error code ``overloaded``: admission control rejected
+  the request *before* the bounded queue filled (queue-depth or
+  engine-lag watermark).  Like ``backpressure`` it carries
+  ``retry_after_ms``; clients treat both as retryable.
+* New error code ``read_only``: the server degraded to read-only
+  serving (WAL write failure, repeated snapshot failure) and rejects
+  mutations while lookups/stats/health keep working.  Not retryable on
+  a timer — the server announces recovery via ``health``'s
+  ``health_state`` field, also new in 1.1.
+
 Operations (see ``docs/service.md`` for the full reference):
 
 ``hello``
@@ -44,7 +64,10 @@ Operations (see ``docs/service.md`` for the full reference):
 
 Error codes: ``bad-request``, ``unsupported-protocol``,
 ``unknown-vertex``, ``backpressure`` (bounded queue full — retry after
-``retry_after_ms``), ``draining`` (server is shutting down),
+``retry_after_ms``), ``overloaded`` (admission control shed the request
+— retry after ``retry_after_ms``), ``deadline_exceeded`` (the request's
+``deadline_ms`` budget cannot be / was not met), ``read_only`` (server
+degraded; mutations rejected), ``draining`` (server is shutting down),
 ``internal``.
 """
 
@@ -56,6 +79,8 @@ from typing import Any
 __all__ = [
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
+    "PROTOCOL_REVISION",
+    "RETRYABLE_CODES",
     "SUPPORTED_PROTOCOLS",
     "OPS",
     "ProtocolError",
@@ -67,6 +92,19 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 SUPPORTED_PROTOCOLS = (1,)
+
+#: Human-readable additive revision within :data:`PROTOCOL_VERSION`.
+#: Advertised in ``hello`` so clients can feature-detect the resilience
+#: surface (``deadline_ms``, ``overloaded``/``deadline_exceeded``/
+#: ``read_only`` codes) without a breaking version bump.
+PROTOCOL_REVISION = "1.1"
+
+#: Error codes a client may safely retry after backing off — the server
+#: rejected the request *without* applying it and expects the condition
+#: to clear.  ``read_only``/``draining`` are deliberately absent:
+#: retrying on a timer cannot help a server that announced it will
+#: refuse mutations until an operator-visible state change.
+RETRYABLE_CODES = frozenset({"backpressure", "overloaded"})
 
 #: Every operation a version-1 server answers.
 OPS = ("hello", "place", "place_batch", "lookup", "stats", "snapshot",

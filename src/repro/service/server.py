@@ -44,6 +44,28 @@ Architecture — one engine, many connections::
 * Graceful shutdown (:meth:`close`, wired to SIGTERM by the CLI) stops
   accepting work, drains the queue, writes a final snapshot, and closes
   connections — in that order.
+
+Resilience (the :mod:`repro.resilience` layer, revision 1.1 of the
+protocol):
+
+* **Admission control** — an
+  :class:`~repro.resilience.admission.AdmissionController` sheds
+  ``place`` traffic with ``overloaded`` *before* the queue saturates
+  (queue-depth watermark, engine-lag EWMA) and rejects requests whose
+  ``deadline_ms`` budget is already unmeetable with
+  ``deadline_exceeded``; the engine re-checks deadlines at dequeue so a
+  budget that expired while queued fails instead of acking late.
+* **Degraded modes** — a
+  :class:`~repro.resilience.health.HealthMonitor` state machine
+  (``healthy → degraded → read_only → draining``).  A WAL append
+  failure no longer kills the engine: the group's entries are parked in
+  ``_pending_entries``, the affected requests fail with ``read_only``
+  (they were never acked, so durability is not violated), and the
+  server keeps answering lookups/stats/health.  :meth:`try_recover`
+  (optionally on a timer via ``recovery_probe_interval``) flushes the
+  parked entries and returns to ``healthy``.  Repeated snapshot
+  failures degrade the same way.  Every transition emits a
+  ``health_transition`` trace record.
 """
 
 from __future__ import annotations
@@ -71,10 +93,20 @@ from ..recovery.checkpoint import (
     latest_snapshot,
 )
 from ..recovery.snapshot import read_snapshot
+from ..resilience.admission import AdmissionController
+from ..resilience.health import (
+    DEGRADED,
+    DRAINING,
+    HEALTHY,
+    READ_ONLY,
+    HealthMonitor,
+)
 from .protocol import (
     MAX_LINE_BYTES,
     OPS,
+    PROTOCOL_REVISION,
     PROTOCOL_VERSION,
+    RETRYABLE_CODES,
     SUPPORTED_PROTOCOLS,
     ProtocolError,
     decode_line,
@@ -140,17 +172,22 @@ class _LatencyRecorder:
 
 
 class _Work:
-    """One queued engine task: a group of placements or a snapshot."""
+    """One queued engine task: placements, a snapshot, or a recovery."""
 
-    __slots__ = ("kind", "placements", "event", "results", "error")
+    __slots__ = ("kind", "placements", "event", "results", "error",
+                 "deadline")
 
     def __init__(self, kind: str,
-                 placements: list[tuple[int, list[int] | None]]) -> None:
+                 placements: list[tuple[int, list[int] | None]],
+                 deadline: float | None = None) -> None:
         self.kind = kind
         self.placements = placements
         self.event = threading.Event()
         self.results: Any = None
         self.error: tuple[str, str] | None = None
+        #: Absolute ``time.monotonic()`` deadline from the request's
+        #: ``deadline_ms`` budget; the engine re-checks it at dequeue.
+        self.deadline = deadline
 
     def resolve(self, results: Any) -> None:
         self.results = results
@@ -209,6 +246,25 @@ class PlacementService:
     throttle_seconds:
         Artificial per-group engine delay — a test hook for driving the
         backpressure path deterministically.
+    shed_watermark:
+        Queue-depth fraction past which admission control sheds
+        ``place`` traffic with ``overloaded`` (``1.0`` disables early
+        shedding; the full queue still answers ``backpressure``).
+    max_lag_seconds:
+        Expected-engine-wait ceiling for the admission controller's lag
+        watermark (``None`` disables it).
+    snapshot_failure_limit:
+        Consecutive snapshot failures before the server drops from
+        ``degraded`` to ``read_only``.
+    recovery_probe_interval:
+        Seconds between automatic :meth:`try_recover` probes while the
+        server is ``read_only`` (``0`` disables the probe thread; the
+        chaos harness drives recovery explicitly instead).
+    wal_factory:
+        Callable building the placement log
+        (``factory(directory, start=, fsync=) -> PlacementLog``);
+        injection point for the chaos harness's
+        :class:`~repro.recovery.chaos.FlakyWAL`.
     """
 
     def __init__(self, graph: Any, *, config: PartitionConfig | None = None,
@@ -219,7 +275,12 @@ class PlacementService:
                  snapshot_every: int = 100_000, snapshot_keep: int = 3,
                  wal_fsync: bool = True, instrumentation: Any = None,
                  throttle_seconds: float = 0.0,
-                 retry_after_ms: int = 25) -> None:
+                 retry_after_ms: int = 25,
+                 shed_watermark: float = 0.85,
+                 max_lag_seconds: float | None = None,
+                 snapshot_failure_limit: int = 3,
+                 recovery_probe_interval: float = 0.0,
+                 wal_factory: Any = None) -> None:
         if config is None:
             config = PartitionConfig()
         elif isinstance(config, dict):
@@ -243,6 +304,22 @@ class PlacementService:
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._latency = _LatencyRecorder()
         self._started_monotonic = time.monotonic()
+        self._admission = AdmissionController(
+            queue_depth, shed_watermark=shed_watermark,
+            max_lag_seconds=max_lag_seconds)
+        self._health = HealthMonitor(
+            on_transition=self._emit_health_transition)
+        if snapshot_failure_limit < 1:
+            raise ValueError("snapshot_failure_limit must be >= 1")
+        self._snapshot_failure_limit = snapshot_failure_limit
+        self._snapshot_failures = 0
+        self.recovery_probe_interval = float(recovery_probe_interval)
+        self._wal_factory = wal_factory
+        # WAL entries applied in memory but not yet durable (their
+        # requests were *failed*, not acked); flushed by try_recover.
+        self._pending_entries: list[WalEntry] = []
+        self._deadline_expired = 0
+        self._last_shed_total = 0
 
         partitioner = config.make()
         if not isinstance(partitioner, StreamingPartitioner):
@@ -293,8 +370,9 @@ class PlacementService:
                 CheckpointConfig(snapshot_dir, every=snapshot_every,
                                  keep=snapshot_keep),
                 instrumentation=instrumentation)
-            self._wal = PlacementLog(snapshot_dir, start=self._position,
-                                     fsync=wal_fsync)
+            factory = self._wal_factory or PlacementLog
+            self._wal = factory(snapshot_dir, start=self._position,
+                                fsync=wal_fsync)
 
         self._draining = threading.Event()
         self._shutdown_requested = threading.Event()
@@ -326,6 +404,21 @@ class PlacementService:
         self._threads += [engine, acceptor]
         engine.start()
         acceptor.start()
+        if self.recovery_probe_interval > 0:
+            prober = threading.Thread(target=self._recovery_probe_loop,
+                                      name="placement-recovery-probe",
+                                      daemon=True)
+            self._threads.append(prober)
+            prober.start()
+
+    def _recovery_probe_loop(self) -> None:
+        """Periodically attempt recovery while the server is read-only."""
+        while not self._shutdown_requested.wait(
+                self.recovery_probe_interval):
+            if self._draining.is_set():
+                return
+            if self._health.state == READ_ONLY:
+                self.try_recover()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -414,16 +507,16 @@ class PlacementService:
                 except queue.Empty:
                     break
                 if nxt is _STOP:
-                    self._process_group(group)
+                    self._process_group_safely(group)
                     group = []
                     break
                 group.append(nxt)
             else:
-                self._process_group(group)
+                self._process_group_safely(group)
                 continue
             if not group:  # saw _STOP mid-drain
                 break
-            self._process_group(group)
+            self._process_group_safely(group)
         # Anything enqueued after the sentinel never runs; fail it
         # explicitly so no connection blocks forever.
         while True:
@@ -434,6 +527,24 @@ class PlacementService:
             if leftover is not _STOP:
                 leftover.fail("draining",
                               "server is draining; placement not applied")
+
+    def _process_group_safely(self, group: list[_Work]) -> None:
+        """Run one group; an unexpected engine error degrades, not dies.
+
+        :meth:`_process_group` handles every *anticipated* failure
+        (WAL, snapshot, per-placement errors) itself; anything that
+        still escapes would previously kill the engine thread silently,
+        stranding every connection.  Instead: fail the group's
+        unresolved works, drop to ``read_only``, keep serving reads.
+        """
+        try:
+            self._process_group(group)
+        except Exception as exc:  # pragma: no cover - defensive
+            for work in group:
+                if not work.event.is_set():
+                    work.fail("internal", f"engine error: {exc}")
+            self._health.transition(READ_ONLY, "engine_error",
+                                    detail=repr(exc))
 
     def _process_group(self, group: list[_Work]) -> None:
         """Apply one drained group: coalesce, group-commit, then ack.
@@ -446,9 +557,9 @@ class PlacementService:
         workload keep riding the fused kernel.  All WAL lines for the
         group go down in one fsync (group commit); acks release after.
         """
+        t0 = time.perf_counter()
         if self.throttle_seconds:
             time.sleep(self.throttle_seconds)
-        t0 = time.perf_counter()
         placements = 0
         fused_before = self._fused_placements
         ok = True
@@ -458,8 +569,28 @@ class PlacementService:
             key=lambda w: w.placements[0][0] if w.placements else -1)
         applied: list[tuple[_Work, list[dict[str, Any]]]] = []
         entries: list[WalEntry] = []
+        now = time.monotonic()
         with self._state_lock:
             for work in place_works:
+                if work.deadline is not None and now >= work.deadline:
+                    # The budget died in the queue; applying now would
+                    # ack after the client stopped caring.  Fail without
+                    # touching state — nothing to roll back.
+                    ok = False
+                    self._deadline_expired += 1
+                    work.fail("deadline_exceeded",
+                              "deadline budget expired while the request "
+                              "was queued; placement not applied")
+                    continue
+                if not self._health.allows_mutation:
+                    # Degraded after this work was admitted: refuse
+                    # rather than pile more non-durable state on top.
+                    ok = False
+                    work.fail("read_only",
+                              f"server went {self._health.state} while "
+                              f"the request was queued; placement not "
+                              f"applied")
+                    continue
                 placements += len(work.placements)
                 try:
                     results, work_entries = self._apply_placements(
@@ -470,33 +601,75 @@ class PlacementService:
                     continue
                 entries.extend(work_entries)
                 applied.append((work, results))
+            wal_error: Exception | None = None
             if self._wal is not None and entries:
-                self._wal.append_batch(entries)
-            for work, results in applied:
-                work.resolve(results)
+                try:
+                    self._wal.append_batch(entries)
+                except Exception as exc:
+                    wal_error = exc
+                    self._pending_entries.extend(entries)
+                    self._health.transition(READ_ONLY, "wal_append_failed",
+                                            detail=str(exc))
+            if wal_error is None:
+                for work, results in applied:
+                    work.resolve(results)
+            else:
+                # The placements are applied in memory but NOT durable.
+                # The ack contract (acked == fsynced) forbids resolving
+                # them; the entries wait in _pending_entries and flush
+                # before the server accepts mutations again, so a later
+                # idempotent retry's cached ack is backed by the log.
+                ok = False
+                for work, _results in applied:
+                    work.fail(
+                        "read_only",
+                        f"placement could not be made durable "
+                        f"({wal_error}); server is read-only until the "
+                        f"log recovers")
             for work in other_works:
+                if work.kind == "recover":
+                    try:
+                        work.resolve(self._attempt_recovery())
+                    except Exception as exc:
+                        ok = False
+                        work.fail("read_only", f"recovery failed: {exc}")
+                    continue
                 try:
                     work.resolve(self._snapshot_now())
+                    self._note_snapshot_success()
                 except ProtocolError as exc:
                     ok = False
                     work.fail(exc.code, str(exc))
-                except Exception as exc:  # pragma: no cover
+                except Exception as exc:
                     ok = False
+                    self._note_snapshot_failure(exc)
                     work.fail("internal", f"snapshot failed: {exc}")
             if (self._checkpointer is not None
+                    and self._health.allows_mutation
                     and self._position - self._last_snapshot_position
                     >= self._checkpointer.config.every):
-                self._snapshot_now()
+                try:
+                    self._snapshot_now()
+                    self._note_snapshot_success()
+                except Exception as exc:
+                    self._note_snapshot_failure(exc)
+        elapsed = time.perf_counter() - t0
+        if placements:
+            self._admission.observe_group(elapsed, placements)
         self._groups_processed += 1
         if self.instrumentation is not None:
+            shed_total = self._admission.stats()["shed_total"]
+            shed_delta = shed_total - self._last_shed_total
+            self._last_shed_total = shed_total
             self.instrumentation.emit({
                 "type": "service_request",
                 "op": "place" if placements else group[0].kind,
                 "count": int(placements),
                 "queue_depth": int(self._queue.qsize()),
-                "elapsed_seconds": time.perf_counter() - t0,
+                "elapsed_seconds": elapsed,
                 "ok": ok,
                 "fused": int(self._fused_placements - fused_before),
+                "shed": int(shed_delta),
             })
 
     def _apply_placements(
@@ -593,6 +766,87 @@ class PlacementService:
             self._wal.prune(self._position)
         return {"path": str(path), "position": int(self._position)}
 
+    # -- degraded modes + recovery -------------------------------------
+    @property
+    def health_state(self) -> str:
+        """Current health-machine state (``healthy``/``degraded``/
+        ``read_only``/``draining``)."""
+        return self._health.state
+
+    def health_history(self) -> list[dict[str, Any]]:
+        """Bounded history of health transitions (newest last)."""
+        return self._health.snapshot()["history"]
+
+    def _emit_health_transition(self, record: dict[str, Any]) -> None:
+        if self.instrumentation is not None:
+            self.instrumentation.emit({
+                "type": "health_transition",
+                "from_state": record["from_state"],
+                "to_state": record["to_state"],
+                "reason": record["reason"],
+            })
+
+    def _note_snapshot_success(self) -> None:
+        self._snapshot_failures = 0
+        if self._health.state == DEGRADED:
+            self._health.transition(HEALTHY, "snapshot_recovered")
+
+    def _note_snapshot_failure(self, exc: Exception) -> None:
+        self._snapshot_failures += 1
+        if self._snapshot_failures >= self._snapshot_failure_limit:
+            self._health.transition(
+                READ_ONLY, "snapshot_failure_limit",
+                detail=f"{self._snapshot_failures} consecutive snapshot "
+                       f"failures: {exc}")
+        else:
+            self._health.transition(DEGRADED, "snapshot_failed",
+                                    detail=str(exc))
+
+    def _attempt_recovery(self) -> dict[str, Any]:
+        """Engine-thread half of :meth:`try_recover` (under state lock).
+
+        Flush the non-durable pending entries first: until they are on
+        disk, the in-memory route table is ahead of the log and a crash
+        would break ``resume_from`` parity for any later ack.  Only a
+        complete flush earns the transition back to ``healthy``.
+        """
+        flushed = 0
+        if self._wal is not None and self._pending_entries:
+            self._wal.append_batch(list(self._pending_entries))
+            flushed = len(self._pending_entries)
+            self._pending_entries.clear()
+        self._snapshot_failures = 0
+        self._health.transition(HEALTHY, "recovered")
+        return {"recovered": self._health.state == HEALTHY,
+                "flushed": flushed,
+                "health_state": self._health.state}
+
+    def try_recover(self) -> dict[str, Any]:
+        """Attempt to leave a degraded state; never raises.
+
+        Enqueues a recovery task for the engine thread (the only code
+        allowed to touch the WAL), which flushes any pending entries
+        and transitions back to ``healthy``.  Returns
+        ``{"recovered": bool, "flushed": int, "health_state": str}``,
+        with an ``"error"`` key when the underlying fault persists.
+        Safe to call at any time — recovering a healthy server is a
+        cheap no-op.  Also run on a timer when the server was built
+        with ``recovery_probe_interval > 0``.
+        """
+        work = _Work("recover", [])
+        try:
+            self._submit(work)
+        except ProtocolError as exc:
+            return {"recovered": False, "flushed": 0,
+                    "health_state": self._health.state,
+                    "error": str(exc)}
+        work.event.wait()
+        if work.error is not None:
+            return {"recovered": False, "flushed": 0,
+                    "health_state": self._health.state,
+                    "error": work.error[1]}
+        return work.results
+
     # -- connections ---------------------------------------------------
     def _accept_loop(self) -> None:
         while True:
@@ -654,7 +908,7 @@ class PlacementService:
             error = error_body(exc.code, str(exc))
             if exc.code == "unsupported-protocol":
                 error["supported"] = list(SUPPORTED_PROTOCOLS)
-            elif exc.code == "backpressure":
+            elif exc.code in RETRYABLE_CODES:
                 error["retry_after_ms"] = self.retry_after_ms
             return op, {"id": request_id, "ok": False, "error": error}
         except Exception as exc:  # pragma: no cover - defensive
@@ -677,14 +931,16 @@ class PlacementService:
         if op == "place":
             item = dict(request)
             item.setdefault("vertex", None)
-            [result] = self._op_place([item])
+            [result] = self._op_place([item],
+                                      deadline=self._parse_deadline(request))
             return result
         if op == "place_batch":
             items = request.get("items")
             if not isinstance(items, list) or not items:
                 raise ProtocolError(
                     "place_batch needs a non-empty 'items' list")
-            results = self._op_place(items)
+            results = self._op_place(items,
+                                     deadline=self._parse_deadline(request))
             return {"results": results, "count": len(results)}
         if op == "snapshot":
             return self._op_snapshot()
@@ -694,6 +950,7 @@ class PlacementService:
     def _op_hello(self) -> dict[str, Any]:
         return {
             "protocol": PROTOCOL_VERSION,
+            "revision": PROTOCOL_REVISION,
             "supported": list(SUPPORTED_PROTOCOLS),
             "server": _SERVER_NAME,
             "version": __version__,
@@ -710,8 +967,12 @@ class PlacementService:
 
     def _op_health(self) -> dict[str, Any]:
         status = "draining" if self._draining.is_set() else "serving"
+        admission = self._admission.stats()
         return {"status": status,
+                "health_state": self._health.state,
+                "health_transitions": int(self._health.transitions),
                 "queue_depth": int(self._queue.qsize()),
+                "shed_rate": float(admission["shed_rate"]),
                 "uptime_seconds":
                     time.monotonic() - self._started_monotonic}
 
@@ -761,6 +1022,9 @@ class PlacementService:
                 "fast_batches": int(self._fast_batches),
             },
             "latency": self._latency.summary(),
+            "health": self._health.snapshot(),
+            "admission": self._admission.stats(),
+            "deadline_expired_in_queue": int(self._deadline_expired),
         }
         if self._checkpointer is not None:
             stats["durability"] = {
@@ -770,6 +1034,8 @@ class PlacementService:
                     int(self._last_snapshot_position),
                 "wal_appended": int(self._wal.appended),
                 "wal_segment": self._wal.active_path.name,
+                "wal_pending": len(self._pending_entries),
+                "snapshot_failures": int(self._snapshot_failures),
             }
         if self._resumed_from is not None:
             stats["resumed_from"] = self._resumed_from
@@ -801,9 +1067,23 @@ class PlacementService:
                 f"{type(neighbors).__name__}")
         return vertex, [self._check_vertex(u) for u in neighbors]
 
-    def _op_place(self, items: list[Any]) -> list[dict[str, Any]]:
+    def _parse_deadline(self, request: dict[str, Any]) -> float | None:
+        """The request's ``deadline_ms`` budget as an absolute monotonic
+        deadline (revision 1.1; absent = best-effort, the 1.0 behavior)."""
+        value = request.get("deadline_ms")
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or value < 0:
+            raise ProtocolError(
+                f"deadline_ms must be a non-negative number, got "
+                f"{value!r}")
+        return time.monotonic() + float(value) / 1000.0
+
+    def _op_place(self, items: list[Any], *,
+                  deadline: float | None = None) -> list[dict[str, Any]]:
         placements = [self._parse_placement(item) for item in items]
-        work = _Work("place", placements)
+        work = _Work("place", placements, deadline=deadline)
         self._submit(work)
         work.event.wait()
         if work.error is not None:
@@ -823,13 +1103,44 @@ class PlacementService:
             raise ProtocolError(
                 "server is draining; no new placements accepted",
                 code="draining")
+        if work.kind == "recover":
+            # Recovery must reach the engine even when admission would
+            # shed everything else; only the hard queue bound applies.
+            try:
+                self._queue.put_nowait(work)
+            except queue.Full:
+                raise ProtocolError(
+                    f"engine queue is full ({self._queue.maxsize} "
+                    f"requests); retry shortly",
+                    code="backpressure") from None
+            return
+        if not self._health.allows_mutation:
+            self._admission.count_shed("read_only")
+            raise ProtocolError(
+                f"server is {self._health.state}; mutations are rejected "
+                f"(lookups/stats/health still served)",
+                code="read_only")
+        if work.kind == "place":
+            deadline_remaining = None
+            if work.deadline is not None:
+                deadline_remaining = work.deadline - time.monotonic()
+            decision = self._admission.admit(
+                self._queue.qsize(),
+                deadline_remaining=deadline_remaining)
+            if decision is not None:
+                self._admission.count_shed(decision.code)
+                raise ProtocolError(decision.message, code=decision.code)
         try:
             self._queue.put_nowait(work)
         except queue.Full:
+            if work.kind == "place":
+                self._admission.count_shed("backpressure")
             raise ProtocolError(
                 f"engine queue is full "
                 f"({self._queue.maxsize} requests); retry shortly",
                 code="backpressure") from None
+        if work.kind == "place":
+            self._admission.count_accept()
 
     # -- lifecycle -----------------------------------------------------
     def request_shutdown(self) -> None:
@@ -852,6 +1163,7 @@ class PlacementService:
                 return
             self._closed = True
         self._draining.set()
+        self._health.transition(DRAINING, "shutdown")
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -864,10 +1176,24 @@ class PlacementService:
             for thread in self._threads:
                 if thread.name == "placement-engine":
                     thread.join(timeout)
+        if self._wal is not None and self._pending_entries:
+            # Last chance to make unflushed entries durable; best-effort
+            # only — the requests they belong to were already failed, so
+            # a still-broken log loses nothing that was promised.
+            try:
+                self._wal.append_batch(list(self._pending_entries))
+                self._pending_entries.clear()
+            except Exception:
+                pass
         if (self._checkpointer is not None
                 and self._position > self._last_snapshot_position):
-            with self._state_lock:
-                self._snapshot_now()
+            try:
+                with self._state_lock:
+                    self._snapshot_now()
+            except Exception:
+                # A failing disk must not turn graceful shutdown into a
+                # crash; durable state is whatever already reached disk.
+                pass
         if self._wal is not None:
             self._wal.close()
         with self._conn_lock:

@@ -1,0 +1,113 @@
+"""AdmissionController unit tests: watermarks, lag, deadlines, stats."""
+
+import pytest
+
+from repro.resilience.admission import AdmissionController
+
+
+class TestWatermark:
+    def test_below_watermark_admits(self):
+        ctl = AdmissionController(10, shed_watermark=0.8)
+        assert ctl.admit(0) is None
+        assert ctl.admit(7) is None
+
+    def test_at_watermark_sheds_overloaded(self):
+        ctl = AdmissionController(10, shed_watermark=0.8)
+        decision = ctl.admit(8)
+        assert decision is not None
+        assert decision.code == "overloaded"
+
+    def test_watermark_1_still_admits_an_empty_queue(self):
+        # capacity 1 -> watermark depth 1: depth 0 gets in, depth 1 sheds.
+        ctl = AdmissionController(1)
+        assert ctl.admit(0) is None
+        assert ctl.admit(1).code == "overloaded"
+
+    def test_watermark_of_one_disables_early_shedding(self):
+        ctl = AdmissionController(10, shed_watermark=1.0)
+        assert ctl.admit(9) is None  # only a genuinely full queue sheds
+        assert ctl.admit(10).code == "overloaded"
+
+
+class TestLagWatermark:
+    def test_lag_sheds_even_with_a_short_queue(self):
+        # Strict inequality: expected_wait == max_lag still admits,
+        # one more queued request tips it over.
+        ctl = AdmissionController(100, max_lag_seconds=0.15)
+        ctl.observe_group(1.0, 10)  # 100 ms per request
+        assert ctl.admit(0) is None      # wait 0.1 <= 0.15
+        assert ctl.admit(1).code == "overloaded"  # wait 0.2 > 0.15
+
+    def test_no_lag_watermark_ignores_the_ewma(self):
+        ctl = AdmissionController(100)
+        ctl.observe_group(10.0, 1)  # 10 s per request, nobody cares
+        assert ctl.admit(50) is None
+
+    def test_ewma_smooths(self):
+        ctl = AdmissionController(10, ewma_alpha=0.5)
+        ctl.observe_group(1.0, 1)
+        ctl.observe_group(3.0, 1)
+        assert ctl.stats()["ewma_request_seconds"] == pytest.approx(2.0)
+
+
+class TestDeadlines:
+    def test_exhausted_budget_sheds_immediately(self):
+        ctl = AdmissionController(10)
+        assert ctl.admit(0, deadline_remaining=0.0).code \
+            == "deadline_exceeded"
+        assert ctl.admit(0, deadline_remaining=-1.0).code \
+            == "deadline_exceeded"
+
+    def test_unmeetable_wait_sheds_up_front(self):
+        ctl = AdmissionController(10)
+        ctl.observe_group(0.5, 1)  # 500 ms per request
+        decision = ctl.admit(3, deadline_remaining=0.1)
+        assert decision.code == "deadline_exceeded"
+
+    def test_meetable_deadline_admits(self):
+        ctl = AdmissionController(10)
+        ctl.observe_group(0.001, 1)
+        assert ctl.admit(2, deadline_remaining=1.0) is None
+
+    def test_deadline_check_precedes_the_watermark(self):
+        # Both would shed; the deadline code wins (freshest client signal).
+        ctl = AdmissionController(10, shed_watermark=0.5)
+        ctl.observe_group(1.0, 1)
+        decision = ctl.admit(9, deadline_remaining=0.1)
+        assert decision.code == "deadline_exceeded"
+
+
+class TestStats:
+    def test_shed_rate_accounting(self):
+        ctl = AdmissionController(4)
+        for _ in range(6):
+            ctl.count_accept()
+        ctl.count_shed("overloaded")
+        ctl.count_shed("backpressure")
+        stats = ctl.stats()
+        assert stats["accepted"] == 6
+        assert stats["shed"] == {"backpressure": 1, "overloaded": 1}
+        assert stats["shed_total"] == 2
+        assert stats["shed_rate"] == pytest.approx(0.25)
+
+    def test_fresh_controller_reports_zero_rate(self):
+        assert AdmissionController(4).stats()["shed_rate"] == 0.0
+
+    def test_watermark_depth_is_reported(self):
+        assert AdmissionController(64).stats()["watermark_depth"] == 55
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_watermark_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(4, shed_watermark=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, shed_watermark=1.5)
+
+    def test_lag_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(4, max_lag_seconds=0.0)

@@ -1,0 +1,61 @@
+"""BackoffPolicy unit tests: capping, jitter bounds, floors, seeding."""
+
+import pytest
+
+from repro.resilience.backoff import BackoffPolicy
+
+
+class TestIdeal:
+    def test_doubles_then_caps(self):
+        policy = BackoffPolicy(0.05, 0.4, jitter=False)
+        assert policy.ideal(1) == pytest.approx(0.05)
+        assert policy.ideal(2) == pytest.approx(0.10)
+        assert policy.ideal(3) == pytest.approx(0.20)
+        assert policy.ideal(4) == pytest.approx(0.40)
+        assert policy.ideal(5) == pytest.approx(0.40)  # capped
+        assert policy.ideal(500) == pytest.approx(0.40)  # no overflow
+
+    def test_no_jitter_delay_is_the_ideal(self):
+        policy = BackoffPolicy(0.05, 2.0, jitter=False)
+        assert policy.delay(3) == pytest.approx(policy.ideal(3))
+
+
+class TestJitter:
+    def test_full_jitter_stays_within_the_envelope(self):
+        policy = BackoffPolicy(0.05, 2.0, seed=1)
+        for attempt in range(1, 12):
+            for _ in range(20):
+                d = policy.delay(attempt)
+                assert 0.0 <= d <= policy.ideal(attempt)
+
+    def test_seeded_sequences_replay(self):
+        a = BackoffPolicy(0.05, 2.0, seed=42)
+        b = BackoffPolicy(0.05, 2.0, seed=42)
+        assert [a.delay(i) for i in range(1, 10)] \
+            == [b.delay(i) for i in range(1, 10)]
+
+    def test_jitter_actually_varies(self):
+        policy = BackoffPolicy(0.05, 2.0, seed=7)
+        assert len({policy.delay(6) for _ in range(16)}) > 1
+
+
+class TestFloor:
+    def test_floor_is_respected(self):
+        policy = BackoffPolicy(0.05, 2.0, seed=3)
+        for _ in range(50):
+            assert policy.delay(1, floor=0.03) >= 0.03
+
+    def test_floor_above_ideal_wins_outright(self):
+        # The server's retry_after hint dominates a smaller ideal.
+        policy = BackoffPolicy(0.01, 0.02, seed=3)
+        assert policy.delay(1, floor=0.5) == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(-0.1, 1.0)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(0.5, 0.1)

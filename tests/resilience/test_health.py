@@ -1,0 +1,95 @@
+"""HealthMonitor unit tests: the degraded-modes state machine."""
+
+import pytest
+
+from repro.resilience.health import (
+    DEGRADED,
+    DRAINING,
+    HEALTH_STATES,
+    HEALTHY,
+    READ_ONLY,
+    HealthMonitor,
+)
+
+
+class TestTransitions:
+    def test_starts_healthy_and_mutable(self):
+        monitor = HealthMonitor()
+        assert monitor.state == HEALTHY
+        assert monitor.allows_mutation
+
+    def test_read_only_blocks_mutation(self):
+        monitor = HealthMonitor()
+        assert monitor.transition(READ_ONLY, "wal_append_failed")
+        assert not monitor.allows_mutation
+
+    def test_degraded_still_mutates(self):
+        monitor = HealthMonitor()
+        monitor.transition(DEGRADED, "snapshot_failed")
+        assert monitor.allows_mutation
+
+    def test_self_transition_is_a_silent_noop(self):
+        seen = []
+        monitor = HealthMonitor(on_transition=seen.append)
+        assert not monitor.transition(HEALTHY, "redundant")
+        assert seen == []
+        assert monitor.transitions == 0
+
+    def test_draining_is_terminal(self):
+        monitor = HealthMonitor()
+        monitor.transition(DRAINING, "shutdown")
+        for state in (HEALTHY, DEGRADED, READ_ONLY):
+            assert not monitor.transition(state, "too_late")
+        assert monitor.state == DRAINING
+
+    def test_unknown_state_is_a_programming_error(self):
+        with pytest.raises(ValueError, match="unknown health state"):
+            HealthMonitor().transition("on_fire", "whoops")
+
+    def test_recovery_round_trip(self):
+        monitor = HealthMonitor()
+        monitor.transition(READ_ONLY, "wal_append_failed")
+        monitor.transition(HEALTHY, "recovered")
+        assert monitor.allows_mutation
+        assert monitor.transitions == 2
+
+
+class TestObservability:
+    def test_callback_sees_the_record(self):
+        seen = []
+        monitor = HealthMonitor(on_transition=seen.append)
+        monitor.transition(READ_ONLY, "wal_append_failed",
+                           detail="disk said no")
+        assert seen[0]["from_state"] == HEALTHY
+        assert seen[0]["to_state"] == READ_ONLY
+        assert seen[0]["reason"] == "wal_append_failed"
+        assert seen[0]["detail"] == "disk said no"
+
+    def test_callback_exceptions_never_block_the_transition(self):
+        def explode(record):
+            raise RuntimeError("observer bug")
+
+        monitor = HealthMonitor(on_transition=explode)
+        assert monitor.transition(READ_ONLY, "wal_append_failed")
+        assert monitor.state == READ_ONLY
+
+    def test_snapshot_reports_state_and_history(self):
+        monitor = HealthMonitor()
+        monitor.transition(DEGRADED, "snapshot_failed")
+        monitor.transition(HEALTHY, "snapshot_recovered")
+        snap = monitor.snapshot()
+        assert snap["health_state"] == HEALTHY
+        assert snap["transitions"] == 2
+        assert [r["reason"] for r in snap["history"]] \
+            == ["snapshot_failed", "snapshot_recovered"]
+
+    def test_history_is_bounded(self):
+        monitor = HealthMonitor(history_keep=4)
+        for _ in range(10):
+            monitor.transition(DEGRADED, "snapshot_failed")
+            monitor.transition(HEALTHY, "snapshot_recovered")
+        assert len(monitor.snapshot()["history"]) == 4
+
+    def test_every_state_is_reachable_from_somewhere(self):
+        assert set(HEALTH_STATES) == {HEALTHY, DEGRADED, READ_ONLY,
+                                      DRAINING}

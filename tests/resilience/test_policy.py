@@ -1,0 +1,160 @@
+"""RetryPolicy and CircuitBreaker unit tests (no real sleeping)."""
+
+import pytest
+
+from repro.resilience.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetriesExhausted,
+    RetryPolicy,
+)
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="ok", exc=ValueError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom {self.calls}")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(Flaky(0), sleep=sleeps.append) == "ok"
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        sleeps = []
+        fn = Flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.01,
+                             jitter=False)
+        assert policy.call(fn, sleep=sleeps.append) == "ok"
+        assert fn.calls == 3
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_exhaustion_is_typed_and_carries_the_cause(self):
+        policy = RetryPolicy(max_attempts=2, base_backoff=0.001,
+                             jitter=False)
+        with pytest.raises(RetriesExhausted) as info:
+            policy.call(Flaky(99), sleep=lambda _: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, ValueError)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_non_retryable_errors_propagate_untouched(self):
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(KeyError):
+            policy.call(Flaky(1, exc=KeyError),
+                        retry_on=(ValueError,), sleep=lambda _: None)
+
+    def test_total_budget_stops_before_the_sleep(self):
+        # Budget smaller than the first delay: fail fast, zero sleeping.
+        sleeps = []
+        policy = RetryPolicy(max_attempts=10, base_backoff=0.5,
+                             total_budget=0.1, jitter=False)
+        with pytest.raises(RetriesExhausted) as info:
+            policy.call(Flaky(99), sleep=sleeps.append)
+        assert sleeps == []
+        assert info.value.slept == 0.0
+
+    def test_floor_hint_lifts_the_delay(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=1, base_backoff=0.001,
+                             jitter=False)
+        policy.call(Flaky(1), floor_hint=lambda exc: 0.25,
+                    sleep=sleeps.append)
+        assert sleeps == [pytest.approx(0.25)]
+
+    def test_zero_attempts_means_single_try(self):
+        policy = RetryPolicy(max_attempts=0)
+        with pytest.raises(RetriesExhausted):
+            policy.call(Flaky(1), sleep=lambda _: None)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_trips_open_at_threshold_and_fails_fast(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check()
+        assert info.value.retry_after == pytest.approx(5.0)
+        assert breaker.fast_failures == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # everyone else keeps failing fast
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_probe_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=1.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # one failed probe re-trips, not three
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_retry_after_hint_extends_the_open_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0,
+                                 clock=clock)
+        breaker.record_failure(retry_after=10.0)
+        clock.now += 5.0
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now += 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN

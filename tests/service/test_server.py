@@ -339,3 +339,187 @@ class TestFacade:
             pid = client.place(0)["pid"]
             assert client.lookup(0) == pid
             assert client.server_info["protocol"] == 1
+
+
+class TestResilience:
+    """Revision 1.1 surface: deadlines, degraded modes, recovery."""
+
+    def test_hello_advertises_the_revision(self, client):
+        assert client.server_info["revision"] == "1.1"
+
+    def test_health_reports_state_and_shed_rate(self, client):
+        health = client.health()
+        assert health["health_state"] == "healthy"
+        assert health["shed_rate"] == 0.0
+        assert health["health_transitions"] == 0
+
+    def test_stats_report_admission_and_health(self, client):
+        client.place_batch(list(range(32)))
+        stats = client.stats()
+        assert stats["health"]["health_state"] == "healthy"
+        assert stats["admission"]["accepted"] >= 1
+        assert stats["admission"]["shed_rate"] == 0.0
+        assert stats["deadline_expired_in_queue"] == 0
+        assert "durability" not in stats  # volatile server
+
+    def test_durable_stats_report_pending_wal(self, graph, config,
+                                              tmp_path):
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=tmp_path / "s") as svc:
+            with ServiceClient(*svc.address) as c:
+                c.place_batch(list(range(16)))
+                stats = c.stats()
+        assert stats["durability"]["wal_pending"] == 0
+        assert stats["durability"]["snapshot_failures"] == 0
+
+    def test_generous_deadline_is_met(self, client):
+        result = client.place(0, deadline_ms=10_000)
+        assert "pid" in result
+
+    def test_hopeless_deadline_is_shed_with_the_typed_error(
+            self, graph, config):
+        from repro.service import DeadlineExceededError
+
+        # A throttled engine + warmed EWMA makes the expected wait
+        # provably exceed a 1 ms budget at admission time.
+        with PlacementService.start(graph, config=config,
+                                    throttle_seconds=0.05) as svc:
+            with ServiceClient(*svc.address) as c:
+                c.place_batch(list(range(64)))  # warm the lag EWMA
+                with pytest.raises(DeadlineExceededError):
+                    for v in range(64, N):
+                        c.place(v, deadline_ms=0.001)
+
+    def test_invalid_deadline_is_a_bad_request(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.request("place", vertex=0, deadline_ms=-5)
+        assert info.value.code == "bad-request"
+
+    def test_wal_outage_degrades_to_read_only_and_recovers(
+            self, graph, config, tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+        from repro.service import ReadOnlyError
+
+        holder = {}
+
+        def factory(directory, *, start=0, fsync=True):
+            holder["wal"] = FlakyWAL(directory, start=start, fsync=fsync)
+            return holder["wal"]
+
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=tmp_path / "state",
+                                    wal_factory=factory) as svc:
+            with ServiceClient(*svc.address) as c:
+                c.place_batch(list(range(32)))
+                holder["wal"].fail()
+                with pytest.raises(ReadOnlyError):
+                    c.place(32)
+                assert svc.health_state == "read_only"
+                # The read path keeps serving while degraded.
+                assert c.lookup(0) is not None
+                # Recovery while the disk is still broken fails safe.
+                assert svc.try_recover()["recovered"] is False
+                holder["wal"].restore()
+                recovery = svc.try_recover()
+                assert recovery["recovered"] is True
+                assert svc.health_state == "healthy"
+                c.place(32)  # mutations flow again
+
+    def test_acked_survive_an_outage_recovery_crash_cycle(
+            self, graph, config, tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+        from repro.service import ReadOnlyError
+
+        holder = {}
+
+        def factory(directory, *, start=0, fsync=True):
+            holder["wal"] = FlakyWAL(directory, start=start, fsync=fsync)
+            return holder["wal"]
+
+        state_dir = tmp_path / "state"
+        svc = PlacementService.start(graph, config=config,
+                                     snapshot_dir=state_dir,
+                                     wal_factory=factory)
+        acked = {}
+        with ServiceClient(*svc.address) as c:
+            for r in c.place_batch(list(range(48))):
+                acked[r["vertex"]] = r["pid"]
+            holder["wal"].fail()
+            with pytest.raises(ReadOnlyError):
+                c.place_batch(list(range(48, 64)))
+            holder["wal"].restore()
+            svc.try_recover()
+            for r in c.place_batch(list(range(48, 64))):
+                acked[r["vertex"]] = r["pid"]
+        svc._listener.close()  # crash, no graceful drain
+
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=state_dir,
+                                    resume_from=state_dir) as revived:
+            with ServiceClient(*revived.address) as c:
+                for vertex, pid in acked.items():
+                    assert c.lookup(vertex) == pid, vertex
+
+    def test_retries_exhausted_is_typed_and_bounded(self, graph, config):
+        import time
+
+        from repro.service import RetriesExhausted
+
+        # Park the engine inside a 0.6 s throttled group and queue one
+        # request behind it: queue_depth 1 puts the watermark at depth
+        # 1, so every admission while the queue is occupied sheds.  A
+        # 2-retry budget (~100 ms of jittered sleep) exhausts long
+        # before the engine drains -- deterministically, no racing.
+        with PlacementService.start(graph, config=config, queue_depth=1,
+                                    throttle_seconds=0.6) as svc:
+            with ServiceClient(*svc.address) as b1, \
+                    ServiceClient(*svc.address) as b2, \
+                    ServiceClient(*svc.address) as c:
+                threads = [
+                    threading.Thread(target=b1.place, args=(100,),
+                                     daemon=True),
+                    threading.Thread(target=b2.place, args=(101,),
+                                     daemon=True),
+                ]
+                threads[0].start()
+                time.sleep(0.2)   # engine took it, throttling now
+                threads[1].start()
+                time.sleep(0.1)   # second request parked in the queue
+                with pytest.raises(RetriesExhausted) as info:
+                    c.place(102, retries=2)
+                assert info.value.attempts == 3
+                assert isinstance(info.value.last_error,
+                                  BackpressureError)
+                for t in threads:
+                    t.join(timeout=10)
+
+    def test_circuit_breaker_fails_fast_after_read_only(
+            self, graph, config, tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+        from repro.resilience.policy import (
+            CircuitBreaker,
+            CircuitOpenError,
+        )
+        from repro.service import ReadOnlyError
+
+        holder = {}
+
+        def factory(directory, *, start=0, fsync=True):
+            holder["wal"] = FlakyWAL(directory, start=start, fsync=fsync)
+            return holder["wal"]
+
+        with PlacementService.start(graph, config=config,
+                                    snapshot_dir=tmp_path / "state",
+                                    wal_factory=factory) as svc:
+            breaker = CircuitBreaker(failure_threshold=2,
+                                     reset_after=30.0)
+            with ServiceClient(*svc.address, breaker=breaker) as c:
+                holder["wal"].fail()
+                for _ in range(2):
+                    with pytest.raises(ReadOnlyError):
+                        c.place(0)
+                # Third call never reaches the wire.
+                with pytest.raises(CircuitOpenError):
+                    c.place(1)
+                assert breaker.trips == 1
+                assert breaker.fast_failures >= 1

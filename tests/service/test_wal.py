@@ -133,3 +133,93 @@ class TestCorruption:
 
     def test_empty_directory_replays_nothing(self, tmp_path):
         assert list(replay_entries(tmp_path / "nowhere")) == []
+
+
+class TestRotationEdgeCases:
+    """Crash/corruption cases at segment boundaries — the places where
+    'torn tail is fine, mid-stream damage is not' gets subtle."""
+
+    def test_torn_final_line_of_active_segment_after_rotation(
+            self, tmp_path):
+        # Crash mid-write *after* a rotation: only the torn tail of the
+        # newest segment drops; the rotated-away prefix stays whole.
+        log = PlacementLog(tmp_path)
+        log.append_batch(entries(0, 4))
+        log.rotate(4)
+        log.append_batch(entries(4, 2))
+        log.close()
+        with open(log.active_path, "ab") as fh:
+            fh.write(b'{"s":6,"v":6,"n":nul')
+        assert [e.seq for e in replay_entries(tmp_path)] == [0, 1, 2, 3,
+                                                             4, 5]
+
+    def test_torn_line_at_rotation_boundary_followed_by_data_raises(
+            self, tmp_path):
+        # A torn line at the END of a rotated-away segment is not a
+        # mid-write crash tail — valid lines follow in the next segment,
+        # so replaying past it would silently drop an acked placement.
+        log = PlacementLog(tmp_path)
+        log.append_batch(entries(0, 3))
+        first_segment = log.active_path
+        log.rotate(4)
+        log.append_batch(entries(4, 2))
+        log.close()
+        with open(first_segment, "ab") as fh:
+            fh.write(b'{"s":3,"v":3,"n":nu')
+        with pytest.raises(ValueError, match="followed by"):
+            list(replay_entries(tmp_path))
+
+    def test_sequence_gap_across_rotation_boundary_raises(self, tmp_path):
+        # Segment files individually valid, but a whole commit vanished
+        # between them (rotate skipped seq 3): replay must refuse.
+        log = PlacementLog(tmp_path)
+        log.append_batch(entries(0, 3))
+        log.rotate(4)
+        log.append_batch(entries(4, 2))
+        log.close()
+        with pytest.raises(ValueError, match="sequence gap"):
+            list(replay_entries(tmp_path))
+
+
+class TestFlakyWALGroupCommit:
+    """Injected fsync failure mid-group-commit (the FlakyWAL model):
+    a failed commit leaves zero bytes behind and a later retry of the
+    same entries lands cleanly."""
+
+    def test_failed_commit_writes_nothing(self, tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+
+        log = FlakyWAL(tmp_path)
+        log.append_batch(entries(0, 2))
+        log.fail()
+        with pytest.raises(OSError, match="injected WAL append"):
+            log.append_batch(entries(2, 2))
+        log.close()
+        assert log.injected_failures == 1
+        # Nothing of the failed group reached disk: replay is clean.
+        assert [e.seq for e in replay_entries(tmp_path)] == [0, 1]
+
+    def test_restore_then_reflush_is_gapless(self, tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+
+        log = FlakyWAL(tmp_path)
+        log.append_batch(entries(0, 2))
+        log.fail()
+        with pytest.raises(OSError):
+            log.append_batch(entries(2, 2))
+        log.restore()
+        assert not log.armed
+        log.append_batch(entries(2, 2))  # the recovery flush
+        log.close()
+        assert [e.seq for e in replay_entries(tmp_path)] == [0, 1, 2, 3]
+
+    def test_fail_at_seq_fires_once(self, tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+
+        log = FlakyWAL(tmp_path, fail_at={1})
+        with pytest.raises(OSError, match="seq \\[1\\]"):
+            log.append_batch(entries(0, 3))
+        log.append_batch(entries(0, 3))  # same batch, second try: clean
+        log.close()
+        assert log.injected_failures == 1
+        assert [e.seq for e in replay_entries(tmp_path)] == [0, 1, 2]
