@@ -197,9 +197,12 @@ def extract_metrics(artifact: Mapping[str, Any]) -> dict[str, list[float]]:
     * ``streaming-hot-path`` → ``<method>/fast`` and ``<method>/seed``;
     * ``ingest-pipeline`` → ``<stage>/optimized`` and
       ``<stage>/baseline``;
-    * ``service-bench`` → ``<endpoint>/p50`` / ``/p95`` / ``/p99``
-      (per-repeat latency percentiles of the placement service;
-      throughput fields are informational and not gated);
+    * ``service-bench`` / ``service-bench-sharded`` →
+      ``<endpoint>/p50`` / ``/p95`` / ``/p99`` (per-repeat latency
+      percentiles of the placement service; throughput fields are
+      informational and not gated — the sharded engine is a distinct
+      kind so it gates against its own baseline, never across the
+      sequential/sharded regime boundary);
     * ``parallel-scaling`` → ``<method>/sequential`` and
       ``<method>/parallel`` (speedup/ECR fields are informational —
       the gate compares wall clock against a same-fingerprint
@@ -220,7 +223,7 @@ def extract_metrics(artifact: Mapping[str, Any]) -> dict[str, list[float]]:
             name = rec["stage"]
             metrics[f"{name}/optimized"] = list(rec["optimized"]["runs_s"])
             metrics[f"{name}/baseline"] = list(rec["baseline"]["runs_s"])
-    elif kind == "service-bench":
+    elif kind in ("service-bench", "service-bench-sharded"):
         for rec in artifact.get("results", []):
             name = rec["endpoint"]
             for quantile in ("p50", "p95", "p99"):
@@ -468,6 +471,25 @@ def compare_artifacts(baseline: Mapping[str, Any],
                 "budget — timing verdicts may be vacuous. Promote a "
                 "baseline from a matching-affinity run, or pin the "
                 "runner's affinity to match.")
+    base_scaling = base_cfg.get("scaling_expected")
+    cand_scaling = cand_cfg.get("scaling_expected")
+    if (base_scaling is not None or cand_scaling is not None) \
+            and bool(base_scaling) != bool(cand_scaling):
+        # A sharded service bench recorded on a single-core host
+        # (scaling_expected=false) and one from a multicore host live
+        # in different performance regimes: comparing them measures the
+        # host, not the change.  The generic config-mismatch warning
+        # above already fires, but this boundary deserves a shout — a
+        # silent compare here is exactly how a real regression on the
+        # multicore path would slip past a 1-CPU CI runner.
+        warnings.append(
+            f"REGIME BOUNDARY: baseline scaling_expected="
+            f"{base_scaling!r} vs candidate {cand_scaling!r} — one side "
+            "ran where multicore scaling is attainable and the other "
+            "did not. Latency/throughput deltas across this boundary "
+            "reflect the host's core budget, not the code; promote a "
+            "baseline recorded in the matching regime before trusting "
+            "the gate.")
 
     base_metrics = extract_metrics(baseline)
     cand_metrics = extract_metrics(candidate)

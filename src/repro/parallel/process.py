@@ -65,7 +65,8 @@ from ..recovery.snapshot import read_snapshot
 from .executor import _ParallelBase
 from .shared import SharedArrayBlock, SharedConflictTable
 
-__all__ = ["ProcessShardedPartitioner", "WorkerCrashedError"]
+__all__ = ["ProcessShardedPartitioner", "ShardedScorePool",
+           "WorkerCrashedError"]
 
 
 class WorkerCrashedError(RuntimeError):
@@ -159,6 +160,357 @@ def _worker_main(worker_id: int, template: StreamingPartitioner,
             conn.send(("done", worker_id, slot, epoch))
     finally:
         block.close()
+
+
+def _pool_spec(meta: _StreamMeta, lanes, *, num_partitions: int,
+               group_max: int, num_workers: int, ring_slots: int):
+    """The shared-segment layout for a scoring pool of this shape."""
+    v = meta.num_vertices
+    k = num_partitions
+    m = group_max
+    s = ring_slots
+    w = num_workers
+    if meta.max_degree is not None:
+        ncap = min(meta.num_edges, m * meta.max_degree)
+    else:
+        ncap = meta.num_edges
+    ncap = max(ncap, 1)
+    spec = [
+        ("route", (v,), np.int32),
+        ("vertex_counts", (k,), np.int64),
+        ("edge_counts", (k,), np.int64),
+        ("rct_counts", (v,), np.int32),
+        ("rct_inflight", (v,), np.uint8),
+        ("rct_lanes", (w, v), np.int32),
+        ("ring_vertices", (s, m), np.int64),
+        ("ring_indptr", (s, m + 1), np.int64),
+        ("ring_neighbors", (s, ncap), np.int64),
+        ("ring_fresh", (s, m), np.uint8),
+        ("ring_scores", (s, m, k), np.float64),
+    ]
+    for key in sorted(lanes):
+        arr = lanes[key]
+        spec.append(("lane_" + key, arr.shape, arr.dtype))
+    return spec
+
+
+class ShardedScorePool:
+    """N scoring worker processes over one shared segment.
+
+    The supervision machinery of :class:`ProcessShardedPartitioner` —
+    spawn, respawn-with-budget, epoch-tagged redispatch, EOF-as-death
+    barrier waits — extracted into a standalone pool so the placement
+    service can shard its scoring over the same workers.  Consumers own
+    the state and every commit; the pool owns the segment, the workers,
+    and the per-group dispatch barrier.
+
+    One call to :meth:`score_group` scores up to ``group_max`` records
+    against the shared group-start state and returns the ``(n, K)``
+    score block.  Scoring is pure (workers write only their conflict
+    lane and score range), so a SIGKILLed worker is respawned and its
+    sub-range re-scored with byte-identical results, invisible to the
+    caller until the restart budget runs out
+    (:class:`WorkerCrashedError`).
+
+    A ``barrier_hook`` attribute (``callable(group_index, processes)``
+    or ``None``) runs after each dispatch, before the barrier wait —
+    the chaos suites use it to SIGKILL workers mid-group.
+    """
+
+    def __init__(self, template: StreamingPartitioner, meta: _StreamMeta,
+                 lanes, *, group_max: int, num_workers: int,
+                 use_rct: bool = True, rct_capacity: int | None = None,
+                 ring_slots: int = 2, max_worker_restarts: int = 2,
+                 restart_backoff: float = 0.05,
+                 worker_timeout: float = 120.0,
+                 mp_context: str | None = None,
+                 instrumentation=None) -> None:
+        if group_max < 1:
+            raise ValueError("group_max must be >= 1")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
+        if use_rct and (rct_capacity is None or rct_capacity < 1):
+            raise ValueError("use_rct requires rct_capacity >= 1")
+        self.template = template
+        self.meta = meta
+        self.lane_keys = sorted(lanes)
+        self.group_max = group_max
+        self.num_workers = num_workers
+        self.use_rct = use_rct
+        self.ring_slots = ring_slots
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_backoff = restart_backoff
+        self.worker_timeout = worker_timeout
+        self.instrumentation = instrumentation
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(mp_context)
+        self.spec = _pool_spec(
+            meta, lanes, num_partitions=template.num_partitions,
+            group_max=group_max, num_workers=num_workers,
+            ring_slots=ring_slots)
+        self.block = SharedArrayBlock.create(self.spec)
+        try:
+            views = self.block.views
+            self.rct = SharedConflictTable(
+                views["rct_counts"], views["rct_inflight"],
+                views["rct_lanes"], capacity=rct_capacity) \
+                if use_rct else None
+        except BaseException:
+            self.block.close()
+            raise
+        self._procs: list[Any] = [None] * num_workers
+        self._conns: list[Any] = [None] * num_workers
+        self._epoch_seq = itertools.count(1)
+        self.restarts = 0
+        self._last_error: list[str] = []
+        self._group_index = 0
+        self.barrier_hook = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def views(self) -> dict[str, np.ndarray]:
+        return self.block.views
+
+    @property
+    def neighbor_capacity(self) -> int:
+        """Flat neighbor slots one ring slot holds (the chunk budget)."""
+        return int(self.views["ring_neighbors"].shape[1])
+
+    def worker_processes(self) -> list[Any]:
+        """Live process handles, indexed by worker id (None = unspawned)."""
+        return self._procs
+
+    def bind_state(self, state, base: StreamingPartitioner, lanes) -> None:
+        """Move the canonical state into the segment and rebind views."""
+        views = self.views
+        np.copyto(views["route"], state.route)
+        state.route = views["route"]
+        np.copyto(views["vertex_counts"], state.vertex_counts)
+        state.vertex_counts = views["vertex_counts"]
+        np.copyto(views["edge_counts"], state.edge_counts)
+        state.edge_counts = views["edge_counts"]
+        for key, arr in lanes.items():
+            np.copyto(views["lane_" + key], arr)
+        base.attach_score_lanes(
+            {key: views["lane_" + key] for key in lanes})
+
+    def detach_state(self, state, base: StreamingPartitioner) -> None:
+        """Rebind state and lanes to private copies outliving the segment."""
+        views = self.views
+        state.route = np.array(views["route"])
+        state.vertex_counts = np.array(views["vertex_counts"])
+        state.edge_counts = np.array(views["edge_counts"])
+        base.attach_score_lanes(
+            {key: np.array(views["lane_" + key])
+             for key in self.lane_keys})
+        if self.rct is not None:
+            self.rct.counts = np.array(self.rct.counts)
+            self.rct.in_flight = np.array(self.rct.in_flight)
+            self.rct.lanes = np.array(self.rct.lanes)
+
+    def prewarm(self) -> None:
+        """Spawn every worker now (serving wants no first-request stall)."""
+        for worker_id in range(self.num_workers):
+            if self._procs[worker_id] is None:
+                self._spawn(worker_id)
+
+    def reset(self) -> None:
+        """Terminate all workers and restore the restart budget.
+
+        The service's recovery path uses this after a
+        :class:`WorkerCrashedError` left the pool unusable: surviving
+        workers may still hold stale dispatches, so everything is torn
+        down and respawned lazily on the next group.
+        """
+        self._stop_workers()
+        self._procs = [None] * self.num_workers
+        self._conns = [None] * self.num_workers
+        self.restarts = 0
+        self._last_error.clear()
+
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.template, self.meta, self.spec,
+                  self.block.name, self.rct is not None, child_conn),
+            name=f"shard-worker-{worker_id}", daemon=True)
+        proc.start()
+        child_conn.close()
+        if self._conns[worker_id] is not None:
+            self._conns[worker_id].close()
+        self._procs[worker_id], self._conns[worker_id] = proc, parent_conn
+
+    def _respawn(self, worker_id: int, reason: str) -> None:
+        if self.restarts >= self.max_worker_restarts:
+            raise WorkerCrashedError(
+                f"worker {worker_id} died ({reason}) and the "
+                f"restart budget ({self.max_worker_restarts}) is "
+                "exhausted"
+                + (f"; last worker error: {self._last_error[-1]}"
+                   if self._last_error else ""))
+        self.restarts += 1
+        if self.rct is not None:
+            # Discard the dead worker's partial conflict notes; the
+            # replacement redoes the whole sub-range, keeping the
+            # barrier fold exactly-once.
+            self.rct.clear_lane(worker_id)
+        backoff = self.restart_backoff * 2 ** (self.restarts - 1)
+        if backoff:
+            time.sleep(backoff)
+        self._spawn(worker_id)
+        if self.instrumentation is not None:
+            self.instrumentation.count("parallel.worker_restarts")
+            self.instrumentation.emit({
+                "type": "worker_restart",
+                "worker": worker_id,
+                "restarts": self.restarts,
+                "error": reason,
+                "backoff_seconds": backoff,
+            })
+
+    def _redispatch(self, worker_id: int, slot: int, outstanding,
+                    reason: str) -> None:
+        lo, hi, _ = outstanding[worker_id]
+        self._respawn(worker_id, reason)
+        eid = next(self._epoch_seq)
+        self._conns[worker_id].send(("score", slot, lo, hi, eid))
+        outstanding[worker_id] = (lo, hi, eid)
+
+    def _dispatch_and_wait(self, slot: int, count: int) -> None:
+        procs, conns = self._procs, self._conns
+        active = min(self.num_workers, count)
+        outstanding: dict[int, tuple[int, int, int]] = {}
+        for worker_id in range(active):
+            lo = worker_id * count // active
+            hi = (worker_id + 1) * count // active
+            if lo >= hi:
+                continue
+            if procs[worker_id] is None:
+                self._spawn(worker_id)
+            elif not procs[worker_id].is_alive():
+                self._respawn(worker_id, "died between groups")
+            eid = next(self._epoch_seq)
+            conns[worker_id].send(("score", slot, lo, hi, eid))
+            outstanding[worker_id] = (lo, hi, eid)
+        if self.barrier_hook is not None:
+            self.barrier_hook(self._group_index, procs)
+        deadline = time.monotonic() + self.worker_timeout
+        while outstanding:
+            by_conn = {conns[w]: w for w in outstanding}
+            # A dead worker's pipe hits EOF, so ``wait`` wakes for
+            # deaths as well as results — no liveness polling.
+            ready = _wait_connections(list(by_conn), timeout=0.05)
+            if not ready:
+                if time.monotonic() > deadline:
+                    raise WorkerCrashedError(
+                        f"workers {sorted(outstanding)} made no "
+                        f"progress for {self.worker_timeout}s")
+                continue
+            for conn in ready:
+                worker_id = by_conn[conn]
+                if worker_id not in outstanding \
+                        or conns[worker_id] is not conn:
+                    continue  # replaced earlier in this sweep
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # Killed mid-group — possibly mid-send, leaving
+                    # a torn frame; the pipe dies with the worker.
+                    self._redispatch(worker_id, slot, outstanding,
+                                     "killed mid-group")
+                    deadline = time.monotonic() + self.worker_timeout
+                    continue
+                expected = outstanding[worker_id]
+                if msg[0] == "done":
+                    _, _, mslot, meid = msg
+                    if expected[2] == meid and mslot == slot:
+                        outstanding.pop(worker_id)
+                        deadline = time.monotonic() + self.worker_timeout
+                else:  # ("error", worker, slot, epoch, repr)
+                    _, _, _, meid, err = msg
+                    if expected[2] == meid:
+                        self._last_error.append(err)
+                        self._redispatch(worker_id, slot, outstanding,
+                                         f"scoring error: {err}")
+                        deadline = time.monotonic() + self.worker_timeout
+
+    # ------------------------------------------------------------------
+    def score_group(self, batch, fresh=None) -> np.ndarray:
+        """Score ``batch`` (``AdjacencyRecord`` seq) against shared state.
+
+        Writes the group into the next ring slot, shards it over the
+        workers, and blocks at the barrier.  ``fresh`` optionally flags
+        which records should note RCT conflicts (all of them when
+        omitted); ignored by workers unless the pool runs with an RCT.
+        Returns the slot's ``(len(batch), K)`` score view — valid until
+        the slot is reused, ``ring_slots`` groups later.
+        """
+        count = len(batch)
+        if count == 0:
+            return self.views["ring_scores"][0][:0]
+        if count > self.group_max:
+            raise ValueError(
+                f"group of {count} exceeds group_max={self.group_max}")
+        views = self.views
+        slot = self._group_index % self.ring_slots
+        ring_vertices = views["ring_vertices"]
+        ring_neighbors = views["ring_neighbors"]
+        ring_fresh = views["ring_fresh"]
+        indptr = views["ring_indptr"][slot]
+        offset = 0
+        indptr[0] = 0
+        for i, record in enumerate(batch):
+            ring_vertices[slot, i] = record.vertex
+            degree = len(record.neighbors)
+            ring_neighbors[slot, offset:offset + degree] = record.neighbors
+            offset += degree
+            indptr[i + 1] = offset
+            ring_fresh[slot, i] = 1 if fresh is None else \
+                (1 if fresh[i] else 0)
+        self._dispatch_and_wait(slot, count)
+        self._group_index += 1
+        return views["ring_scores"][slot][:count]
+
+    # ------------------------------------------------------------------
+    def _stop_workers(self) -> None:
+        for conn, proc in zip(self._conns, self._procs):
+            if conn is not None:
+                try:
+                    if proc is not None and proc.is_alive():
+                        conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            if conn is not None:
+                conn.close()
+
+    def close(self) -> None:
+        """Stop workers and release the segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_workers()
+        self.block.close()
+
+    def __enter__(self) -> "ShardedScorePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ProcessShardedPartitioner(_ParallelBase):
@@ -334,209 +686,41 @@ class ProcessShardedPartitioner(_ParallelBase):
                 "'hashed')")
 
         meta = _StreamMeta(stream)
-        spec = self._build_spec(meta, lanes)
-        block = SharedArrayBlock.create(spec)
-        ctx = mp.get_context(self.mp_context)
-        procs: list[Any] = [None] * self.num_workers
-        conns: list[Any] = [None] * self.num_workers
+        pool = ShardedScorePool(
+            template, meta, lanes,
+            group_max=self.parallelism, num_workers=self.num_workers,
+            use_rct=self.use_rct,
+            rct_capacity=self.epsilon * self.parallelism
+            if self.use_rct else None,
+            ring_slots=self.ring_slots,
+            max_worker_restarts=self.max_worker_restarts,
+            restart_backoff=self.restart_backoff,
+            worker_timeout=self.worker_timeout,
+            mp_context=self.mp_context,
+            instrumentation=instrumentation)
+        pool.barrier_hook = self.barrier_hook
         try:
             return self._drive(
-                stream, state, lanes, block, ctx, procs, conns,
-                template, meta, spec,
+                stream, state, lanes, pool,
                 instrumentation=instrumentation, ckpt_config=ckpt_config,
                 base_elapsed=base_elapsed, resumed_from=resumed_from)
         finally:
-            for conn, proc in zip(conns, procs):
-                if conn is not None:
-                    try:
-                        if proc is not None and proc.is_alive():
-                            conn.send(("stop",))
-                    except (BrokenPipeError, OSError):
-                        pass
-            for proc in procs:
-                if proc is None:
-                    continue
-                proc.join(timeout=2.0)
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=2.0)
-            for conn in conns:
-                if conn is not None:
-                    conn.close()
-            block.close()
+            pool.close()
 
     # ------------------------------------------------------------------
     def _build_spec(self, meta: _StreamMeta, lanes: dict[str, np.ndarray]):
-        v = meta.num_vertices
-        k = self.num_partitions
-        m = self.parallelism
-        s = self.ring_slots
-        w = self.num_workers
-        if meta.max_degree is not None:
-            ncap = min(meta.num_edges, m * meta.max_degree)
-        else:
-            ncap = meta.num_edges
-        ncap = max(ncap, 1)
-        spec = [
-            ("route", (v,), np.int32),
-            ("vertex_counts", (k,), np.int64),
-            ("edge_counts", (k,), np.int64),
-            ("rct_counts", (v,), np.int32),
-            ("rct_inflight", (v,), np.uint8),
-            ("rct_lanes", (w, v), np.int32),
-            ("ring_vertices", (s, m), np.int64),
-            ("ring_indptr", (s, m + 1), np.int64),
-            ("ring_neighbors", (s, ncap), np.int64),
-            ("ring_fresh", (s, m), np.uint8),
-            ("ring_scores", (s, m, k), np.float64),
-        ]
-        for key in sorted(lanes):
-            arr = lanes[key]
-            spec.append(("lane_" + key, arr.shape, arr.dtype))
-        return spec
+        return _pool_spec(meta, lanes, num_partitions=self.num_partitions,
+                          group_max=self.parallelism,
+                          num_workers=self.num_workers,
+                          ring_slots=self.ring_slots)
 
     # ------------------------------------------------------------------
-    def _drive(self, stream, state, lanes, block, ctx, procs,
-               conns, template, meta, spec, *, instrumentation,
-               ckpt_config, base_elapsed, resumed_from) -> StreamingResult:
+    def _drive(self, stream, state, lanes, pool: ShardedScorePool, *,
+               instrumentation, ckpt_config, base_elapsed,
+               resumed_from) -> StreamingResult:
         base = self.base
-        views = block.views
-
-        # Move the canonical state into the segment.
-        np.copyto(views["route"], state.route)
-        state.route = views["route"]
-        np.copyto(views["vertex_counts"], state.vertex_counts)
-        state.vertex_counts = views["vertex_counts"]
-        np.copyto(views["edge_counts"], state.edge_counts)
-        state.edge_counts = views["edge_counts"]
-        for key, arr in lanes.items():
-            np.copyto(views["lane_" + key], arr)
-        base.attach_score_lanes(
-            {key: views["lane_" + key] for key in lanes})
-
-        rct = SharedConflictTable(
-            views["rct_counts"], views["rct_inflight"],
-            views["rct_lanes"],
-            capacity=self.epsilon * self.parallelism) \
-            if self.use_rct else None
-        ring_vertices = views["ring_vertices"]
-        ring_indptr = views["ring_indptr"]
-        ring_neighbors = views["ring_neighbors"]
-        ring_fresh = views["ring_fresh"]
-        ring_scores = views["ring_scores"]
-
-        epoch_seq = itertools.count(1)
-        restarts = [0]
-        last_error: list[str] = []
-
-        def spawn(worker_id: int) -> None:
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(worker_id, template, meta, spec, block.name,
-                      rct is not None, child_conn),
-                name=f"shard-worker-{worker_id}", daemon=True)
-            proc.start()
-            child_conn.close()
-            if conns[worker_id] is not None:
-                conns[worker_id].close()
-            procs[worker_id], conns[worker_id] = proc, parent_conn
-
-        def respawn(worker_id: int, reason: str) -> None:
-            if restarts[0] >= self.max_worker_restarts:
-                raise WorkerCrashedError(
-                    f"worker {worker_id} died ({reason}) and the "
-                    f"restart budget ({self.max_worker_restarts}) is "
-                    "exhausted"
-                    + (f"; last worker error: {last_error[-1]}"
-                       if last_error else ""))
-            restarts[0] += 1
-            if rct is not None:
-                # Discard the dead worker's partial conflict notes; the
-                # replacement redoes the whole sub-range, keeping the
-                # barrier fold exactly-once.
-                rct.clear_lane(worker_id)
-            backoff = self.restart_backoff * 2 ** (restarts[0] - 1)
-            if backoff:
-                time.sleep(backoff)
-            spawn(worker_id)
-            if instrumentation is not None:
-                instrumentation.count("parallel.worker_restarts")
-                instrumentation.emit({
-                    "type": "worker_restart",
-                    "worker": worker_id,
-                    "restarts": restarts[0],
-                    "error": reason,
-                    "backoff_seconds": backoff,
-                })
-
-        def redispatch(worker_id: int, slot: int, outstanding,
-                       reason: str) -> None:
-            lo, hi, _ = outstanding[worker_id]
-            respawn(worker_id, reason)
-            eid = next(epoch_seq)
-            conns[worker_id].send(("score", slot, lo, hi, eid))
-            outstanding[worker_id] = (lo, hi, eid)
-
-        def dispatch_and_wait(slot: int, count: int,
-                              group_index: int) -> None:
-            active = min(self.num_workers, count)
-            outstanding: dict[int, tuple[int, int, int]] = {}
-            for worker_id in range(active):
-                lo = worker_id * count // active
-                hi = (worker_id + 1) * count // active
-                if lo >= hi:
-                    continue
-                if procs[worker_id] is None:
-                    spawn(worker_id)
-                elif not procs[worker_id].is_alive():
-                    respawn(worker_id, "died between groups")
-                eid = next(epoch_seq)
-                conns[worker_id].send(("score", slot, lo, hi, eid))
-                outstanding[worker_id] = (lo, hi, eid)
-            if self.barrier_hook is not None:
-                self.barrier_hook(group_index, procs)
-            deadline = time.monotonic() + self.worker_timeout
-            while outstanding:
-                by_conn = {conns[w]: w for w in outstanding}
-                # A dead worker's pipe hits EOF, so ``wait`` wakes for
-                # deaths as well as results — no liveness polling.
-                ready = _wait_connections(list(by_conn), timeout=0.05)
-                if not ready:
-                    if time.monotonic() > deadline:
-                        raise WorkerCrashedError(
-                            f"workers {sorted(outstanding)} made no "
-                            f"progress for {self.worker_timeout}s")
-                    continue
-                for conn in ready:
-                    worker_id = by_conn[conn]
-                    if worker_id not in outstanding \
-                            or conns[worker_id] is not conn:
-                        continue  # replaced earlier in this sweep
-                    try:
-                        msg = conn.recv()
-                    except (EOFError, OSError):
-                        # Killed mid-group — possibly mid-send, leaving
-                        # a torn frame; the pipe dies with the worker.
-                        redispatch(worker_id, slot, outstanding,
-                                   "killed mid-group")
-                        deadline = time.monotonic() + self.worker_timeout
-                        continue
-                    expected = outstanding[worker_id]
-                    if msg[0] == "done":
-                        _, _, mslot, meid = msg
-                        if expected[2] == meid and mslot == slot:
-                            outstanding.pop(worker_id)
-                            deadline = time.monotonic() \
-                                + self.worker_timeout
-                    else:  # ("error", worker, slot, epoch, repr)
-                        _, _, _, meid, err = msg
-                        if expected[2] == meid:
-                            last_error.append(err)
-                            redispatch(worker_id, slot, outstanding,
-                                       f"scoring error: {err}")
-                            deadline = time.monotonic() \
-                                + self.worker_timeout
+        pool.bind_state(state, base, lanes)
+        rct = pool.rct
 
         # -- the group loop --------------------------------------------
         probe = instrumentation.stream_probe(base, state) \
@@ -557,26 +741,15 @@ class ProcessShardedPartitioner(_ParallelBase):
 
         def process_group(batch: list[tuple[AdjacencyRecord, int]]) -> None:
             nonlocal delayed_total, group_index, carried
-            slot = group_index % self.ring_slots
-            indptr = ring_indptr[slot]
-            offset = 0
-            indptr[0] = 0
-            for i, (record, delays) in enumerate(batch):
-                ring_vertices[slot, i] = record.vertex
-                degree = len(record.neighbors)
-                ring_neighbors[slot, offset:offset + degree] = \
-                    record.neighbors
-                offset += degree
-                indptr[i + 1] = offset
-                ring_fresh[slot, i] = 1 if delays == 0 else 0
             if rct is not None:
                 for record, _ in batch:
                     rct.register(record.vertex)
-            dispatch_and_wait(slot, len(batch), group_index)
+            scores_block = pool.score_group(
+                [record for record, _ in batch],
+                fresh=[delays == 0 for _, delays in batch])
             if rct is not None:
                 rct.fold_lanes()
             # Commit phase — the simulated executor's discipline, verbatim.
-            scores_slot = ring_scores[slot]
             batch_delayed = 0
             for i, (record, delays) in enumerate(batch):
                 if (rct is not None and delays < self.max_delays
@@ -585,7 +758,7 @@ class ProcessShardedPartitioner(_ParallelBase):
                     delayed_total += 1
                     batch_delayed += 1
                     continue
-                scores = scores_slot[i]
+                scores = scores_block[i]
                 if probe is None:
                     pid = base.choose(scores, state)
                 else:
@@ -644,7 +817,7 @@ class ProcessShardedPartitioner(_ParallelBase):
         stats = self._stats(rct, delayed_total, state)
         stats.update(
             num_workers=self.num_workers,
-            worker_restarts=restarts[0],
+            worker_restarts=pool.restarts,
             groups=group_index,
         )
         if ckpt is not None:
@@ -655,15 +828,7 @@ class ProcessShardedPartitioner(_ParallelBase):
         # Detach: rebind the canonical state and the heuristic's lanes
         # onto private copies so both outlive the shared segment (the
         # caller may inspect the Γ store after the run).
-        state.route = np.array(views["route"])
-        state.vertex_counts = np.array(views["vertex_counts"])
-        state.edge_counts = np.array(views["edge_counts"])
-        base.attach_score_lanes(
-            {key: np.array(views["lane_" + key]) for key in lanes})
-        if rct is not None:
-            rct.counts = np.array(rct.counts)
-            rct.in_flight = np.array(rct.in_flight)
-            rct.lanes = np.array(rct.lanes)
+        pool.detach_state(state, base)
 
         return StreamingResult(
             assignment=assignment,

@@ -79,19 +79,29 @@ class SharedArrayBlock:
         self.spec = list(spec)
         self._shm = shm
         self._owner = owner
-        needed = self.layout_size(self.spec)
-        if needed > shm.size:
-            raise ValueError(
-                f"layout needs {needed} bytes but the segment holds "
-                f"{shm.size} (spec mismatch between creator and attacher?)")
-        self.views: dict[str, np.ndarray] = {}
-        offset = 0
-        for name, shape, dtype in self.spec:
-            dt = np.dtype(dtype)
-            size = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
-            self.views[name] = np.ndarray(
-                shape, dtype=dt, buffer=shm.buf, offset=offset)
-            offset += -(-size // self._ALIGN) * self._ALIGN
+        self._closed = False
+        try:
+            needed = self.layout_size(self.spec)
+            if needed > shm.size:
+                raise ValueError(
+                    f"layout needs {needed} bytes but the segment holds "
+                    f"{shm.size} (spec mismatch between creator and "
+                    "attacher?)")
+            self.views: dict[str, np.ndarray] = {}
+            offset = 0
+            for name, shape, dtype in self.spec:
+                dt = np.dtype(dtype)
+                size = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+                self.views[name] = np.ndarray(
+                    shape, dtype=dt, buffer=shm.buf, offset=offset)
+                offset += -(-size // self._ALIGN) * self._ALIGN
+        except BaseException:
+            # A half-constructed block still holds the segment: release
+            # the mapping (and the name, when this side created it) so a
+            # spec mismatch or bad dtype cannot leak a /dev/shm entry.
+            self.views = {}
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     @classmethod
@@ -109,7 +119,20 @@ class SharedArrayBlock:
         """Allocate a fresh zero-filled segment for ``spec``."""
         shm = shared_memory.SharedMemory(
             create=True, size=cls.layout_size(spec))
-        return cls(spec, shm, owner=True)
+        try:
+            return cls(spec, shm, owner=True)
+        except BaseException:
+            # ``__init__`` unlinks on its own failure paths, but guard
+            # against anything raised before it took ownership.
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            raise
 
     @classmethod
     def attach(cls, name: str, spec) -> "SharedArrayBlock":
@@ -124,11 +147,17 @@ class SharedArrayBlock:
     def close(self) -> None:
         """Drop this process's mapping (and the segment name, if owner).
 
-        Unlinking is attempted even when a live external view blocks the
-        ``close()`` (BufferError): POSIX keeps the segment alive until
-        every mapping drops, so unlink-first can never corrupt a reader,
-        while skipping it would leak the name in ``/dev/shm``.
+        Idempotent: every teardown path — normal shutdown, SIGTERM
+        drain, chaos crash-style teardown, ``__del__`` as a last resort —
+        may call it without coordination.  Unlinking is attempted even
+        when a live external view blocks the ``close()`` (BufferError):
+        POSIX keeps the segment alive until every mapping drops, so
+        unlink-first can never corrupt a reader, while skipping it would
+        leak the name in ``/dev/shm``.
         """
+        if self._closed:
+            return
+        self._closed = True
         self.views.clear()
         try:
             self._shm.close()
@@ -139,6 +168,15 @@ class SharedArrayBlock:
                 self._shm.unlink()
             except FileNotFoundError:
                 pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        # Backstop only: deterministic teardown paths call close()
+        # explicitly; this catches owner blocks dropped by an exception
+        # before any try/finally could run.
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class SharedConflictTable:

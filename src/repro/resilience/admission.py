@@ -103,29 +103,39 @@ class AdmissionController:
                 self._ewma_request_seconds = (
                     a * per_request + (1 - a) * self._ewma_request_seconds)
 
-    def expected_wait(self, queue_depth: int) -> float:
-        """Estimated seconds a request admitted now waits for its ack."""
+    def expected_wait(self, queue_depth: int,
+                      inflight: int = 0) -> float:
+        """Estimated seconds a request admitted now waits for its ack.
+
+        ``inflight`` counts requests already dequeued but not yet acked
+        — with a pipelined WAL committer, a group can be applied and
+        waiting on its fsync, invisible to queue depth but still ahead
+        of this request in the ack order.
+        """
         with self._lock:
-            return (queue_depth + 1) * self._ewma_request_seconds
+            return (queue_depth + inflight + 1) \
+                * self._ewma_request_seconds
 
     # -- the admission decision ----------------------------------------
     def admit(self, queue_depth: int, *,
-              deadline_remaining: float | None = None
-              ) -> AdmissionDecision | None:
+              deadline_remaining: float | None = None,
+              inflight: int = 0) -> AdmissionDecision | None:
         """Decide one mutating request; ``None`` admits it.
 
         ``deadline_remaining`` is the request's remaining budget in
-        seconds (``None`` when the client sent no ``deadline_ms``).
-        The caller counts the outcome via :meth:`count_accept` /
-        :meth:`count_shed` once it is final — the queue put can still
-        fail, and that shed must be attributed to ``backpressure``.
+        seconds (``None`` when the client sent no ``deadline_ms``);
+        ``inflight`` is the dequeued-but-unacked pipeline depth (see
+        :meth:`expected_wait`).  The caller counts the outcome via
+        :meth:`count_accept` / :meth:`count_shed` once it is final —
+        the queue put can still fail, and that shed must be attributed
+        to ``backpressure``.
         """
         if deadline_remaining is not None:
             if deadline_remaining <= 0:
                 return AdmissionDecision(
                     "deadline_exceeded",
                     "deadline budget exhausted before admission")
-            wait = self.expected_wait(queue_depth)
+            wait = self.expected_wait(queue_depth, inflight)
             if wait > deadline_remaining:
                 return AdmissionDecision(
                     "deadline_exceeded",
@@ -139,7 +149,7 @@ class AdmissionController:
                 f"watermark ({self._watermark_depth} of "
                 f"{self.queue_capacity}); retry shortly")
         if self.max_lag_seconds is not None:
-            wait = self.expected_wait(queue_depth)
+            wait = self.expected_wait(queue_depth, inflight)
             if wait > self.max_lag_seconds:
                 return AdmissionDecision(
                     "overloaded",

@@ -45,10 +45,14 @@ __all__ = ["ChaosReport", "ChaosSchedule", "FaultEvent", "run_schedule",
            "run_executor_schedule", "SCENARIOS"]
 
 #: Actions a service schedule understands, mapped to the injector each
-#: drives.  ``kill_worker`` is executor-only (see
-#: :func:`run_executor_schedule`).
+#: drives.  ``kill_worker`` fires against the sharded server's worker
+#: pool (no-op on a single-process server) — params: ``worker`` picks
+#: the victim, ``mid_group`` SIGKILLs *inside* the next scoring
+#: group's dispatch window instead of between steps.  It also runs
+#: executor-side (see :func:`run_executor_schedule`).
 _SERVICE_ACTIONS = ("fail_wal", "restore_wal", "slow_engine",
-                    "restore_engine", "try_recover", "snapshot")
+                    "restore_engine", "try_recover", "snapshot",
+                    "kill_worker")
 _EXECUTOR_ACTIONS = ("kill_worker",)
 
 
@@ -235,6 +239,29 @@ def _fire(event: FaultEvent, service: Any, wal: Any,
         slow = slow_holder.pop("slow", None)
         if slow is not None:
             slow.restore()
+    elif event.action == "kill_worker":
+        import os
+        import signal
+        pool = getattr(service, "_pool", None)
+        if pool is None:
+            return  # single-process server: nothing to kill
+        procs = [p for p in pool.worker_processes()
+                 if p is not None and p.is_alive()]
+        if not procs:
+            return
+        victim = procs[int(event.params.get("worker", 0)) % len(procs)]
+        if event.params.get("mid_group"):
+            # One-shot barrier hook: the kill lands after the next
+            # chunk's dispatch and before its barrier — the worker dies
+            # holding a live sub-range, the hardest supervision case.
+            def hook(group_index: int, hook_procs: list[Any],
+                     _pool: Any = pool, _victim: Any = victim) -> None:
+                _pool.barrier_hook = None
+                if _victim.is_alive():
+                    os.kill(_victim.pid, signal.SIGKILL)
+            pool.barrier_hook = hook
+        else:
+            os.kill(victim.pid, signal.SIGKILL)
     elif event.action == "try_recover":
         service.try_recover()
     elif event.action == "snapshot":
@@ -270,6 +297,17 @@ def _crash_stop(service: Any, wal: Any) -> None:
     for thread in service._threads:
         if thread.name == "placement-engine":
             thread.join(10.0)
+    committer = getattr(service, "_committer", None)
+    if committer is not None:
+        # A crash drops in-flight (applied-but-unfsynced) commits on the
+        # floor — abort() models exactly that, leaving their clients
+        # unanswered rather than acked.
+        committer.abort()
+    if getattr(service, "_pool", None) is not None:
+        try:
+            service._teardown_pool()
+        except Exception:
+            pass  # shm cleanup is best-effort under crash semantics
     try:
         wal.restore()
         wal.close()
@@ -477,9 +515,25 @@ def _wal_flap() -> ChaosSchedule:
                 FaultEvent(9, "snapshot")])
 
 
+def _worker_kill() -> ChaosSchedule:
+    # Meaningful only against a sharded server (``--processes >= 2``):
+    # kill_worker is a documented no-op on a single-process engine.  The
+    # second kill lands mid-group via the pool's barrier hook — the
+    # worker dies holding a live sub-range, forcing the supervision path
+    # (respawn within budget) while acked placements stay durable.
+    return ChaosSchedule(
+        name="worker-kill", steps=10, batch=16, max_shed_rate=0.9,
+        events=[FaultEvent(2, "kill_worker"),
+                FaultEvent(5, "kill_worker",
+                           {"worker": 1, "mid_group": True}),
+                FaultEvent(7, "try_recover"),
+                FaultEvent(8, "snapshot")])
+
+
 #: Named, ready-to-run schedules (the CLI's ``--scenario`` choices).
 SCENARIOS = {
     "wal-outage": _wal_outage,
     "slow-engine": _slow_engine,
     "wal-flap": _wal_flap,
+    "worker-kill": _worker_kill,
 }

@@ -1,12 +1,33 @@
 """Load generator + bench artifact for the placement service.
 
 Boots a fresh in-process :class:`~repro.service.PlacementService` per
-repeat, drives it with N concurrent clients issuing id-ordered
-``place_batch`` chunks (the paper's streaming arrival model, sharded
-across connections), then samples the read path with ``lookup`` bursts.
-Per repeat it records request latencies client-side — the full
-round-trip a real consumer would see — and summarizes p50/p95/p99 plus
-sustained placements/s.
+repeat, drives it with N concurrent *open-loop* connections issuing
+id-ordered ``place_batch`` chunks (the paper's streaming arrival model,
+sharded across connections), then samples the read path with pipelined
+``lookup`` bursts.  Each connection is a raw socket keeping up to
+``window`` requests in flight and reading responses in order — the
+protocol answers per-connection requests in order, so pipelining needs
+no request/response matching beyond a deque.  A closed-loop generator
+(one request in flight per connection) cannot saturate a multicore
+server: its offered load is bounded by round trips, so every latency
+win looks like a throughput win and vice versa.  The windowed open loop
+decouples the two, which is what makes sharded-vs-sequential numbers
+comparable.
+
+Per repeat the per-connection latency lists are merged before the
+percentile cut — a per-connection cut would hide stragglers behind the
+fastest connection's volume.  Two honesty fields ride along:
+
+``server_wait_fraction``
+    Fraction of the clients' aggregate wall time spent blocked on the
+    server's responses.  Near 1.0 means the server was the bottleneck
+    (the number measures the server); near 0.0 means the generator was.
+``client_bound``
+    ``server_wait_fraction < 0.5`` — the load generator (GIL-sharing
+    client threads on a small host) was the dominant cost, so the
+    throughput figure is a *lower bound* on the server, not a
+    measurement of it.  Scaling claims must not be read off a
+    ``client_bound`` record.
 
 The artifact (``BENCH_service.json``) follows the repo's bench
 conventions (:mod:`repro.bench.micro`): ``machine`` fingerprint,
@@ -20,23 +41,34 @@ degraded half: p99 latency of *accepted* requests and the shed rate
 while offered load exceeds a deliberately throttled server's capacity
 (see :func:`_overload_round`).
 
+Sharded runs (``processes > 1``) record ``mode``/``processes``/
+``parallelism`` plus ``scaling_expected``: ``False`` on hosts with
+fewer than four CPUs, where process sharding cannot demonstrate a
+speedup and a regression gate against a multicore baseline would be
+comparing regimes (see the compare module's cross-machine warnings).
+
 A parity check runs after each repeat: the service's final route table
-is compared against a batch :func:`repro.partition_stream` pass over the
-same graph.  When every repeat's traffic reached the server in exact id
-order (the engine's ``arrival_ordered`` flag — concurrent clients can
-race), the boolean lands in the artifact as ``identical``, riding the
-compare module's byte-identity pseudo-metric; repeats where the arrival
-order raced are reported under ``reordered_repeats`` instead of being
-allowed to flake the gate.
+is compared against the matching deterministic reference — a batch
+:func:`repro.partition_stream` pass at M=1, or
+:class:`~repro.parallel.SimulatedParallelPartitioner` at the same M for
+grouped engines.  The check gates only when every measured repeat's
+traffic reached the server in exact id order (``arrival_ordered``) and,
+for M>1, when the engine's chunk sequence stayed M-aligned
+(``m_aligned`` — pick ``batch_size`` divisible by M to keep it so);
+repeats where either flag raced are reported under
+``reordered_repeats`` instead of being allowed to flake the gate.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
 import statistics
 import tempfile
 import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any
 
@@ -47,7 +79,13 @@ from ..graph.generators import community_web_graph
 from ..partitioning.config import PartitionConfig
 from ..recovery.atomic import atomic_write_text
 from .client import BackpressureError, ServiceClient
-from .server import PlacementService
+from .protocol import (
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    decode_line,
+    encode_message,
+)
+from .server import PlacementService, resolve_sharded_config
 
 __all__ = ["DEFAULT_ARTIFACT", "run_service_bench"]
 
@@ -89,33 +127,135 @@ class _ChunkFeed:
             return start, stop
 
 
-def _client_worker(address: tuple[str, int], feed: _ChunkFeed,
-                   latencies: list[float], pause: float,
-                   errors: list[str]) -> None:
+class _ConnStats:
+    """One connection's measurements, merged by the driver."""
+
+    __slots__ = ("latencies", "wait_seconds", "retries")
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.wait_seconds = 0.0
+        self.retries = 0
+
+
+def _open_conn(address: tuple[str, int]) -> tuple[socket.socket, Any]:
+    sock = socket.create_connection(address)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock, sock.makefile("rb")
+
+
+def _place_worker(address: tuple[str, int], feed: _ChunkFeed,
+                  window: int, pause: float, out: _ConnStats,
+                  errors: list[str]) -> None:
+    """One open-loop connection: up to ``window`` requests in flight.
+
+    Responses come back in request order (the protocol's per-connection
+    guarantee), so one deque of (send time, chunk) pairs is the whole
+    bookkeeping.  A retryable rejection (``backpressure``/
+    ``overloaded``) re-offers the chunk through the same window — no
+    sleep, because the window itself paces: a re-send only happens
+    after a response drained, so offered load tracks the server's
+    actual drain rate instead of spinning.
+    """
     try:
-        with ServiceClient(*address) as client:
+        sock, rfile = _open_conn(address)
+        inflight: deque[tuple[int, float, tuple[int, int]]] = deque()
+        retry_chunks: deque[tuple[int, int]] = deque()
+        next_id = 0
+        try:
             while True:
-                chunk = feed.take()
-                if chunk is None:
+                while len(inflight) < window:
+                    if retry_chunks:
+                        chunk = retry_chunks.popleft()
+                    else:
+                        maybe = feed.take()
+                        if maybe is None:
+                            break
+                        chunk = maybe
+                    start, stop = chunk
+                    payload = encode_message({
+                        "protocol": PROTOCOL_VERSION,
+                        "op": "place_batch", "id": next_id,
+                        "items": list(range(start, stop))})
+                    t0 = time.perf_counter()
+                    sock.sendall(payload)
+                    inflight.append((next_id, t0, chunk))
+                    next_id += 1
+                    if pause:
+                        time.sleep(pause)
+                if not inflight:
                     return
-                start, stop = chunk
-                t0 = time.perf_counter()
-                client.place_batch(list(range(start, stop)), retries=50)
-                latencies.append(time.perf_counter() - t0)
-                if pause:
-                    time.sleep(pause)
+                t_wait = time.perf_counter()
+                line = rfile.readline()
+                now = time.perf_counter()
+                out.wait_seconds += now - t_wait
+                if not line:
+                    raise RuntimeError("server closed the connection")
+                response = decode_line(line)
+                rid, t0, chunk = inflight.popleft()
+                if response.get("id") != rid:
+                    raise RuntimeError(
+                        f"pipelined response id {response.get('id')!r} "
+                        f"!= expected {rid}")
+                if response.get("ok"):
+                    out.latencies.append(now - t0)
+                else:
+                    error = response.get("error") or {}
+                    if error.get("code") in RETRYABLE_CODES:
+                        out.retries += 1
+                        retry_chunks.append(chunk)
+                    else:
+                        raise RuntimeError(
+                            f"place_batch failed: {error}")
+        finally:
+            rfile.close()
+            sock.close()
     except Exception as exc:  # surfaced by the driver, never swallowed
         errors.append(repr(exc))
 
 
 def _lookup_worker(address: tuple[str, int], vertices: np.ndarray,
-                   latencies: list[float], errors: list[str]) -> None:
+                   window: int, out: _ConnStats,
+                   errors: list[str]) -> None:
+    """Pipelined lookups: same windowed open loop, read-path ops."""
     try:
-        with ServiceClient(*address) as client:
-            for v in vertices:
-                t0 = time.perf_counter()
-                client.lookup(int(v))
-                latencies.append(time.perf_counter() - t0)
+        sock, rfile = _open_conn(address)
+        inflight: deque[tuple[int, float]] = deque()
+        cursor = 0
+        next_id = 0
+        try:
+            while True:
+                while len(inflight) < window and cursor < len(vertices):
+                    payload = encode_message({
+                        "protocol": PROTOCOL_VERSION, "op": "lookup",
+                        "id": next_id,
+                        "vertex": int(vertices[cursor])})
+                    t0 = time.perf_counter()
+                    sock.sendall(payload)
+                    inflight.append((next_id, t0))
+                    next_id += 1
+                    cursor += 1
+                if not inflight:
+                    return
+                t_wait = time.perf_counter()
+                line = rfile.readline()
+                now = time.perf_counter()
+                out.wait_seconds += now - t_wait
+                if not line:
+                    raise RuntimeError("server closed the connection")
+                response = decode_line(line)
+                rid, t0 = inflight.popleft()
+                if response.get("id") != rid:
+                    raise RuntimeError(
+                        f"pipelined response id {response.get('id')!r} "
+                        f"!= expected {rid}")
+                if not response.get("ok"):
+                    raise RuntimeError(
+                        f"lookup failed: {response.get('error')}")
+                out.latencies.append(now - t0)
+        finally:
+            rfile.close()
+            sock.close()
     except Exception as exc:
         errors.append(repr(exc))
 
@@ -125,11 +265,14 @@ def _overload_worker(address: tuple[str, int], feed: _ChunkFeed,
                      errors: list[str]) -> None:
     """Place chunks against a deliberately under-provisioned server.
 
-    Every shed (``overloaded``/``backpressure``) is counted, then the
-    chunk is re-offered after the server's ``retry_after_ms`` hint
-    (capped — we are measuring the shed path, not sleeping through it).
-    Latencies record accepted attempts only: p99-under-overload is the
-    queueing delay survivors actually paid.
+    Deliberately *closed-loop* (one request in flight): the overload
+    phase measures the shed path's behavior at a known offered
+    concurrency, so the connection count — not a window — is the load
+    knob.  Every shed (``overloaded``/``backpressure``) is counted,
+    then the chunk is re-offered after the server's ``retry_after_ms``
+    hint (capped — we are measuring the shed path, not sleeping through
+    it).  Latencies record accepted attempts only: p99-under-overload
+    is the queueing delay survivors actually paid.
     """
     try:
         with ServiceClient(*address) as client:
@@ -199,15 +342,31 @@ def _overload_round(graph: DiGraph, config: PartitionConfig, *,
     return latencies, sheds, admission
 
 
+def _reference_route(graph: DiGraph, config: PartitionConfig,
+                     parallelism: int) -> np.ndarray:
+    """The deterministic route table this traffic should reproduce."""
+    if parallelism > 1:
+        from ..graph import GraphStream
+        from ..parallel import SimulatedParallelPartitioner
+        sim = SimulatedParallelPartitioner(
+            config.make(), parallelism=parallelism, use_rct=False)
+        return sim.partition(GraphStream(graph)).assignment.route
+    from ..api import partition_stream
+    return partition_stream(graph, config=config).assignment.route
+
+
 def run_service_bench(graph: DiGraph | None = None, *,
                       num_vertices: int = 20_000, seed: int = 7,
                       config: PartitionConfig | None = None,
                       clients: int = 4, batch_size: int = 64,
+                      window: int = 4,
                       lookups_per_client: int = 500,
                       repeats: int = 3, warmup: int = 1,
                       target_rps: float | None = None,
                       durable: bool = True, queue_depth: int = 64,
                       batch_max: int = 256,
+                      processes: int = 1,
+                      parallelism: int | None = None,
                       overload: bool = False,
                       overload_queue_depth: int = 4,
                       overload_throttle: float = 0.002,
@@ -217,10 +376,17 @@ def run_service_bench(graph: DiGraph | None = None, *,
 
     Each repeat boots a fresh server on an ephemeral port (durable into
     a throwaway snapshot directory unless ``durable=False``), places the
-    whole graph through ``clients`` concurrent connections in
-    ``batch_size`` chunks, then issues ``lookups_per_client`` random
-    lookups per client.  ``target_rps`` paces placement *requests*
-    per second across all clients (``None`` = full speed).
+    whole graph through ``clients`` open-loop connections in
+    ``batch_size`` chunks with up to ``window`` requests in flight per
+    connection, then issues ``lookups_per_client`` pipelined random
+    lookups per client.  ``target_rps`` paces placement *requests* per
+    second across all clients (``None`` = full speed).
+
+    ``processes``/``parallelism`` boot the sharded scoring engine
+    (see :class:`~repro.service.PlacementService`); the artifact then
+    records the engine shape and a ``scaling_expected`` flag that is
+    ``False`` below four CPUs — single-core hosts can demonstrate
+    correctness of the sharded path but not its speedup.
 
     ``overload=True`` appends an overload phase: per repeat, a fresh
     *throttled* server (``overload_throttle`` seconds per engine group,
@@ -235,8 +401,21 @@ def run_service_bench(graph: DiGraph | None = None, *,
         graph = community_web_graph(num_vertices, seed=seed)
     if config is None:
         config = PartitionConfig(method="spnl", num_partitions=32)
-    from ..api import partition_stream
-    reference = partition_stream(graph, config=config)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    resolved_m = parallelism if parallelism is not None else (
+        16 * processes if processes > 1 else 1)
+    mode = ("sharded" if processes > 1
+            else "grouped" if resolved_m > 1 else "sequential")
+    cpu_count = os.cpu_count() or 1
+    scaling_expected = processes > 1 and cpu_count >= 4
+    # Same Γ-store resolution the server applies (auto -> dense when
+    # sharded): the reference partitioner must score against the store
+    # the benched server actually uses or the parity flag lies.
+    config = resolve_sharded_config(config, processes)
+    reference = _reference_route(graph, config, resolved_m)
 
     pause = 0.0
     if target_rps is not None and target_rps > 0:
@@ -248,9 +427,13 @@ def run_service_bench(graph: DiGraph | None = None, *,
     lookup_p50: list[float] = []
     lookup_p99: list[float] = []
     throughputs: list[float] = []
+    lookup_rates: list[float] = []
     fused_fractions: list[float] = []
+    wait_fractions: list[float] = []
+    lookup_wait_fractions: list[float] = []
     identical_flags: list[bool] = []
     reordered = 0
+    retried_requests = 0
 
     total_rounds = warmup + repeats
     for round_idx in range(total_rounds):
@@ -260,17 +443,17 @@ def run_service_bench(graph: DiGraph | None = None, *,
             service = PlacementService.start(
                 graph, config=config, port=0,
                 snapshot_dir=Path(tmp) / "state" if durable else None,
-                queue_depth=queue_depth, batch_max=batch_max)
+                queue_depth=queue_depth, batch_max=batch_max,
+                processes=processes, parallelism=parallelism)
             try:
                 feed = _ChunkFeed(graph.num_vertices, batch_size)
                 errors: list[str] = []
-                lat_lists: list[list[float]] = [[] for _ in
-                                                range(clients)]
+                conns = [_ConnStats() for _ in range(clients)]
                 threads = [
                     threading.Thread(
-                        target=_client_worker,
-                        args=(service.address, feed, lat_lists[c],
-                              pause, errors),
+                        target=_place_worker,
+                        args=(service.address, feed, window, pause,
+                              conns[c], errors),
                         daemon=True)
                     for c in range(clients)
                 ]
@@ -285,30 +468,44 @@ def run_service_bench(graph: DiGraph | None = None, *,
                         f"serve-bench client failed: {errors[0]}")
 
                 rng = np.random.default_rng(seed + round_idx)
-                lookup_lat: list[float] = []
+                lookup_conns = [_ConnStats() for _ in range(clients)]
                 lookup_threads = [
                     threading.Thread(
                         target=_lookup_worker,
                         args=(service.address,
                               rng.integers(0, graph.num_vertices,
                                            size=lookups_per_client),
-                              lookup_lat, errors),
+                              window, lookup_conns[c], errors),
                         daemon=True)
-                    for _ in range(clients)
+                    for c in range(clients)
                 ]
+                t1 = time.perf_counter()
                 for thread in lookup_threads:
                     thread.start()
                 for thread in lookup_threads:
                     thread.join()
+                lookup_wall = time.perf_counter() - t1
                 if errors:
                     raise RuntimeError(
                         f"serve-bench lookup client failed: {errors[0]}")
 
-                place_lat = sorted(t for lat in lat_lists for t in lat)
-                lookup_lat.sort()
-                ordered = bool(service._arrival_ordered)
+                place_lat = sorted(t for conn in conns
+                                   for t in conn.latencies)
+                lookup_lat = sorted(t for conn in lookup_conns
+                                    for t in conn.latencies)
+                round_retries = sum(conn.retries for conn in conns)
+                wait_frac = (sum(conn.wait_seconds for conn in conns)
+                             / (clients * wall)) if wall else 0.0
+                lookup_wait_frac = (
+                    sum(conn.wait_seconds for conn in lookup_conns)
+                    / (clients * lookup_wall)) if lookup_wall else 0.0
+                # Parity gates on exact-id-order arrival; grouped
+                # engines additionally need the chunk sequence to have
+                # stayed M-aligned (see the module docstring).
+                ordered = bool(service._arrival_ordered) and (
+                    resolved_m == 1 or bool(service._m_aligned))
                 parity = bool(np.array_equal(
-                    service._state.route, reference.assignment.route))
+                    service._state.route, reference))
                 fused = service._fused_placements
                 total_placed = fused + service._record_placements
             finally:
@@ -322,8 +519,13 @@ def run_service_bench(graph: DiGraph | None = None, *,
         lookup_p50.append(_percentile(lookup_lat, 0.50))
         lookup_p99.append(_percentile(lookup_lat, 0.99))
         throughputs.append(graph.num_vertices / wall if wall else 0.0)
+        lookup_rates.append(len(lookup_lat) / lookup_wall
+                            if lookup_wall else 0.0)
         fused_fractions.append(fused / total_placed if total_placed
                                else 0.0)
+        wait_fractions.append(wait_frac)
+        lookup_wait_fractions.append(lookup_wait_frac)
+        retried_requests += round_retries
         if ordered:
             identical_flags.append(parity)
         else:
@@ -332,10 +534,13 @@ def run_service_bench(graph: DiGraph | None = None, *,
             print(f"  repeat {len(place_p50)}/{repeats}: "
                   f"{throughputs[-1]:,.0f} placements/s, "
                   f"p99 {place_p99[-1] * 1e3:.2f} ms, "
-                  f"fused {fused_fractions[-1]:.0%}"
+                  f"fused {fused_fractions[-1]:.0%}, "
+                  f"server-wait {wait_frac:.0%}"
                   f"{'' if ordered else ' (reordered)'}")
 
     from ..bench.micro import machine_fingerprint
+    server_wait_median = statistics.median(wait_fractions)
+    lookup_wait_median = statistics.median(lookup_wait_fractions)
     place_rec: dict[str, Any] = {
         "endpoint": "place_batch",
         "p50": _summary(place_p50),
@@ -346,13 +551,31 @@ def run_service_bench(graph: DiGraph | None = None, *,
             "median": statistics.median(throughputs),
         },
         "fused_fraction_median": statistics.median(fused_fractions),
+        "server_wait_fraction": server_wait_median,
+        "client_bound": server_wait_median < 0.5,
+        "retried_requests": retried_requests,
         "reordered_repeats": reordered,
+        "scaling_expected": scaling_expected,
     }
-    # The parity flag gates only when arrival order held in every
-    # measured repeat; a raced arrival legitimately changes the
-    # assignment and must not flake the byte-identity pseudo-metric.
+    # The parity flag gates only when arrival order (and, for grouped
+    # engines, M-alignment) held in every measured repeat; a raced
+    # arrival legitimately changes the assignment and must not flake
+    # the byte-identity pseudo-metric.
     if identical_flags and reordered == 0:
         place_rec["identical"] = all(identical_flags)
+
+    lookup_rec: dict[str, Any] = {
+        "endpoint": "lookup",
+        "p50": _summary(lookup_p50),
+        "p99": _summary(lookup_p99),
+        "lookups_per_s": {
+            "runs": lookup_rates,
+            "median": statistics.median(lookup_rates),
+        },
+        "server_wait_fraction": lookup_wait_median,
+        "client_bound": lookup_wait_median < 0.5,
+        "scaling_expected": scaling_expected,
+    }
 
     overload_rec: dict[str, Any] | None = None
     if overload:
@@ -402,8 +625,15 @@ def run_service_bench(graph: DiGraph | None = None, *,
                 },
             }
 
+    # Sharded runs are their own benchmark kind: a sharded artifact
+    # gating against a sequential baseline (or vice versa) would be a
+    # cross-regime comparison, and the compare module's kind check
+    # turns that into a hard error instead of a quiet verdict.  It
+    # also gives the sharded baseline its own slot in the baseline
+    # store, which files baselines per (kind, fingerprint).
     artifact: dict[str, Any] = {
-        "benchmark": "service-bench",
+        "benchmark": ("service-bench-sharded" if processes > 1
+                      else "service-bench"),
         "created_unix": int(time.time()),
         "machine": machine_fingerprint(),
         "config": {
@@ -412,8 +642,11 @@ def run_service_bench(graph: DiGraph | None = None, *,
             "num_edges": int(graph.num_edges),
             "method": config.method,
             "num_partitions": int(config.num_partitions),
+            **({"gamma_store": config.gamma_store}
+               if config.gamma_store is not None else {}),
             "clients": clients,
             "batch_size": batch_size,
+            "window": window,
             "lookups_per_client": lookups_per_client,
             "repeats": repeats,
             "warmup": warmup,
@@ -421,16 +654,16 @@ def run_service_bench(graph: DiGraph | None = None, *,
             "durable": durable,
             "queue_depth": queue_depth,
             "batch_max": batch_max,
+            "mode": mode,
+            "processes": processes,
+            "parallelism": resolved_m,
+            "scaling_expected": scaling_expected,
             "seed": seed,
             "overload": overload,
         },
         "results": [
             place_rec,
-            {
-                "endpoint": "lookup",
-                "p50": _summary(lookup_p50),
-                "p99": _summary(lookup_p99),
-            },
+            lookup_rec,
         ],
     }
     if overload_rec is not None:

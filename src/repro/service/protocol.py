@@ -45,6 +45,20 @@ exchange — the ``hello`` handshake exists exactly for that probe.
   a timer — the server announces recovery via ``health``'s
   ``health_state`` field, also new in 1.1.
 
+**Revision 1.2** (additive — still ``protocol: 1`` on the wire) adds
+the multicore-serving surface, all of it response-side:
+
+* ``stats`` gains an ``engine`` object (``mode``/``parallelism``/
+  ``processes``/``chunks_scored``/``pool_chunks``/``m_aligned``/
+  ``worker_restarts``/``wal_pipeline``) describing the scoring
+  engine's shape, and a ``read_view`` object (``seq``/``retries``)
+  for the seqlock read path.
+* ``stats.durability`` gains ``wal_pipelined_groups`` and
+  ``wal_inflight_requests`` when the double-buffered WAL committer
+  is active.
+* No request field changed and no error code was added: a 1.1 client
+  talks to a 1.2 server (and vice versa) unmodified.
+
 Operations (see ``docs/service.md`` for the full reference):
 
 ``hello``
@@ -95,9 +109,10 @@ SUPPORTED_PROTOCOLS = (1,)
 
 #: Human-readable additive revision within :data:`PROTOCOL_VERSION`.
 #: Advertised in ``hello`` so clients can feature-detect the resilience
-#: surface (``deadline_ms``, ``overloaded``/``deadline_exceeded``/
-#: ``read_only`` codes) without a breaking version bump.
-PROTOCOL_REVISION = "1.1"
+#: surface (1.1: ``deadline_ms``, ``overloaded``/``deadline_exceeded``/
+#: ``read_only`` codes) and the multicore-serving stats surface (1.2:
+#: ``engine``/``read_view`` objects) without a breaking version bump.
+PROTOCOL_REVISION = "1.2"
 
 #: Error codes a client may safely retry after backing off — the server
 #: rejected the request *without* applying it and expects the condition

@@ -66,10 +66,36 @@ protocol):
   parked entries and returns to ``healthy``.  Repeated snapshot
   failures degrade the same way.  Every transition emits a
   ``health_transition`` trace record.
+
+Multicore serving (revision 1.2 of the protocol):
+
+* **Grouped scoring** — ``parallelism M > 1`` scores queued placements
+  in M-record chunks against chunk-start state and commits them in
+  arrival order, the exact discipline of
+  :class:`~repro.parallel.executor.SimulatedParallelPartitioner` at
+  ``use_rct=False``.  ``processes N > 1`` dispatches those same chunks
+  to a :class:`~repro.parallel.process.ShardedScorePool` of worker
+  processes over one shared-memory segment; because the chunker and
+  the commit loop are shared, the sharded server is **byte-parity**
+  (route table and WAL bytes) with the single-engine server at the
+  same M.  Grouped WAL lines carry the scoring-group id so a restarted
+  server replays groups under the discipline that produced them.
+* **Lock-free reads** — ``lookup``/``stats``/``health`` are answered
+  by connection threads against a seqlock-versioned
+  :class:`_RouteReadView` published *after* each group's fsync and
+  *before* its acks release, so a read can never observe a placement
+  that was not durably acked, and never blocks on the engine.
+* **Pipelined WAL** — a :class:`_WalCommitter` thread overlaps one
+  group's fsync with the next group's scoring (double-buffered group
+  commit).  Acks still release only after fsync; a failed append parks
+  the entries and degrades to read-only exactly like the synchronous
+  path, and the engine barriers the committer before snapshots,
+  recovery, and shutdown.
 """
 
 from __future__ import annotations
 
+import copy
 import queue
 import socket
 import threading
@@ -84,6 +110,11 @@ from .. import __version__
 from ..graph.digraph import AdjacencyRecord, DiGraph
 from ..graph.stream import ArrayStream
 from ..partitioning.assignment import UNASSIGNED
+from ..parallel.process import (
+    ShardedScorePool,
+    WorkerCrashedError,
+    _StreamMeta,
+)
 from ..partitioning.base import StreamingPartitioner
 from ..partitioning.config import PartitionConfig
 from ..partitioning.registry import resolve
@@ -198,6 +229,235 @@ class _Work:
         self.event.set()
 
 
+class _RouteReadView:
+    """Seqlock-versioned, acked-only snapshot of the route table.
+
+    One writer at a time (serialized by the service's publish lock)
+    bumps ``seq`` to odd, mutates, bumps back to even; readers retry
+    while ``seq`` is odd or changed across their read.  Because the
+    writer publishes only *after* a group's WAL fsync and *before* its
+    acks release, a reader can never observe a placement that was not
+    durably acknowledged — unlike the in-memory route table, which runs
+    ahead of the log whenever a WAL append is in flight or has failed.
+
+    ``hold_seconds`` is a test hook: a positive value makes the writer
+    sleep inside the odd-``seq`` window so the reader retry path can be
+    exercised deterministically.
+    """
+
+    def __init__(self, num_vertices: int, num_partitions: int) -> None:
+        self.seq = 0  # even = stable; odd = write in progress
+        self.route = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
+        self.loads = np.zeros(num_partitions, dtype=np.int64)
+        self.edge_loads = np.zeros(num_partitions, dtype=np.int64)
+        self.position = 0
+        self.placements = 0
+        self.overflows = 0
+        self.retries = 0  # reader-side seqlock retries (approximate)
+        self.hold_seconds = 0.0
+
+    # -- writer side (publish lock held by the service) ----------------
+    def publish(self, pairs, *, loads, edge_loads, position,
+                placements, overflows) -> None:
+        self.seq += 1
+        if self.hold_seconds:
+            time.sleep(self.hold_seconds)
+        route = self.route
+        for vertex, pid in pairs:
+            route[vertex] = pid
+        self.loads[:] = loads
+        self.edge_loads[:] = edge_loads
+        self.position = int(position)
+        self.placements = int(placements)
+        self.overflows = int(overflows)
+        self.seq += 1
+
+    def publish_full(self, route: np.ndarray, *, loads, edge_loads,
+                     position, placements, overflows) -> None:
+        """Wholesale publish (boot/resume, before any reader exists)."""
+        self.seq += 1
+        if self.hold_seconds:
+            time.sleep(self.hold_seconds)
+        np.copyto(self.route, route)
+        self.loads[:] = loads
+        self.edge_loads[:] = edge_loads
+        self.position = int(position)
+        self.placements = int(placements)
+        self.overflows = int(overflows)
+        self.seq += 1
+
+    # -- reader side (any thread, no locks) ----------------------------
+    def read_route(self, vertex: int) -> int:
+        while True:
+            s1 = self.seq
+            if s1 & 1:
+                self.retries += 1
+                time.sleep(0)  # yield to the writer mid-publish
+                continue
+            pid = int(self.route[vertex])
+            if self.seq == s1:
+                return pid
+            self.retries += 1
+
+    def read_summary(self) -> dict[str, Any]:
+        """Consistent scalar+load snapshot for the stats endpoint."""
+        while True:
+            s1 = self.seq
+            if s1 & 1:
+                self.retries += 1
+                time.sleep(0)
+                continue
+            out = {
+                "loads": [int(x) for x in self.loads],
+                "edge_loads": [int(x) for x in self.edge_loads],
+                "position": int(self.position),
+                "placements": int(self.placements),
+                "overflows": int(self.overflows),
+            }
+            if self.seq == s1:
+                return out
+            self.retries += 1
+
+
+class _Commit:
+    """One group's durability hand-off from the engine to the committer."""
+
+    __slots__ = ("entries", "applied", "scalars", "requests")
+
+    def __init__(self, entries, applied, scalars, requests) -> None:
+        self.entries = entries
+        self.applied = applied
+        self.scalars = scalars
+        #: Requests (works) riding this commit — the admission
+        #: controller counts them as in-flight pipeline depth.
+        self.requests = requests
+
+
+class _WalCommitter:
+    """Double-buffered group commit: fsync group N while N+1 scores.
+
+    The engine applies a group in memory, captures the ack payloads and
+    an acked-state scalar snapshot, and hands everything here; this
+    thread appends + fsyncs the WAL, publishes the read view, and only
+    then releases the acks.  The bounded queue (one committing + one
+    queued) is the double buffer — a third group's ``submit`` blocks the
+    engine, bounding how far in-memory state can run ahead of the log.
+
+    A failed append parks the entries in the service's
+    ``_pending_entries`` (in sequence order), fails the riding requests
+    with ``read_only`` and degrades health — the synchronous path's
+    behavior, moved off the scoring thread.  While broken, every later
+    commit parks the same way so the log never gains a gap.
+    """
+
+    def __init__(self, service: "PlacementService") -> None:
+        self._service = service
+        self._queue: queue.Queue = queue.Queue(maxsize=2)
+        self._inflight_lock = threading.Lock()
+        self._inflight_requests = 0
+        self.committed_groups = 0
+        self.broken = False
+        self._aborted = False
+        self._thread = threading.Thread(target=self._loop,
+                                        name="placement-wal-commit",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def inflight_requests(self) -> int:
+        with self._inflight_lock:
+            return self._inflight_requests
+
+    def _add_inflight(self, n: int) -> None:
+        with self._inflight_lock:
+            self._inflight_requests += n
+
+    def submit(self, commit: _Commit) -> None:
+        """Engine-thread hand-off; blocks when two groups are in flight."""
+        self._add_inflight(commit.requests)
+        self._queue.put(commit)
+
+    def barrier(self) -> None:
+        """Block until every commit submitted so far is fully resolved.
+
+        The engine calls this before snapshots (the WAL must cover the
+        snapshot position before rotating), before recovery (pending
+        entries must be complete), and during shutdown.
+        """
+        event = threading.Event()
+        self._queue.put(event)
+        while not event.wait(0.05):
+            if not self._thread.is_alive():
+                # Stopped (or died) with our marker unserved; nothing
+                # can be in flight any more — the barrier holds.
+                return
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._queue.put(_STOP)
+        self._thread.join(timeout)
+
+    def abort(self) -> None:
+        """Crash-style teardown: drop in-flight commits unresolved.
+
+        In-flight entries were never acked, so forgetting them is
+        exactly what a SIGKILL would do — the chaos harness's crash
+        teardown uses this to avoid fsyncing work a real crash would
+        have lost.
+        """
+        self._aborted = True
+        try:
+            self._queue.put_nowait(_STOP)
+        except queue.Full:
+            pass
+        self._thread.join(1.0)
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            if isinstance(item, threading.Event):
+                item.set()
+                continue
+            if self._aborted:
+                self._add_inflight(-item.requests)
+                continue
+            self._commit(item)
+            self._add_inflight(-item.requests)
+
+    def _commit(self, item: _Commit) -> None:
+        service = self._service
+        entries = item.entries
+        if self.broken or service._pending_entries:
+            # The log is already behind; appending around the gap would
+            # corrupt the sequence.  Park in order, fail the riders.
+            service._pending_entries.extend(entries)
+            for work, _results in item.applied:
+                work.fail(
+                    "read_only",
+                    "placement could not be made durable (log is "
+                    "recovering); server is read-only until it flushes")
+            return
+        try:
+            if service._wal is not None and entries:
+                service._wal.append_batch(entries)
+        except Exception as exc:
+            self.broken = True
+            service._pending_entries.extend(entries)
+            service._health.transition(READ_ONLY, "wal_append_failed",
+                                       detail=str(exc))
+            for work, _results in item.applied:
+                work.fail(
+                    "read_only",
+                    f"placement could not be made durable ({exc}); "
+                    f"server is read-only until the log recovers")
+            return
+        service._publish_entries(entries, item.scalars)
+        for work, results in item.applied:
+            work.resolve(results)
+        self.committed_groups += 1
+
+
 def _resolve_graph(graph: Any) -> DiGraph:
     """Accept a ready graph or a path (loaded via the CSR cache)."""
     if isinstance(graph, DiGraph):
@@ -207,6 +467,25 @@ def _resolve_graph(graph: Any) -> DiGraph:
         return load_or_parse(Path(graph), cache=True)
     raise TypeError(
         f"graph must be a DiGraph or a path, got {type(graph).__name__}")
+
+
+def resolve_sharded_config(config: PartitionConfig,
+                           processes: int) -> PartitionConfig:
+    """Resolve ``gamma_store="auto"`` for process-sharded serving.
+
+    The auto rule picks the sliding-window Γ store on large graphs, but
+    the window's rotation cursor is inherently sequential — pool workers
+    scoring against it would read stale shards.  ``"auto"`` means "pick
+    something that works", so sharded serving resolves it to the dense
+    store here; only an *explicit* ``gamma_store="window"`` request
+    still fails the shared-lane check in ``__init__``.  The resolved
+    config is what the server records (and what snapshots carry), so
+    the bench reference partitioner and a later single-process resume
+    score against the same store.
+    """
+    if processes > 1 and config.gamma_store in (None, "auto"):
+        return config.replace(gamma_store="dense")
+    return config
 
 
 class PlacementService:
@@ -265,6 +544,26 @@ class PlacementService:
         (``factory(directory, start=, fsync=) -> PlacementLog``);
         injection point for the chaos harness's
         :class:`~repro.recovery.chaos.FlakyWAL`.
+    parallelism:
+        The paper's M — queued placements scored concurrently per
+        chunk.  ``None`` picks 1 (the classic sequential engine, fused
+        kernel intact) unless ``processes > 1``, where it defaults to
+        ``16 * processes``.  Values > 1 switch the engine to grouped
+        scoring (score an M-chunk against chunk-start state, commit in
+        order) whether or not worker processes are attached, so the
+        single-engine grouped server is the byte-parity reference for
+        the sharded one.
+    processes:
+        Worker processes scoring each chunk
+        (:class:`~repro.parallel.process.ShardedScorePool`); 1 scores
+        in the engine thread.  ``> 1`` requires the heuristic to
+        declare shared score lanes (dense/hashed Γ stores).
+    wal_pipeline:
+        Overlap each group's WAL fsync with the next group's scoring
+        (default on when durable).  ``False`` forces the synchronous
+        append-then-ack path.
+    max_worker_restarts, worker_timeout:
+        Worker-pool supervision budget (``processes > 1`` only).
     """
 
     def __init__(self, graph: Any, *, config: PartitionConfig | None = None,
@@ -280,11 +579,17 @@ class PlacementService:
                  max_lag_seconds: float | None = None,
                  snapshot_failure_limit: int = 3,
                  recovery_probe_interval: float = 0.0,
-                 wal_factory: Any = None) -> None:
+                 wal_factory: Any = None,
+                 parallelism: int | None = None,
+                 processes: int = 1,
+                 wal_pipeline: bool = True,
+                 max_worker_restarts: int = 2,
+                 worker_timeout: float = 120.0) -> None:
         if config is None:
             config = PartitionConfig()
         elif isinstance(config, dict):
             config = PartitionConfig.from_dict(config)
+        config = resolve_sharded_config(config, processes)
         if not resolve(config.method).is_streaming:
             raise ValueError(
                 f"the placement service needs a streaming method; "
@@ -293,6 +598,19 @@ class PlacementService:
             raise ValueError("queue_depth must be >= 1")
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        if parallelism is None:
+            parallelism = 16 * processes if processes > 1 else 1
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if processes > 1 and parallelism < processes:
+            raise ValueError(
+                f"parallelism (M={parallelism}) must be >= processes "
+                f"(N={processes}); each worker scores at least one "
+                f"record per chunk")
+        self._parallelism = int(parallelism)
+        self._processes = int(processes)
         self.graph = _resolve_graph(graph)
         self.config = config
         self.instrumentation = instrumentation
@@ -326,6 +644,10 @@ class PlacementService:
             raise ValueError(
                 f"{config.method!r} did not build a StreamingPartitioner")
         self.partitioner = partitioner
+        # Pristine clone for pool workers, taken before _setup allocates
+        # the per-run structures (each worker reruns _setup itself).
+        self._worker_template = copy.deepcopy(partitioner) \
+            if processes > 1 else None
         self._stream = ArrayStream.from_graph(self.graph)
         self._state_lock = threading.Lock()
         self._elapsed = 0.0  # cumulative engine apply time (snapshot PT)
@@ -340,6 +662,26 @@ class PlacementService:
         # paper's streaming arrival model); bench parity checks read it.
         self._arrival_ordered = True
         self._next_expected = 0
+        # Grouped-scoring bookkeeping (parallelism M > 1).  _chunk_seq
+        # stamps WAL lines with a scoring-group id; _m_aligned tracks
+        # whether the chunk sequence so far matches what an M-batch
+        # executor over the same stream would have formed (bench parity
+        # against SimulatedParallelPartitioner gates on it).
+        self._chunk_seq = 0
+        self._chunks_scored = 0
+        self._pool_chunks = 0
+        self._m_aligned = True
+        self._m_tail_seen = False
+        meta = _StreamMeta(self._stream)
+        if meta.max_degree is not None:
+            budget = min(meta.num_edges,
+                         self._parallelism * meta.max_degree)
+        else:
+            budget = meta.num_edges
+        # Mirrors the pool's ring_neighbors capacity formula so chunk
+        # boundaries are identical with and without worker processes.
+        self._chunk_budget = max(int(budget), 1)
+        self._stream_meta = meta
 
         if resume_from is not None:
             self._resume(Path(resume_from))
@@ -349,6 +691,47 @@ class PlacementService:
             self._fast_ok = True
             self._fast_cursor = 0
             self._resumed_from = None
+        if self._parallelism > 1:
+            # Grouped engines never use the fused kernel: every commit
+            # goes through the score-then-commit chunk loop, so the
+            # sharded and single-engine modes share one code path (and
+            # one WAL shape).
+            self._fast_ok = False
+            self._kernel_unavailable = True
+
+        # Worker pool (processes > 1): the canonical state moves into
+        # the pool's shared segment so workers score against it live.
+        self._pool: ShardedScorePool | None = None
+        if processes > 1:
+            lanes = partitioner.score_lanes()
+            if lanes is None:
+                raise ValueError(
+                    f"{partitioner.name} does not declare shared score "
+                    "lanes and cannot serve process-sharded (sliding-"
+                    "window Γ stores are sequential by design; use "
+                    "gamma_store='dense' or 'hashed')")
+            pool = ShardedScorePool(
+                self._worker_template, self._stream_meta, lanes,
+                group_max=self._parallelism, num_workers=processes,
+                use_rct=False,
+                max_worker_restarts=max_worker_restarts,
+                worker_timeout=worker_timeout,
+                instrumentation=instrumentation)
+            try:
+                pool.bind_state(self._state, partitioner, lanes)
+                pool.prewarm()
+            except BaseException:
+                pool.close()
+                raise
+            self._pool = pool
+        self._pool_failed = False
+
+        # Lock-free read path: connection threads answer lookup/stats
+        # from this seqlock view, never from live engine state.
+        self._read_view = _RouteReadView(self.graph.num_vertices,
+                                         partitioner.num_partitions)
+        self._publish_lock = threading.Lock()
+        self._publish_state()
 
         # Durability: snapshots + WAL share snapshot_dir.  A fresh boot
         # into a directory holding a previous run's artifacts would
@@ -373,6 +756,10 @@ class PlacementService:
             factory = self._wal_factory or PlacementLog
             self._wal = factory(snapshot_dir, start=self._position,
                                 fsync=wal_fsync)
+        self._wal_pipeline = bool(wal_pipeline)
+        self._committer: _WalCommitter | None = None
+        if self._wal is not None and self._wal_pipeline:
+            self._committer = _WalCommitter(self)
 
         self._draining = threading.Event()
         self._shutdown_requested = threading.Event()
@@ -449,6 +836,30 @@ class PlacementService:
             self.partitioner._setup(self._stream, self._state)
             self._position = 0
         replayed = 0
+        group_buf: list[tuple[WalEntry, AdjacencyRecord]] = []
+        last_gid = -1
+
+        def flush_group() -> None:
+            # Grouped entries replay under the discipline that produced
+            # them: score the whole group against group-start state,
+            # then choose/verify/commit in logged order.
+            if not group_buf:
+                return
+            scored = [(entry, record,
+                       self.partitioner._score(record, self._state))
+                      for entry, record in group_buf]
+            for entry, record, scores in scored:
+                pid = int(self.partitioner.choose(scores, self._state))
+                if pid != entry.pid:
+                    raise ValueError(
+                        f"WAL replay diverged at seq {entry.seq}: vertex "
+                        f"{entry.vertex} re-places to {pid}, log says "
+                        f"{entry.pid}")
+                self._state.commit(record, pid)
+                self.partitioner._after_commit(record, pid, self._state)
+            self._note_chunk(len(group_buf))
+            group_buf.clear()
+
         for entry in replay_entries(directory,
                                     from_position=self._position):
             if entry.neighbors is None:
@@ -456,14 +867,27 @@ class PlacementService:
             else:
                 neighbors = np.asarray(entry.neighbors, dtype=np.int64)
             record = AdjacencyRecord(entry.vertex, neighbors)
-            pid = self.partitioner.place(record, self._state)
-            if pid != entry.pid:
-                raise ValueError(
-                    f"WAL replay diverged at seq {entry.seq}: vertex "
-                    f"{entry.vertex} re-places to {pid}, log says "
-                    f"{entry.pid}")
+            if entry.group is None:
+                flush_group()
+                pid = self.partitioner.place(record, self._state)
+                if pid != entry.pid:
+                    raise ValueError(
+                        f"WAL replay diverged at seq {entry.seq}: vertex "
+                        f"{entry.vertex} re-places to {pid}, log says "
+                        f"{entry.pid}")
+            else:
+                if group_buf and entry.group != last_gid:
+                    flush_group()
+                last_gid = max(last_gid, int(entry.group))
+                group_buf.append((entry, record))
             self._position += 1
             replayed += 1
+        flush_group()
+        if last_gid >= 0:
+            # Resume group ids past the log's highest so a re-replay
+            # after the next crash never merges pre- and post-restart
+            # entries into one scoring group.
+            self._chunk_seq = last_gid + 1
         # The fused kernel is only valid if history was exactly the
         # id-ordered prefix (every placement so far is vertex 0..p-1).
         route = self._state.route
@@ -560,72 +984,60 @@ class PlacementService:
         t0 = time.perf_counter()
         if self.throttle_seconds:
             time.sleep(self.throttle_seconds)
-        placements = 0
         fused_before = self._fused_placements
-        ok = True
         place_works = [w for w in group if w.kind == "place"]
         other_works = [w for w in group if w.kind != "place"]
         place_works.sort(
             key=lambda w: w.placements[0][0] if w.placements else -1)
-        applied: list[tuple[_Work, list[dict[str, Any]]]] = []
-        entries: list[WalEntry] = []
         now = time.monotonic()
         with self._state_lock:
-            for work in place_works:
-                if work.deadline is not None and now >= work.deadline:
-                    # The budget died in the queue; applying now would
-                    # ack after the client stopped caring.  Fail without
-                    # touching state — nothing to roll back.
-                    ok = False
-                    self._deadline_expired += 1
-                    work.fail("deadline_exceeded",
-                              "deadline budget expired while the request "
-                              "was queued; placement not applied")
-                    continue
-                if not self._health.allows_mutation:
-                    # Degraded after this work was admitted: refuse
-                    # rather than pile more non-durable state on top.
-                    ok = False
-                    work.fail("read_only",
-                              f"server went {self._health.state} while "
-                              f"the request was queued; placement not "
-                              f"applied")
-                    continue
-                placements += len(work.placements)
-                try:
-                    results, work_entries = self._apply_placements(
-                        work.placements)
-                except Exception as exc:
-                    ok = False
-                    work.fail("internal", f"placement failed: {exc}")
-                    continue
-                entries.extend(work_entries)
-                applied.append((work, results))
-            wal_error: Exception | None = None
-            if self._wal is not None and entries:
-                try:
-                    self._wal.append_batch(entries)
-                except Exception as exc:
-                    wal_error = exc
-                    self._pending_entries.extend(entries)
-                    self._health.transition(READ_ONLY, "wal_append_failed",
-                                            detail=str(exc))
-            if wal_error is None:
-                for work, results in applied:
-                    work.resolve(results)
+            if self._parallelism > 1:
+                applied, entries, placements, ok = \
+                    self._apply_group_grouped(place_works, now)
             else:
-                # The placements are applied in memory but NOT durable.
-                # The ack contract (acked == fsynced) forbids resolving
-                # them; the entries wait in _pending_entries and flush
-                # before the server accepts mutations again, so a later
-                # idempotent retry's cached ack is backed by the log.
-                ok = False
-                for work, _results in applied:
-                    work.fail(
-                        "read_only",
-                        f"placement could not be made durable "
-                        f"({wal_error}); server is read-only until the "
-                        f"log recovers")
+                applied, entries, placements, ok = \
+                    self._apply_group_sequential(place_works, now)
+            if self._committer is not None:
+                # Pipelined commit: hand the fsync to the committer and
+                # return to scoring; it publishes the read view and
+                # releases (or parks) the acks once the bytes are down.
+                if applied or entries:
+                    self._committer.submit(_Commit(
+                        entries, applied, self._ack_scalars(),
+                        len(applied)))
+            else:
+                wal_error: Exception | None = None
+                if self._wal is not None and entries:
+                    try:
+                        self._wal.append_batch(entries)
+                    except Exception as exc:
+                        wal_error = exc
+                        self._pending_entries.extend(entries)
+                        self._health.transition(
+                            READ_ONLY, "wal_append_failed",
+                            detail=str(exc))
+                if wal_error is None:
+                    if entries:
+                        self._publish_entries(entries,
+                                              self._ack_scalars())
+                    for work, results in applied:
+                        work.resolve(results)
+                else:
+                    # The placements are applied in memory but NOT
+                    # durable.  The ack contract (acked == fsynced)
+                    # forbids resolving them; the entries wait in
+                    # _pending_entries and flush before the server
+                    # accepts mutations again, so a later idempotent
+                    # retry's cached ack is backed by the log.  The
+                    # read view is not published either — readers must
+                    # never see a placement that was not acked.
+                    ok = False
+                    for work, _results in applied:
+                        work.fail(
+                            "read_only",
+                            f"placement could not be made durable "
+                            f"({wal_error}); server is read-only until "
+                            f"the log recovers")
             for work in other_works:
                 if work.kind == "recover":
                     try:
@@ -671,6 +1083,265 @@ class PlacementService:
                 "fused": int(self._fused_placements - fused_before),
                 "shed": int(shed_delta),
             })
+
+    def _apply_group_sequential(
+            self, place_works: list[_Work], now: float
+    ) -> tuple[list[tuple[_Work, list[dict[str, Any]]]],
+               list[WalEntry], int, bool]:
+        """The classic M=1 apply loop: one work at a time, in order."""
+        applied: list[tuple[_Work, list[dict[str, Any]]]] = []
+        entries: list[WalEntry] = []
+        placements = 0
+        ok = True
+        for work in place_works:
+            if work.deadline is not None and now >= work.deadline:
+                # The budget died in the queue; applying now would
+                # ack after the client stopped caring.  Fail without
+                # touching state — nothing to roll back.
+                ok = False
+                self._deadline_expired += 1
+                work.fail("deadline_exceeded",
+                          "deadline budget expired while the request "
+                          "was queued; placement not applied")
+                continue
+            if not self._health.allows_mutation:
+                # Degraded after this work was admitted: refuse
+                # rather than pile more non-durable state on top.
+                ok = False
+                work.fail("read_only",
+                          f"server went {self._health.state} while "
+                          f"the request was queued; placement not "
+                          f"applied")
+                continue
+            placements += len(work.placements)
+            try:
+                results, work_entries = self._apply_placements(
+                    work.placements)
+            except Exception as exc:
+                ok = False
+                work.fail("internal", f"placement failed: {exc}")
+                continue
+            entries.extend(work_entries)
+            applied.append((work, results))
+        return applied, entries, placements, ok
+
+    def _apply_group_grouped(
+            self, place_works: list[_Work], now: float
+    ) -> tuple[list[tuple[_Work, list[dict[str, Any]]]],
+               list[WalEntry], int, bool]:
+        """Score-then-commit the drained group in M-record chunks.
+
+        Every live placement in the group flows through one shared
+        chunker: flush at M records, or earlier when the next record
+        would blow the flat-neighbor budget (mirroring the worker
+        ring's capacity so chunk boundaries are identical with and
+        without a pool).  Each chunk is scored whole against
+        chunk-start state and committed in arrival order — the
+        :class:`~repro.parallel.executor.SimulatedParallelPartitioner`
+        discipline at ``use_rct=False``.  A work's results assemble
+        across chunks; it acks only when every one of its placements
+        committed.
+        """
+        applied: list[tuple[_Work, list[dict[str, Any]]]] = []
+        entries: list[WalEntry] = []
+        placements = 0
+        ok = True
+        live: list[_Work] = []
+        for work in place_works:
+            if work.deadline is not None and now >= work.deadline:
+                ok = False
+                self._deadline_expired += 1
+                work.fail("deadline_exceeded",
+                          "deadline budget expired while the request "
+                          "was queued; placement not applied")
+                continue
+            if not self._health.allows_mutation:
+                ok = False
+                work.fail("read_only",
+                          f"server went {self._health.state} while "
+                          f"the request was queued; placement not "
+                          f"applied")
+                continue
+            placements += len(work.placements)
+            live.append(work)
+        if not live:
+            return applied, entries, placements, ok
+        results_by_work: list[list[dict[str, Any] | None]] = \
+            [[None] * len(w.placements) for w in live]
+        state = self._state
+        route = state.route
+        chunk: list[tuple[int, int, AdjacencyRecord,
+                          list[int] | None]] = []
+        chunk_edges = 0
+        t0 = time.perf_counter()
+        error: Exception | None = None
+        try:
+            for wi, work in enumerate(live):
+                for si, (vertex, neighbors) in enumerate(work.placements):
+                    if route[vertex] != UNASSIGNED:
+                        # Already committed before this chunk formed —
+                        # idempotent cached answer, no WAL line.
+                        results_by_work[wi][si] = {
+                            "vertex": vertex, "pid": int(route[vertex]),
+                            "cached": True}
+                        continue
+                    if neighbors is None:
+                        nbrs = self.graph.out_neighbors(vertex)
+                        logged = None
+                    else:
+                        nbrs = np.asarray(neighbors, dtype=np.int64)
+                        logged = [int(u) for u in neighbors]
+                    degree = int(len(nbrs))
+                    if chunk and chunk_edges + degree > self._chunk_budget:
+                        self._commit_chunk(chunk, chunk_edges,
+                                           results_by_work, entries)
+                        chunk, chunk_edges = [], 0
+                    chunk.append((wi, si,
+                                  AdjacencyRecord(vertex, nbrs), logged))
+                    chunk_edges += degree
+                    if len(chunk) >= self._parallelism:
+                        self._commit_chunk(chunk, chunk_edges,
+                                           results_by_work, entries)
+                        chunk, chunk_edges = [], 0
+            if chunk:
+                self._commit_chunk(chunk, chunk_edges,
+                                   results_by_work, entries)
+        except WorkerCrashedError as exc:
+            # The pool is unusable until recovery resets it; committed
+            # chunks stay committed (their entries are in ``entries``
+            # and must reach the log), the rest of the group fails.
+            error = exc
+            self._pool_failed = True
+            self._health.transition(READ_ONLY, "worker_pool_failed",
+                                    detail=str(exc))
+        except Exception as exc:
+            error = exc
+        self._elapsed += time.perf_counter() - t0
+        for wi, work in enumerate(live):
+            results = results_by_work[wi]
+            if all(r is not None for r in results):
+                applied.append((work, results))
+            else:
+                ok = False
+                work.fail("internal", f"placement failed: {error}")
+        return applied, entries, placements, ok
+
+    def _commit_chunk(self, chunk, chunk_edges: int, results_by_work,
+                      entries: list[WalEntry]) -> None:
+        """Score one chunk against chunk-start state, commit in order."""
+        gid = self._chunk_seq
+        self._chunk_seq += 1
+        self._note_chunk(len(chunk))
+        base = self.partitioner
+        state = self._state
+        records = [record for _, _, record, _ in chunk]
+        pool = self._pool
+        if pool is not None and not self._pool_failed \
+                and chunk_edges <= pool.neighbor_capacity:
+            scores_block: Any = pool.score_group(records)
+            self._pool_chunks += 1
+        else:
+            # No pool, pool down, or an oversize explicit-neighbor
+            # chunk that cannot fit a ring slot: score in the engine.
+            # Scoring is pure, so byte-parity is unaffected.
+            scores_block = [base._score(record, state)
+                            for record in records]
+        route = state.route
+        for i, (wi, si, record, logged) in enumerate(chunk):
+            vertex = record.vertex
+            if route[vertex] != UNASSIGNED:
+                # Duplicate within the chunk: an earlier occurrence
+                # just committed; answer cached, drop the stale score.
+                results_by_work[wi][si] = {
+                    "vertex": vertex, "pid": int(route[vertex]),
+                    "cached": True}
+                continue
+            pid = int(base.choose(scores_block[i], state))
+            state.commit(record, pid)
+            base._after_commit(record, pid, state)
+            results_by_work[wi][si] = {"vertex": vertex, "pid": pid,
+                                       "cached": False}
+            entries.append(WalEntry(self._position, vertex, logged, pid,
+                                    group=gid))
+            self._position += 1
+            self._record_placements += 1
+            if self._arrival_ordered:
+                if vertex == self._next_expected:
+                    self._next_expected += 1
+                else:
+                    self._arrival_ordered = False
+
+    def _note_chunk(self, size: int) -> None:
+        """Track whether chunking still matches exact M-batching.
+
+        :class:`~repro.parallel.executor.SimulatedParallelPartitioner`
+        forms batches of exactly M records (one short tail at stream
+        end).  The service's chunks depend on arrival timing, so parity
+        checks (loadgen ``--verify``) gate on this flag: any chunk after
+        a short one means the sequences diverged.
+        """
+        self._chunks_scored += 1
+        if self._m_tail_seen:
+            self._m_aligned = False
+        if size < self._parallelism:
+            self._m_tail_seen = True
+
+    def _ack_scalars(self) -> dict[str, Any]:
+        """Copy the acked-state scalars for a read-view publish.
+
+        Taken under the state lock at commit-capture time; copies, not
+        views — with a pool bound, the live arrays are shared-memory
+        views that keep mutating while a pipelined commit is in flight.
+        """
+        state = self._state
+        return {
+            "loads": np.array(state.vertex_counts),
+            "edge_loads": np.array(state.edge_counts),
+            "position": int(self._position),
+            "placements": int(state.placed_vertices),
+            "overflows": int(state.capacity_overflows),
+        }
+
+    def _publish_entries(self, entries: list[WalEntry],
+                         scalars: dict[str, Any]) -> None:
+        """Publish one durable group to the read view (post-fsync,
+        pre-ack).  Engine thread on the synchronous path, committer
+        thread on the pipelined one; the publish lock serializes them.
+        """
+        with self._publish_lock:
+            self._read_view.publish(
+                [(e.vertex, e.pid) for e in entries], **scalars)
+
+    def _publish_state(self) -> None:
+        """Wholesale read-view publish from live state (boot/recovery)."""
+        state = self._state
+        with self._publish_lock:
+            self._read_view.publish_full(
+                state.route,
+                loads=state.vertex_counts,
+                edge_loads=state.edge_counts,
+                position=self._position,
+                placements=state.placed_vertices,
+                overflows=state.capacity_overflows)
+
+    def _sync_committer(self) -> None:
+        """Barrier the pipelined committer (no-op when synchronous)."""
+        if self._committer is not None:
+            self._committer.barrier()
+
+    def _teardown_pool(self) -> None:
+        """Release the worker pool; rebind state to private copies first
+        so post-close introspection (stats, parity checks) still works.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        try:
+            pool.detach_state(self._state, self.partitioner)
+        except Exception:
+            pass
+        pool.close()
 
     def _apply_placements(
             self, placements: list[tuple[int, list[int] | None]]
@@ -758,6 +1429,10 @@ class PlacementService:
             raise ProtocolError(
                 "server is running without a snapshot_dir; nothing to "
                 "snapshot")
+        # Pipelined commits must land before the rotation: a snapshot at
+        # position P with un-fsynced lines below P still in flight would
+        # strand those lines in the *new* segment, breaking prune/replay.
+        self._sync_committer()
         path = self._checkpointer.save(self._state, self._position,
                                        self._elapsed)
         self._last_snapshot_position = self._position
@@ -810,13 +1485,23 @@ class PlacementService:
         would break ``resume_from`` parity for any later ack.  Only a
         complete flush earns the transition back to ``healthy``.
         """
+        self._sync_committer()
         flushed = 0
         if self._wal is not None and self._pending_entries:
             self._wal.append_batch(list(self._pending_entries))
             flushed = len(self._pending_entries)
             self._pending_entries.clear()
+        if self._pool is not None and self._pool_failed:
+            # Surviving workers may hold stale dispatches from the group
+            # that crashed; tear the pool down and respawn fresh.
+            self._pool.reset()
+            self._pool_failed = False
+        if self._committer is not None:
+            self._committer.broken = False
         self._snapshot_failures = 0
         self._health.transition(HEALTHY, "recovered")
+        # The flushed entries are durable now; let readers see them.
+        self._publish_state()
         return {"recovered": self._health.state == HEALTHY,
                 "flushed": flushed,
                 "health_state": self._health.state}
@@ -978,7 +1663,12 @@ class PlacementService:
 
     def _op_lookup(self, request: dict[str, Any]) -> dict[str, Any]:
         vertex = self._check_vertex(request.get("vertex"))
-        pid = int(self._state.route[vertex])
+        # Seqlock read view, never live engine state: the view only
+        # ever holds placements whose group is fsynced and acked (or
+        # durably flushed by recovery), so a lookup can never leak a
+        # placement the client was not promised — and never blocks on
+        # the engine.
+        pid = self._read_view.read_route(vertex)
         return {"vertex": vertex,
                 "pid": None if pid == UNASSIGNED else pid}
 
@@ -991,22 +1681,21 @@ class PlacementService:
         return self._op_stats()
 
     def _op_stats(self) -> dict[str, Any]:
-        with self._state_lock:
-            state = self._state
-            loads = [int(x) for x in state.vertex_counts]
-            edge_loads = [int(x) for x in state.edge_counts]
-            placements = int(state.placed_vertices)
-            overflows = int(state.capacity_overflows)
-            position = int(self._position)
+        # Lock-free: the seqlock view gives a consistent acked snapshot
+        # of the mutable numbers; everything else is either immutable
+        # (capacity, names) or monotonic counters safe to read racily.
+        view = self._read_view
+        summary = view.read_summary()
+        state = self._state
         stats: dict[str, Any] = {
             "partitioner": self.partitioner.name,
             "num_partitions": int(state.num_partitions),
-            "position": position,
-            "placements": placements,
-            "capacity_overflows": overflows,
+            "position": summary["position"],
+            "placements": summary["placements"],
+            "capacity_overflows": summary["overflows"],
             "capacity": float(state.capacity),
-            "loads": loads,
-            "edge_loads": edge_loads,
+            "loads": summary["loads"],
+            "edge_loads": summary["edge_loads"],
             "queue_depth": int(self._queue.qsize()),
             "queue_capacity": int(self._queue.maxsize),
             "groups_processed": int(self._groups_processed),
@@ -1025,6 +1714,26 @@ class PlacementService:
             "health": self._health.snapshot(),
             "admission": self._admission.stats(),
             "deadline_expired_in_queue": int(self._deadline_expired),
+            # Additive in revision 1.2: multicore-engine shape + the
+            # seqlock read path's own counters.
+            "engine": {
+                "mode": ("sharded" if self._pool is not None
+                         else "grouped" if self._parallelism > 1
+                         else "sequential"),
+                "parallelism": int(self._parallelism),
+                "processes": int(self._processes),
+                "chunks_scored": int(self._chunks_scored),
+                "pool_chunks": int(self._pool_chunks),
+                "m_aligned": bool(self._m_aligned),
+                "worker_restarts":
+                    int(self._pool.restarts) if self._pool is not None
+                    else 0,
+                "wal_pipeline": self._committer is not None,
+            },
+            "read_view": {
+                "seq": int(self._read_view.seq),
+                "retries": int(self._read_view.retries),
+            },
         }
         if self._checkpointer is not None:
             stats["durability"] = {
@@ -1036,6 +1745,12 @@ class PlacementService:
                 "wal_segment": self._wal.active_path.name,
                 "wal_pending": len(self._pending_entries),
                 "snapshot_failures": int(self._snapshot_failures),
+                "wal_pipelined_groups":
+                    int(self._committer.committed_groups)
+                    if self._committer is not None else 0,
+                "wal_inflight_requests":
+                    int(self._committer.inflight_requests)
+                    if self._committer is not None else 0,
             }
         if self._resumed_from is not None:
             stats["resumed_from"] = self._resumed_from
@@ -1124,9 +1839,16 @@ class PlacementService:
             deadline_remaining = None
             if work.deadline is not None:
                 deadline_remaining = work.deadline - time.monotonic()
+            # Pipelined commits hold acks beyond the queue: requests
+            # riding an in-flight fsync are invisible to qsize() but
+            # very much ahead of this one, so the lag estimate counts
+            # them too.
+            inflight = self._committer.inflight_requests \
+                if self._committer is not None else 0
             decision = self._admission.admit(
                 self._queue.qsize(),
-                deadline_remaining=deadline_remaining)
+                deadline_remaining=deadline_remaining,
+                inflight=inflight)
             if decision is not None:
                 self._admission.count_shed(decision.code)
                 raise ProtocolError(decision.message, code=decision.code)
@@ -1176,6 +1898,10 @@ class PlacementService:
             for thread in self._threads:
                 if thread.name == "placement-engine":
                     thread.join(timeout)
+        if self._committer is not None:
+            # Engine is drained; flush the committer's in-flight groups
+            # (their acks release) before touching the WAL ourselves.
+            self._committer.stop()
         if self._wal is not None and self._pending_entries:
             # Last chance to make unflushed entries durable; best-effort
             # only — the requests they belong to were already failed, so
@@ -1196,6 +1922,7 @@ class PlacementService:
                 pass
         if self._wal is not None:
             self._wal.close()
+        self._teardown_pool()
         with self._conn_lock:
             conns = list(self._conns)
         for conn in conns:

@@ -26,7 +26,9 @@ Record format — one compact JSON object per line::
 partition id, and ``n`` the explicit out-neighbor list the client sent —
 ``null`` when the client deferred to the loaded graph's own adjacency
 (the common case, which keeps WAL lines a few bytes instead of
-re-serializing CSR rows).
+re-serializing CSR rows).  Grouped engines (``parallelism M > 1``)
+additionally stamp ``"g"``, the scoring-group id — see
+:class:`WalEntry`; sequential-engine lines never carry it.
 
 Segments are named ``wal-<base:012d>.jsonl`` where ``base`` is the
 service position at segment creation; the log rotates to a fresh segment
@@ -50,12 +52,22 @@ _SEGMENT_RE = re.compile(r"^wal-(\d+)\.jsonl$")
 
 @dataclass(frozen=True)
 class WalEntry:
-    """One durable placement: sequence, vertex, neighbors, partition."""
+    """One durable placement: sequence, vertex, neighbors, partition.
+
+    ``group`` is the scoring-group id for placements committed by a
+    grouped (``parallelism M > 1``) engine: every entry scored against
+    the same group-start state carries the same id, and replay re-scores
+    whole groups at once so the restarted server verifies the logged
+    partition ids under the discipline that produced them.  ``None``
+    (and absent from the JSON line) for the sequential engine, keeping
+    M=1 WAL bytes identical to every earlier release.
+    """
 
     seq: int
     vertex: int
     neighbors: list[int] | None
     pid: int
+    group: int | None = None
 
 
 def segment_path(directory: str | Path, base: int) -> Path:
@@ -105,9 +117,10 @@ class PlacementLog:
             return
         lines = []
         for e in entries:
-            lines.append(json.dumps(
-                {"s": e.seq, "v": e.vertex, "n": e.neighbors, "p": e.pid},
-                separators=(",", ":")))
+            obj = {"s": e.seq, "v": e.vertex, "n": e.neighbors, "p": e.pid}
+            if e.group is not None:
+                obj["g"] = e.group
+            lines.append(json.dumps(obj, separators=(",", ":")))
         self._fh.write("\n".join(lines) + "\n")
         self._fh.flush()
         if self.fsync:
@@ -184,8 +197,10 @@ def replay_entries(directory: str | Path, *,
                 raise ValueError(pending_error)
             try:
                 obj = json.loads(line)
+                group = obj.get("g")
                 entry = WalEntry(seq=int(obj["s"]), vertex=int(obj["v"]),
-                                 neighbors=obj["n"], pid=int(obj["p"]))
+                                 neighbors=obj["n"], pid=int(obj["p"]),
+                                 group=None if group is None else int(group))
             except (ValueError, KeyError, TypeError):
                 # Possibly the torn final line; only an error if more
                 # valid lines follow.

@@ -313,6 +313,33 @@ class TestCrossAffinityWarnings:
         assert compare_artifacts(art, art).warnings == []
 
 
+class TestRegimeBoundaryWarnings:
+    """A sharded service bench recorded on a 1-CPU host
+    (scaling_expected=false) must not gate silently against a multicore
+    baseline: the delta measures the host's core budget, not the code."""
+
+    def test_scaling_expected_flip_warns_loudly(self):
+        base = make_streaming_artifact()
+        base["config"]["scaling_expected"] = True
+        cand = copy.deepcopy(base)
+        cand["config"]["scaling_expected"] = False
+        result = compare_artifacts(base, cand)
+        assert any("REGIME BOUNDARY" in w for w in result.warnings)
+
+    def test_matching_regime_stays_silent(self):
+        art = make_streaming_artifact()
+        art["config"]["scaling_expected"] = False
+        result = compare_artifacts(art, copy.deepcopy(art))
+        assert not any("REGIME BOUNDARY" in w for w in result.warnings)
+
+    def test_absent_flag_is_not_a_boundary(self):
+        # Pre-multicore artifacts have no scaling_expected at all;
+        # comparing two of them must not invent a regime crossing.
+        art = make_streaming_artifact()
+        result = compare_artifacts(art, copy.deepcopy(art))
+        assert not any("REGIME BOUNDARY" in w for w in result.warnings)
+
+
 class TestReportRendering:
     def test_report_header_carries_commit_and_dirty(self):
         from repro.bench.report import format_compare_report

@@ -146,11 +146,13 @@ class TestExecutorSchedules:
                                        parallelism=4, num_workers=2)
         assert report.ok, report.invariants
 
-    def test_kill_worker_rejected_in_service_mode(self, graph, config,
-                                                  tmp_path):
+    def test_kill_worker_noop_on_single_process_service(self, graph,
+                                                        config, tmp_path):
+        # kill_worker is a documented no-op against an unsharded server:
+        # the schedule runs to completion with every invariant intact.
         schedule = ChaosSchedule(
-            name="wrong-mode", steps=2,
+            name="kill-noop", steps=2,
             events=[FaultEvent(0, "kill_worker")])
-        with pytest.raises(ValueError, match="kill_worker"):
-            run_schedule(schedule, graph, workdir=tmp_path,
-                         config=config)
+        report = run_schedule(schedule, graph, workdir=tmp_path,
+                              config=config)
+        assert report.ok, report.invariants

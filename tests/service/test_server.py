@@ -345,7 +345,7 @@ class TestResilience:
     """Revision 1.1 surface: deadlines, degraded modes, recovery."""
 
     def test_hello_advertises_the_revision(self, client):
-        assert client.server_info["revision"] == "1.1"
+        assert client.server_info["revision"] == "1.2"
 
     def test_health_reports_state_and_shed_rate(self, client):
         health = client.health()

@@ -1,0 +1,261 @@
+"""Sharded scoring engine + lock-free read path (the multicore server).
+
+Three contracts under test:
+
+* **Byte parity** — at the same group size M, the sharded engine
+  (``processes=N``) produces the identical route table *and* identical
+  WAL bytes as the single-process grouped engine, and both match the
+  deterministic :class:`~repro.parallel.SimulatedParallelPartitioner`
+  at the same M.  Worker processes are a throughput knob, never a
+  semantics knob.
+* **Durability under worker death** — SIGKILLing a scoring worker
+  (including mid-group, via the pool's barrier hook) loses no acked
+  placement: supervision respawns the worker and the stream completes
+  with the same bytes.
+* **Acked-only reads** — ``lookup``/``stats`` serve from a
+  seqlock-versioned view published only after a group's WAL fsync, so
+  concurrent readers can never observe an unacked or torn placement,
+  even while the WAL is failing or the writer is held mid-publish.
+"""
+
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import PartitionConfig
+from repro.graph import GraphStream, community_web_graph
+from repro.parallel import SimulatedParallelPartitioner
+from repro.service import PlacementService, ServiceClient, ServiceError
+
+K = 8
+N = 384
+M = 8          # scoring group size; batches below stay multiples of M
+BATCH = 64
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_web_graph(N, avg_degree=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PartitionConfig(method="spnl", num_partitions=K)
+
+
+@pytest.fixture(scope="module")
+def simulated_route(graph, config):
+    """The M-grouped deterministic reference (use_rct=False, like the
+    service engine)."""
+    sim = SimulatedParallelPartitioner(
+        config.make(), parallelism=M, use_rct=False)
+    return sim.partition(GraphStream(graph)).assignment.route
+
+
+def _place_all(svc):
+    with ServiceClient(*svc.address) as client:
+        for start in range(0, N, BATCH):
+            client.place_batch(list(range(start, start + BATCH)))
+
+
+def _wal_bytes(snapshot_dir: Path) -> bytes:
+    return b"".join(p.read_bytes()
+                    for p in sorted(snapshot_dir.glob("wal-*")))
+
+
+class TestByteParity:
+    def test_processes_is_a_throughput_knob_only(self, graph, config,
+                                                 tmp_path,
+                                                 simulated_route):
+        """Same M, same trace: route and WAL bytes identical at
+        processes=1 and processes=2, both equal to the simulated
+        M-executor."""
+        routes, wal_blobs = [], []
+        for procs in (1, 2):
+            state = tmp_path / f"state-p{procs}"
+            with PlacementService.start(
+                    graph, config=config, snapshot_dir=state,
+                    parallelism=M, processes=procs) as svc:
+                _place_all(svc)
+                routes.append(np.array(svc._state.route))
+                wal_blobs.append(_wal_bytes(state))
+                engine = svc.stats()["engine"]
+                assert engine["m_aligned"] is True
+                assert engine["wal_pipeline"] is True
+                if procs == 2:
+                    assert engine["mode"] == "sharded"
+                    assert engine["pool_chunks"] > 0
+        assert np.array_equal(routes[0], routes[1])
+        assert wal_blobs[0] == wal_blobs[1]
+        assert len(wal_blobs[0]) > 0
+        assert np.array_equal(routes[0], simulated_route)
+
+    def test_engine_stats_surface(self, graph, config):
+        with PlacementService.start(graph, config=config,
+                                    parallelism=M, processes=2) as svc:
+            _place_all(svc)
+            stats = svc.stats()
+            engine = stats["engine"]
+            assert engine["processes"] == 2
+            assert engine["parallelism"] == M
+            assert engine["chunks_scored"] >= N // M
+            assert engine["worker_restarts"] == 0
+            # Volatile server: no WAL, so nothing to pipeline.
+            assert engine["wal_pipeline"] is False
+            view = stats["read_view"]
+            assert view["seq"] % 2 == 0
+            assert view["retries"] >= 0
+
+
+class TestWorkerDeath:
+    def test_mid_group_sigkill_loses_nothing(self, graph, config,
+                                             tmp_path,
+                                             simulated_route):
+        """SIGKILL a worker inside a group's dispatch window: the
+        group retries on the respawned pool and the full stream still
+        lands byte-identical, with every acked placement in the WAL."""
+        state = tmp_path / "state"
+        with PlacementService.start(
+                graph, config=config, snapshot_dir=state,
+                parallelism=M, processes=2) as svc:
+            pool = svc._pool
+
+            def hook(group_index, procs):
+                pool.barrier_hook = None  # one-shot
+                victim = procs[0]
+                if victim is not None and victim.is_alive():
+                    os.kill(victim.pid, signal.SIGKILL)
+
+            with ServiceClient(*svc.address) as client:
+                client.place_batch(list(range(0, BATCH)))
+                pool.barrier_hook = hook
+                for start in range(BATCH, N, BATCH):
+                    client.place_batch(
+                        list(range(start, start + BATCH)))
+            assert svc.stats()["engine"]["worker_restarts"] >= 1
+            assert np.array_equal(svc._state.route, simulated_route)
+            final_route = np.array(svc._state.route)
+
+        # Every acked placement survived into durable state: a cold
+        # resume reconstructs the identical route table.
+        with PlacementService(graph, config=config,
+                              resume_from=state) as revived:
+            assert np.array_equal(revived._state.route, final_route)
+
+
+class TestAckedOnlyReads:
+    def test_lookup_never_observes_unacked_placements(
+            self, graph, config, tmp_path):
+        """While the WAL is failing, applied-but-unacked placements
+        stay invisible to lookup/stats; recovery (which makes them
+        durable) is what publishes them."""
+        from repro.recovery.chaos import FlakyWAL
+
+        holder = {}
+
+        def factory(directory, *, start=0, fsync=True):
+            holder["wal"] = FlakyWAL(directory, start=start, fsync=fsync)
+            return holder["wal"]
+
+        with PlacementService.start(
+                graph, config=config, snapshot_dir=tmp_path / "state",
+                wal_factory=factory, parallelism=M) as svc:
+            with ServiceClient(*svc.address) as client:
+                client.place_batch(list(range(0, BATCH)))
+                holder["wal"].fail()
+                with pytest.raises(ServiceError) as err:
+                    client.place_batch(list(range(BATCH, 2 * BATCH)))
+                assert err.value.code == "read_only"
+                # The engine applied the group in memory...
+                assert int(svc._state.route[BATCH]) >= 0
+                # ...but no reader may see it: it was never acked.
+                for v in range(BATCH, 2 * BATCH):
+                    assert client.lookup(v) is None
+                stats = client.stats()
+                assert stats["placements"] == BATCH
+                assert sum(stats["loads"]) == BATCH
+
+                holder["wal"].restore()
+                assert svc.try_recover()["recovered"] is True
+                # Recovery flushed the parked entries to the WAL —
+                # now durable, now visible.
+                for v in range(BATCH, 2 * BATCH):
+                    assert client.lookup(v) == int(svc._state.route[v])
+
+    def test_concurrent_lookups_stay_consistent_under_churn(
+            self, graph, config):
+        """Lookups racing the publish path: an already-acked vertex
+        always answers its (immutable) pid, and the stats snapshot is
+        never torn — published loads always sum to published
+        placements.  ``hold_seconds`` widens the seqlock's odd window
+        so the retry path provably runs."""
+        with PlacementService.start(graph, config=config,
+                                    parallelism=M) as svc:
+            with ServiceClient(*svc.address) as writer:
+                writer.place_batch(list(range(0, BATCH)))
+                expected = {v: int(svc._state.route[v])
+                            for v in range(BATCH)}
+                svc._read_view.hold_seconds = 0.002
+                stop = threading.Event()
+                failures: list[str] = []
+
+                def reader():
+                    try:
+                        with ServiceClient(*svc.address) as c:
+                            while not stop.is_set():
+                                for v in (0, 7, 31, BATCH - 1):
+                                    got = c.lookup(v)
+                                    if got != expected[v]:
+                                        failures.append(
+                                            f"v{v}: {got} != "
+                                            f"{expected[v]}")
+                                stats = c.stats()
+                                if (sum(stats["loads"])
+                                        != stats["placements"]):
+                                    failures.append(
+                                        f"torn stats: {stats['loads']}"
+                                        f" vs {stats['placements']}")
+                    except Exception as exc:  # surfaced below
+                        failures.append(repr(exc))
+
+                thread = threading.Thread(target=reader, daemon=True)
+                thread.start()
+                try:
+                    for start in range(BATCH, N, M):
+                        writer.place_batch(
+                            list(range(start, start + M)))
+                        time.sleep(0.001)
+                finally:
+                    stop.set()
+                    thread.join(10.0)
+                svc._read_view.hold_seconds = 0.0
+                assert not failures, failures[:5]
+                assert svc._read_view.retries > 0
+
+    def test_reads_keep_serving_while_read_only(self, graph, config,
+                                                tmp_path):
+        from repro.recovery.chaos import FlakyWAL
+
+        holder = {}
+
+        def factory(directory, *, start=0, fsync=True):
+            holder["wal"] = FlakyWAL(directory, start=start, fsync=fsync)
+            return holder["wal"]
+
+        with PlacementService.start(
+                graph, config=config, snapshot_dir=tmp_path / "state",
+                wal_factory=factory, parallelism=M, processes=2) as svc:
+            with ServiceClient(*svc.address) as client:
+                client.place_batch(list(range(0, BATCH)))
+                holder["wal"].fail()
+                with pytest.raises(ServiceError):
+                    client.place_batch(
+                        list(range(BATCH, 2 * BATCH)))
+                assert client.health()["health_state"] == "read_only"
+                assert client.lookup(0) == int(svc._state.route[0])
+                assert client.stats()["placements"] == BATCH
