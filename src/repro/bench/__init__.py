@@ -1,5 +1,6 @@
-"""Benchmark harness: datasets, runners, table/figure regeneration, and
-the baseline-store / statistical-compare regression gate."""
+"""Benchmark harness: datasets, runners, table/figure regeneration, the
+baseline-store / statistical-compare regression gate, and the perf
+history pipeline (per-stage profiling, tidy export, static dashboard)."""
 
 from .baseline import (
     BaselineError,
@@ -18,7 +19,15 @@ from .compare import (
     compare_artifacts,
     compare_samples,
 )
+from .dashboard import build_dashboard, render_dashboard
 from .datasets import DATASETS, DatasetSpec, clear_cache, load, load_all
+from .export import (
+    CSV_COLUMNS,
+    HISTORY_FORMAT,
+    HISTORY_VERSION,
+    export_history,
+    rows_to_csv,
+)
 from .figures import (
     FigureData,
     ablation_decay,
@@ -40,6 +49,7 @@ from .micro import (
     run_streaming_microbench,
 )
 from .parallel import bench_parallel_method, run_parallel_scaling_bench
+from .profile import PROFILE_MODES, BenchProfiler, default_profile_dir
 from .report import (
     format_compare_report,
     format_markdown,
@@ -59,12 +69,22 @@ from .tables import (
 
 __all__ = [
     "BaselineError",
+    "BenchProfiler",
     "BenchRecord",
+    "CSV_COLUMNS",
     "CompareError",
     "ComparisonResult",
     "DATASETS",
     "DEFAULT_METHODS",
+    "HISTORY_FORMAT",
+    "HISTORY_VERSION",
     "MetricDelta",
+    "PROFILE_MODES",
+    "build_dashboard",
+    "default_profile_dir",
+    "export_history",
+    "render_dashboard",
+    "rows_to_csv",
     "bench_method",
     "bench_parallel_method",
     "compare_artifacts",

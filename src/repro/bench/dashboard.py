@@ -1,0 +1,276 @@
+"""Static perf dashboard: the history export rendered as one HTML page.
+
+``repro-partition bench dashboard`` turns the tidy time series from
+:mod:`repro.bench.export` into a single self-contained HTML file —
+inline CSS, inline SVG sparklines, zero JavaScript, zero network
+fetches — suitable for uploading as a CI artifact and opening from a
+``file://`` URL.
+
+Layout rules mirror the compare module's discipline:
+
+* one **series** per ``(bench, metric, fingerprint key)`` — rows from
+  different machine fingerprints are never drawn on the same sparkline
+  (cross-host timings are not one trajectory);
+* **baseline markers**: points sourced from the promoted baseline store
+  are drawn as rings around the trajectory dot, so "where the gate's
+  reference sits" is visible at a glance;
+* **regime boundaries**: a flip of ``scaling_expected`` between
+  consecutive points is drawn as a dashed vertical rule and called out
+  in the notes column — the same "REGIME BOUNDARY" shout
+  ``compare.py`` prints, because a latency step across that line
+  measures the host's core budget, not the code;
+* **profile links**: artifacts that embedded a ``profile`` entry get a
+  per-stage link list (pstats dump, top-N text, collapsed stacks) so a
+  regression spotted on a sparkline is one click from its flamegraph
+  input;
+* **skipped inputs** are listed verbatim — a quarantined artifact must
+  be visible in the dashboard, not silently absent from it.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..recovery.atomic import atomic_write_text
+
+__all__ = ["build_dashboard", "render_dashboard"]
+
+_SPARK_W = 260
+_SPARK_H = 48
+_PAD = 6
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1c2733;
+       background: #fcfdfe; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem;
+     border-bottom: 1px solid #d7dee6; padding-bottom: .25rem; }
+table { border-collapse: collapse; width: 100%; font-size: .85rem; }
+th, td { text-align: left; padding: .3rem .55rem;
+         border-bottom: 1px solid #e4e9ef; vertical-align: middle; }
+th { background: #f0f4f8; }
+code { background: #f0f4f8; padding: 0 .25rem; border-radius: 3px; }
+.spark { display: block; }
+.trend-line { fill: none; stroke: #2267b5; stroke-width: 1.5; }
+.pt { fill: #2267b5; }
+.pt-baseline { fill: #fff; stroke: #d07c1f; stroke-width: 2; }
+.regime { stroke: #b03030; stroke-width: 1; stroke-dasharray: 3 3; }
+.flag-ok { color: #1d7a3d; } .flag-bad { color: #b03030;
+                                         font-weight: 600; }
+.note-regime { color: #b03030; }
+.muted { color: #66727f; }
+.skip { color: #8a5a1a; }
+footer { margin-top: 2.5rem; font-size: .75rem; color: #66727f; }
+"""
+
+
+def _fmt_value(row: Mapping[str, Any]) -> str:
+    if row.get("unit") == "bool":
+        return ("<span class='flag-ok'>&#10003;</span>"
+                if row.get("value") else
+                "<span class='flag-bad'>&#10007;</span>")
+    value = float(row["value"])
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1e3:.3f}ms"
+
+
+def _sparkline(points: list[Mapping[str, Any]]) -> str:
+    """Inline SVG trajectory for one series, oldest to newest."""
+    values = [float(p["value"]) for p in points]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+
+    def x(i: int) -> float:
+        if len(points) == 1:
+            return _SPARK_W / 2.0
+        return _PAD + i * (_SPARK_W - 2 * _PAD) / (len(points) - 1)
+
+    def y(v: float) -> float:
+        return _SPARK_H - _PAD - (v - lo) / span * (_SPARK_H - 2 * _PAD)
+
+    parts = [f"<svg class='spark' width='{_SPARK_W}' "
+             f"height='{_SPARK_H}' viewBox='0 0 {_SPARK_W} {_SPARK_H}' "
+             f"role='img'>"]
+    if len(points) > 1:
+        coords = " ".join(f"{x(i):.1f},{y(v):.1f}"
+                          for i, v in enumerate(values))
+        parts.append(f"<polyline class='trend-line' points='{coords}'/>")
+    for i in range(1, len(points)):
+        prev, cur = points[i - 1], points[i]
+        if prev.get("scaling_expected") is None \
+                or cur.get("scaling_expected") is None:
+            continue
+        if bool(prev["scaling_expected"]) != bool(cur["scaling_expected"]):
+            mid = (x(i - 1) + x(i)) / 2.0
+            parts.append(f"<line class='regime' x1='{mid:.1f}' y1='2' "
+                         f"x2='{mid:.1f}' y2='{_SPARK_H - 2}'/>")
+    for i, point in enumerate(points):
+        cls = ("pt-baseline" if point.get("source") == "baseline"
+               else "pt")
+        title = html.escape(
+            f"{point.get('commit') or 'no-commit'} "
+            f"({point.get('source')}): {point['value']!r}")
+        parts.append(
+            f"<circle class='{cls}' cx='{x(i):.1f}' "
+            f"cy='{y(values[i]):.1f}' r='3'><title>{title}</title>"
+            f"</circle>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _series(rows: Iterable[Mapping[str, Any]]
+            ) -> dict[tuple[str, str, str], list[Mapping[str, Any]]]:
+    """Group rows into (bench, metric, fingerprint_key) trajectories.
+
+    Grouping *includes* the fingerprint key on purpose: merging hosts
+    into one line is exactly the cross-fingerprint comparison the rest
+    of the bench stack refuses to make.
+    """
+    out: dict[tuple[str, str, str], list[Mapping[str, Any]]] = {}
+    for row in rows:
+        key = (str(row["bench"]), str(row["metric"]),
+               str(row["fingerprint_key"]))
+        out.setdefault(key, []).append(row)
+    for points in out.values():
+        points.sort(key=lambda r: (r["created_unix"], r["path"]))
+    return out
+
+
+def _notes(points: list[Mapping[str, Any]]) -> str:
+    notes = []
+    flips = 0
+    for i in range(1, len(points)):
+        a = points[i - 1].get("scaling_expected")
+        b = points[i].get("scaling_expected")
+        if a is not None and b is not None and bool(a) != bool(b):
+            flips += 1
+    if flips:
+        notes.append(f"<span class='note-regime'>REGIME BOUNDARY "
+                     f"(&times;{flips}): scaling_expected flipped "
+                     f"mid-series</span>")
+    if points and points[0].get("unit") == "bool" \
+            and any(not p["value"] for p in points):
+        notes.append("<span class='flag-bad'>identity lost in at least "
+                     "one run</span>")
+    return "; ".join(notes) or "<span class='muted'>&mdash;</span>"
+
+
+def _relative(target: str | None, base: Path) -> str | None:
+    if not target:
+        return None
+    t = Path(target)
+    try:
+        return t.resolve().relative_to(base.resolve()).as_posix()
+    except (ValueError, OSError):
+        return t.as_posix()
+
+
+def render_dashboard(history: Mapping[str, Any], *,
+                     title: str = "repro bench — perf history",
+                     out_dir: str | Path = ".") -> str:
+    """Render a history export (see :mod:`repro.bench.export`) to HTML."""
+    rows = list(history.get("rows", []))
+    series = _series(rows)
+    benches = sorted({key[0] for key in series})
+    out_dir = Path(out_dir)
+
+    doc = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='muted'>{len(series)} series over {len(rows)} rows; "
+        "one series per (bench, metric, machine-fingerprint key) — "
+        "hosts are never merged. Ringed points are promoted baselines; "
+        "dashed red rules mark <code>scaling_expected</code> regime "
+        "boundaries.</p>",
+    ]
+
+    for bench in benches:
+        doc.append(f"<h2 id='{html.escape(bench)}'>"
+                   f"{html.escape(bench)}</h2>")
+        doc.append("<table><tr><th>metric</th><th>fingerprint</th>"
+                   "<th>trajectory</th><th>latest</th><th>points</th>"
+                   "<th>notes</th></tr>")
+        for (b, metric, key), points in sorted(series.items()):
+            if b != bench:
+                continue
+            latest = points[-1]
+            doc.append(
+                "<tr>"
+                f"<td><code>{html.escape(metric)}</code></td>"
+                f"<td><code>{html.escape(key)}</code></td>"
+                f"<td>{_sparkline(points)}</td>"
+                f"<td>{_fmt_value(latest)} <span class='muted'>"
+                f"@{html.escape(str(latest.get('commit') or '?'))}"
+                f"</span></td>"
+                f"<td>{len(points)}</td>"
+                f"<td>{_notes(points)}</td>"
+                "</tr>")
+        doc.append("</table>")
+
+    profiles = history.get("profiles") or []
+    doc.append("<h2>Profile artifacts</h2>")
+    if profiles:
+        doc.append("<table><tr><th>bench</th><th>stage</th><th>mode</th>"
+                   "<th>overhead</th><th>artifacts</th></tr>")
+        for prof in profiles:
+            for stage in prof.get("stages", []):
+                links = []
+                for label, field in (("pstats", "pstats_path"),
+                                     ("top-N", "top_path"),
+                                     ("stacks", "collapsed_path")):
+                    rel = _relative(stage.get(field), out_dir)
+                    if rel:
+                        links.append(f"<a href='{html.escape(rel)}'>"
+                                     f"{label}</a>")
+                overhead = stage.get("overhead_pct")
+                doc.append(
+                    "<tr>"
+                    f"<td>{html.escape(str(prof.get('bench')))}</td>"
+                    f"<td><code>{html.escape(str(stage.get('stage')))}"
+                    "</code></td>"
+                    f"<td>{html.escape(str(stage.get('mode')))}</td>"
+                    f"<td>{'&mdash;' if overhead is None else f'{overhead:+.0f}%'}</td>"
+                    f"<td>{' &middot; '.join(links) or '&mdash;'}</td>"
+                    "</tr>")
+        doc.append("</table>")
+    else:
+        doc.append("<p class='muted'>No profiled runs in this export — "
+                   "rerun a bench with <code>--profile cprofile</code> "
+                   "to populate this section.</p>")
+
+    skipped = history.get("skipped") or []
+    doc.append("<h2>Skipped inputs</h2>")
+    if skipped:
+        doc.append("<table><tr><th>path</th><th>reason</th></tr>")
+        for skip in skipped:
+            doc.append(
+                f"<tr><td><code>{html.escape(str(skip.get('path')))}"
+                f"</code></td><td class='skip'>"
+                f"{html.escape(str(skip.get('reason')))}</td></tr>")
+        doc.append("</table>")
+    else:
+        doc.append("<p class='muted'>Every input parsed cleanly.</p>")
+
+    doc.append("<footer>Generated by <code>repro-partition bench "
+               "dashboard</code> — self-contained, no network. "
+               "Workflow: <code>docs/profiling.md</code>.</footer>")
+    doc.append("</body></html>")
+    return "\n".join(doc) + "\n"
+
+
+def build_dashboard(history: Mapping[str, Any], out_path: str | Path, *,
+                    title: str = "repro bench — perf history") -> Path:
+    """Render and atomically write the dashboard; returns its path."""
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    html_text = render_dashboard(history, title=title,
+                                 out_dir=out_path.parent)
+    atomic_write_text(out_path, html_text)
+    return out_path

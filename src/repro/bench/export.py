@@ -1,0 +1,263 @@
+"""Perf-history export: bench artifacts + baselines -> tidy time series.
+
+``repro-partition bench export`` walks the repo's ``BENCH_*.json``
+artifacts and the promoted baseline store and flattens them into one
+tidy table — a row per ``(bench kind, metric, source file)`` carrying
+the median, sample count, commit provenance, and the machine
+fingerprint key.  The dashboard (:mod:`repro.bench.dashboard`) renders
+that table; anything else (pandas, a spreadsheet) can consume the CSV.
+
+Two disciplines are inherited from the compare module rather than
+reinvented:
+
+* **Fingerprint keys are never merged.**  Every row carries the
+  ``fingerprint_key`` digest (:func:`repro.bench.baseline
+  .fingerprint_key`); consumers group by ``(bench, metric,
+  fingerprint_key)``, so numbers from a 1-CPU CI container and an
+  8-core workstation land in *separate* series the same way
+  ``compare.py`` refuses to gate across hosts silently.
+* **Malformed inputs are quarantined, not fatal.**  A pre-PR-5 layout,
+  a partially-written artifact, or a hand-edited baseline is skipped
+  with a recorded reason (the lenient-ingest quarantine pattern from
+  :mod:`repro.recovery.lenient`), so one torn file can never crash the
+  dashboard build in CI.  The skip list rides in the export payload and
+  is rendered by the dashboard.
+
+The export itself is deterministic: rows are fully sorted and no
+timestamp is stamped into the payload, so exporting the same inputs
+twice yields byte-identical JSON/CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import statistics
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from .baseline import (
+    BASELINE_FORMAT,
+    BaselineError,
+    DEFAULT_BASELINE_DIR,
+    fingerprint_key,
+    validate_baseline,
+)
+from .compare import CompareError, extract_identity_flags, extract_metrics
+
+__all__ = [
+    "CSV_COLUMNS",
+    "HISTORY_FORMAT",
+    "HISTORY_VERSION",
+    "default_artifact_paths",
+    "export_history",
+    "rows_to_csv",
+]
+
+HISTORY_FORMAT = "repro-bench-history"
+HISTORY_VERSION = 1
+
+#: Fixed CSV column order; the JSON rows carry exactly these keys.
+CSV_COLUMNS = (
+    "bench", "metric", "unit", "value", "n", "min", "max", "commit",
+    "dirty", "fingerprint_key", "created_unix", "scaling_expected",
+    "source", "path",
+)
+
+#: Everything a half-written or pre-PR-5 artifact can throw while its
+#: metrics are pulled out.  Deliberately broad: the export must survive
+#: any malformed input, and the reason string keeps the skip debuggable.
+_QUARANTINE_ERRORS = (CompareError, BaselineError, KeyError, TypeError,
+                      ValueError, AttributeError, statistics.StatisticsError)
+
+
+def default_artifact_paths(root: str | Path = ".") -> list[Path]:
+    """The conventional inputs: every ``BENCH_*.json`` under ``root``."""
+    return sorted(Path(root).glob("BENCH_*.json"))
+
+
+def _artifact_rows(artifact: Mapping[str, Any], *, path: str,
+                   source: str) -> list[dict[str, Any]]:
+    """Tidy rows for one parsed artifact (raises on malformed layouts)."""
+    bench = artifact.get("benchmark")
+    machine = artifact.get("machine")
+    if not isinstance(machine, dict):
+        raise CompareError("artifact carries no machine fingerprint")
+    key = fingerprint_key(machine)
+    config = artifact.get("config") or {}
+    scaling = config.get("scaling_expected")
+    created = artifact.get("created_unix")
+    if not isinstance(created, (int, float)) or isinstance(created, bool):
+        raise CompareError("artifact carries no created_unix timestamp")
+
+    common = {
+        "bench": bench,
+        "commit": machine.get("commit"),
+        "dirty": machine.get("dirty"),
+        "fingerprint_key": key,
+        "created_unix": float(created),
+        "scaling_expected": (bool(scaling) if scaling is not None
+                             else None),
+        "source": source,
+        "path": path,
+    }
+    rows: list[dict[str, Any]] = []
+    metrics = extract_metrics(artifact)
+    for name in sorted(metrics):
+        samples = [float(x) for x in metrics[name]]
+        if not samples:
+            raise CompareError(f"metric {name!r} has no samples")
+        rows.append({
+            "metric": name, "unit": "s",
+            "value": statistics.median(samples),
+            "n": len(samples),
+            "min": min(samples), "max": max(samples),
+            **common,
+        })
+    for flag, ok in sorted(extract_identity_flags(artifact).items()):
+        value = 1.0 if ok else 0.0
+        rows.append({
+            "metric": flag, "unit": "bool",
+            "value": value, "n": 1, "min": value, "max": value,
+            **common,
+        })
+    return rows
+
+
+def _profile_entry(artifact: Mapping[str, Any], *, path: str
+                   ) -> dict[str, Any] | None:
+    """Profile provenance for the dashboard's artifact links."""
+    profile = artifact.get("profile")
+    if not isinstance(profile, dict) or not profile.get("stages"):
+        return None
+    stages = []
+    for stage in profile["stages"]:
+        if not isinstance(stage, dict) or "stage" not in stage:
+            continue
+        stages.append({
+            "stage": stage.get("stage"),
+            "mode": stage.get("mode"),
+            "pstats_path": stage.get("pstats_path"),
+            "top_path": stage.get("top_path"),
+            "collapsed_path": stage.get("collapsed_path"),
+            "overhead_pct": stage.get("overhead_pct"),
+        })
+    if not stages:
+        return None
+    return {
+        "bench": artifact.get("benchmark"),
+        "artifact_path": path,
+        "mode": profile.get("mode"),
+        "out_dir": profile.get("out_dir"),
+        "stages": stages,
+    }
+
+
+def export_history(artifact_paths: Iterable[str | Path] | None = None,
+                   baselines_dir: str | Path | None = DEFAULT_BASELINE_DIR,
+                   *, root: str | Path = ".",
+                   warn: Callable[[str], None] | None = None
+                   ) -> dict[str, Any]:
+    """Walk artifacts + baselines; return the tidy history payload.
+
+    ``artifact_paths`` defaults to every ``BENCH_*.json`` under ``root``;
+    ``baselines_dir`` (when it exists) contributes every promoted
+    envelope as a ``source: "baseline"`` row set.  Unreadable or
+    unrecognizable inputs are skipped with a recorded reason (and a
+    ``warn`` callback, when given) — never an exception.
+    """
+    skipped: list[dict[str, str]] = []
+
+    def _skip(path: str, reason: str) -> None:
+        skipped.append({"path": path, "reason": reason})
+        if warn is not None:
+            warn(f"skipped {path}: {reason}")
+
+    sources: list[tuple[str, str]] = []  # (path, kind)
+    if artifact_paths is None:
+        artifact_paths = default_artifact_paths(root)
+    for p in artifact_paths:
+        sources.append((str(p), "artifact"))
+    if baselines_dir is not None:
+        bdir = Path(baselines_dir)
+        if bdir.is_dir():
+            for p in sorted(bdir.glob("*.json")):
+                sources.append((str(p), "baseline"))
+
+    rows: list[dict[str, Any]] = []
+    profiles: list[dict[str, Any]] = []
+    for path, kind in sources:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            _skip(path, f"unreadable: {exc}")
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            _skip(path, f"not valid JSON (torn or partial write): {exc}")
+            continue
+        if not isinstance(obj, dict):
+            _skip(path, "not a JSON object")
+            continue
+        source = kind
+        if obj.get("format") == BASELINE_FORMAT:
+            # An envelope can appear in either input set; it is always a
+            # baseline row, and a hand-edited one is quarantined.
+            try:
+                validate_baseline(obj)
+            except BaselineError as exc:
+                _skip(path, f"invalid baseline envelope: {exc}")
+                continue
+            artifact = obj["artifact"]
+            source = "baseline"
+        else:
+            artifact = obj
+        try:
+            rows.extend(_artifact_rows(artifact, path=path, source=source))
+        except _QUARANTINE_ERRORS as exc:
+            _skip(path, f"unrecognized or partial artifact layout "
+                        f"({type(exc).__name__}: {exc})")
+            continue
+        entry = _profile_entry(artifact, path=path)
+        if entry is not None:
+            profiles.append(entry)
+
+    rows.sort(key=lambda r: (r["bench"], r["metric"], r["fingerprint_key"],
+                             r["created_unix"], r["source"], r["path"]))
+    profiles.sort(key=lambda p: (str(p["bench"]), p["artifact_path"]))
+    skipped.sort(key=lambda s: s["path"])
+    return {
+        "format": HISTORY_FORMAT,
+        "version": HISTORY_VERSION,
+        "rows": rows,
+        "profiles": profiles,
+        "skipped": skipped,
+    }
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, Any]]) -> str:
+    """Render history rows as CSV (fixed :data:`CSV_COLUMNS` order).
+
+    ``None`` fields serialize as empty cells; booleans as
+    ``true``/``false`` so the CSV round-trips losslessly against the
+    JSON payload (pinned by the export tests).
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for row in rows:
+        cells = []
+        for col in CSV_COLUMNS:
+            value = row.get(col)
+            if value is None:
+                cells.append("")
+            elif isinstance(value, bool):
+                cells.append("true" if value else "false")
+            elif isinstance(value, float):
+                cells.append(repr(value))
+            else:
+                cells.append(str(value))
+        writer.writerow(cells)
+    return buf.getvalue()

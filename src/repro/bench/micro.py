@@ -191,12 +191,16 @@ def bench_method(method: str, graph, k: int, *, warmup: int = 1,
 def run_streaming_microbench(
         *, n: int = 20000, k: int = 32, warmup: int = 1, repeats: int = 5,
         seed: int = 11, methods: tuple[str, ...] = DEFAULT_METHODS,
-        out_path: str | Path | None = "BENCH_streaming.json"
-) -> dict[str, Any]:
+        out_path: str | Path | None = "BENCH_streaming.json",
+        profile=None) -> dict[str, Any]:
     """Full fast-vs-seed sweep on a synthetic web graph; optional JSON.
 
     Returns the artifact dict; when ``out_path`` is given it is also
-    written there (UTF-8 JSON, trailing newline).
+    written there (UTF-8 JSON, trailing newline).  ``profile`` (a
+    :class:`repro.bench.profile.BenchProfiler`) adds one *extra*
+    profiled fast-path pass per method after the timed repeats — the
+    timed samples above are untouched, and each profiled pass's route
+    table is checked byte-identical against an unprofiled reference.
     """
     from ..graph.generators import community_web_graph
 
@@ -206,6 +210,20 @@ def run_streaming_microbench(
         kwargs = {"num_shards": 1} if method in ("spn", "spnl") else {}
         results.append(bench_method(method, graph, k, warmup=warmup,
                                     repeats=repeats, **kwargs))
+    if profile is not None:
+        from ..graph.stream import GraphStream
+        from ..partitioning.registry import make_partitioner
+        for rec in results:
+            method, kwargs = rec["method"], rec["kwargs"]
+            reference = make_partitioner(method, k, **kwargs).partition(
+                GraphStream(graph), fast=True).assignment.route
+            profile.profile_stage(
+                f"{method}/fast",
+                lambda m=method, kw=kwargs: make_partitioner(
+                    m, k, **kw).partition(GraphStream(graph), fast=True),
+                reference_s=rec["fast"]["median_s"],
+                check=lambda res, ref=reference: bool(np.array_equal(
+                    res.assignment.route, ref)))
     artifact = {
         "benchmark": "streaming-hot-path",
         "created_unix": time.time(),
@@ -221,6 +239,8 @@ def run_streaming_microbench(
         },
         "results": results,
     }
+    if profile is not None:
+        artifact["profile"] = profile.entry()
     if out_path is not None:
         # Atomic write: never leave a truncated artifact where a prior
         # complete one stood (CI diffs these files across runs).

@@ -129,12 +129,17 @@ def run_parallel_scaling_bench(
         *, n: int = 20000, k: int = 32, parallelism: int = 4,
         num_workers: int | None = None, warmup: int = 1, repeats: int = 5,
         seed: int = 11, methods: tuple[str, ...] = ("spnl",),
-        out_path: str | Path | None = "BENCH_parallel.json"
-) -> dict[str, Any]:
+        out_path: str | Path | None = "BENCH_parallel.json",
+        profile=None) -> dict[str, Any]:
     """Sequential-vs-sharded sweep on a synthetic web graph.
 
     Returns the artifact dict; when ``out_path`` is given it is also
     written there atomically (UTF-8 JSON, trailing newline).
+    ``profile`` adds one extra profiled pass per timed side after the
+    repeats.  The sharded side's profile covers the *coordinator*
+    (dispatch, group assembly, merge) — cProfile cannot see into the
+    worker processes — and its route is checked against the simulated
+    executor, the same parity reference the timed runs use.
     """
     import os
 
@@ -152,6 +157,36 @@ def run_parallel_scaling_bench(
             method, graph, k, parallelism=parallelism,
             num_workers=num_workers, warmup=warmup, repeats=repeats,
             **kwargs))
+    if profile is not None:
+        from ..graph.stream import GraphStream
+        from ..parallel import (ProcessShardedPartitioner,
+                                SimulatedParallelPartitioner)
+        from ..partitioning.registry import make_partitioner
+        for rec in results:
+            method, kwargs = rec["method"], rec["kwargs"]
+            seq_ref = make_partitioner(method, k, **kwargs).partition(
+                GraphStream(graph)).assignment.route
+            profile.profile_stage(
+                f"{method}/sequential",
+                lambda m=method, kw=kwargs: make_partitioner(
+                    m, k, **kw).partition(GraphStream(graph)),
+                reference_s=rec["sequential"]["median_s"],
+                check=lambda res, ref=seq_ref: bool(np.array_equal(
+                    res.assignment.route, ref)))
+            par_ref = SimulatedParallelPartitioner(
+                make_partitioner(method, k, **kwargs),
+                parallelism=parallelism).partition(
+                    GraphStream(graph)).assignment.route
+            profile.profile_stage(
+                f"{method}/parallel",
+                lambda m=method, kw=kwargs: ProcessShardedPartitioner(
+                    make_partitioner(m, k, **kw),
+                    parallelism=parallelism,
+                    num_workers=num_workers).partition(
+                        GraphStream(graph)),
+                reference_s=rec["parallel"]["median_s"],
+                check=lambda res, ref=par_ref: bool(np.array_equal(
+                    res.assignment.route, ref)))
     artifact = {
         "benchmark": "parallel-scaling",
         "created_unix": time.time(),
@@ -174,6 +209,8 @@ def run_parallel_scaling_bench(
         },
         "results": results,
     }
+    if profile is not None:
+        artifact["profile"] = profile.entry()
     if out_path is not None:
         atomic_write_text(
             Path(out_path),

@@ -1,0 +1,279 @@
+"""Opt-in stage profiling for the benchmark fleet.
+
+The compare/promote gate (PR 5) makes a regression *detectable*; this
+module makes it *diagnosable*.  A :class:`BenchProfiler` is threaded
+through the microbench runners (``--profile {cprofile,pyspy}`` on the
+CLI) and wraps each timed stage in a profiler pass, writing per-stage
+artifacts next to the ``BENCH_*.json`` they explain — the
+redisbench-admin shape named in ROADMAP.
+
+Two disciplines keep the numbers honest:
+
+* **Profiled passes are extra passes.**  The timed repeats that land in
+  the artifact run exactly as they do unprofiled; the profiler then
+  replays the stage once more under instrumentation.  Timings, sample
+  lists, and route tables in the artifact are byte-identical whether or
+  not ``--profile`` was given, and the profiled pass's own route table
+  is checked against an unprofiled reference (the ``identical`` field)
+  so a profiler that perturbs results is flagged, not trusted.
+* **Overhead is measured, not assumed.**  Every stage records
+  ``overhead_pct`` — the profiled pass's wall time relative to the
+  median of the unprofiled repeats — so a flamegraph whose collection
+  cost dwarfed the workload reads as suspect on its face.
+
+Modes:
+
+``cprofile``
+    The stdlib deterministic profiler.  Always available; writes a
+    binary pstats dump (:meth:`cProfile.Profile.dump_stats`) plus a
+    human-readable top-N cumulative listing per stage.
+``pyspy``
+    Sampling via the external ``py-spy`` binary, which additionally
+    writes a collapsed-stack file (flamegraph input) per stage.  The
+    pstats dump is still collected — the deterministic profile is the
+    contract; sampling rides along.  When ``py-spy`` is not on PATH the
+    profiler falls back to ``cprofile`` with a recorded warning rather
+    than failing the bench: profile artifacts are diagnostics, and a
+    bench run must never die on a missing diagnostic tool.
+
+Each profiled stage also emits one ``bench_profile`` trace record
+(see :mod:`repro.observability.schema`) when an instrumentation hub is
+attached, so profile provenance lands in the same JSONL stream as the
+rest of the run.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import re
+import shutil
+import signal
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from ..recovery.atomic import atomic_write_text
+
+__all__ = ["PROFILE_MODES", "BenchProfiler", "default_profile_dir"]
+
+#: CLI-selectable profiler modes.
+PROFILE_MODES = ("cprofile", "pyspy")
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe stage name (``parse/optimized`` -> ``parse-optimized``)."""
+    return _SLUG_RE.sub("-", name).strip("-") or "stage"
+
+
+def default_profile_dir(bench_out: str | Path) -> Path:
+    """Where a bench's profile artifacts live: next to its BENCH json.
+
+    ``BENCH_streaming.json`` -> ``BENCH_streaming.profile/`` in the same
+    directory, so the dashboard (and a human) can find the profiles from
+    the artifact path alone.
+    """
+    bench_out = Path(bench_out)
+    return bench_out.parent / (bench_out.stem + ".profile")
+
+
+def _top_functions(stats: pstats.Stats, top_n: int) -> list[dict[str, Any]]:
+    """Top-N entries by cumulative time from a loaded pstats object."""
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "function": f"{filename}:{lineno}({funcname})",
+            "ncalls": int(nc),
+            "tottime_s": float(tt),
+            "cumtime_s": float(ct),
+        })
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["function"]))
+    return rows[:top_n]
+
+
+class BenchProfiler:
+    """Wraps bench stages in profiler passes and collects the artifacts.
+
+    Parameters
+    ----------
+    mode:
+        ``"cprofile"`` or ``"pyspy"`` (see module docstring).
+    out_dir:
+        Directory receiving per-stage files; created on first use.
+    bench:
+        Bench name recorded in trace records and the summary index.
+    top_n:
+        Cumulative-time entries kept per stage in the artifact entry.
+    instrumentation:
+        Optional :class:`repro.observability.Instrumentation` hub; one
+        ``bench_profile`` record is emitted per profiled stage.
+    """
+
+    def __init__(self, mode: str, out_dir: str | Path, *,
+                 bench: str = "bench", top_n: int = 10,
+                 instrumentation=None) -> None:
+        if mode not in PROFILE_MODES:
+            raise ValueError(
+                f"unknown profile mode {mode!r}; expected one of "
+                f"{PROFILE_MODES}")
+        self.requested_mode = mode
+        self.bench = bench
+        self.top_n = top_n
+        self.out_dir = Path(out_dir)
+        self.instrumentation = instrumentation
+        self.stages: list[dict[str, Any]] = []
+        self.warnings: list[str] = []
+        self._pyspy = shutil.which("py-spy") if mode == "pyspy" else None
+        if mode == "pyspy" and self._pyspy is None:
+            # Hard constraint: a missing sampler must degrade, not fail.
+            self.mode = "cprofile"
+            self.warnings.append(
+                "py-spy not found on PATH; falling back to cProfile "
+                "(pstats dump only, no collapsed stacks)")
+        else:
+            self.mode = mode
+
+    # -- sampling sidecar ------------------------------------------------
+    def _start_sampler(self, collapsed_path: Path):
+        """Attach ``py-spy record`` to this process; None on failure."""
+        try:
+            proc = subprocess.Popen(
+                [self._pyspy, "record", "--pid", str(os.getpid()),
+                 "--format", "raw", "--output", str(collapsed_path)],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        except OSError as exc:
+            self.warnings.append(f"py-spy failed to start: {exc!r}")
+            return None
+        return proc
+
+    def _stop_sampler(self, proc) -> bool:
+        """SIGINT makes py-spy flush its collapsed stacks and exit."""
+        try:
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=30)
+            return proc.returncode == 0
+        except Exception as exc:
+            self.warnings.append(f"py-spy did not stop cleanly: {exc!r}")
+            try:
+                proc.kill()
+            except Exception:
+                pass
+            return False
+
+    # -- the stage wrapper -----------------------------------------------
+    def profile_stage(self, stage: str, fn: Callable[[], Any], *,
+                      reference_s: float | None = None,
+                      check: Callable[[Any], bool] | None = None) -> Any:
+        """Run ``fn`` once under the profiler; returns ``fn()``'s result.
+
+        ``reference_s`` is the median wall time of the *unprofiled*
+        repeats of the same stage; when given, the stage entry records
+        ``overhead_pct`` — how much slower the profiled pass ran.
+        ``check`` receives the stage's return value and its boolean
+        lands in the entry as ``identical`` (the profiled pass produced
+        the same output as the unprofiled reference).
+        """
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        slug = _slug(stage)
+        pstats_path = self.out_dir / f"{slug}.pstats"
+        top_path = self.out_dir / f"{slug}.top.txt"
+        collapsed_path: Path | None = None
+        sampler = None
+        if self.mode == "pyspy":
+            collapsed_path = self.out_dir / f"{slug}.collapsed"
+            sampler = self._start_sampler(collapsed_path)
+
+        profiler = cProfile.Profile()
+        t0 = time.perf_counter()
+        profiler.enable()
+        try:
+            result = fn()
+        finally:
+            profiler.disable()
+            elapsed = time.perf_counter() - t0
+            if sampler is not None and not self._stop_sampler(sampler):
+                collapsed_path = None
+
+        profiler.dump_stats(str(pstats_path))
+        stats = pstats.Stats(str(pstats_path), stream=io.StringIO())
+        top = _top_functions(stats, self.top_n)
+        listing = io.StringIO()
+        pstats.Stats(str(pstats_path), stream=listing) \
+            .sort_stats("cumulative").print_stats(self.top_n)
+        atomic_write_text(top_path, listing.getvalue())
+
+        overhead_pct = None
+        if reference_s is not None and reference_s > 0:
+            overhead_pct = (elapsed - reference_s) / reference_s * 100.0
+        entry: dict[str, Any] = {
+            "stage": stage,
+            "mode": self.mode,
+            "pstats_path": str(pstats_path),
+            "top_path": str(top_path),
+            "collapsed_path": (str(collapsed_path)
+                               if collapsed_path is not None else None),
+            "profiled_s": elapsed,
+            "reference_median_s": reference_s,
+            "overhead_pct": overhead_pct,
+            "top_functions": top,
+        }
+        if check is not None:
+            entry["identical"] = bool(check(result))
+        self.stages.append(entry)
+        if self.instrumentation is not None:
+            self.instrumentation.emit({
+                "type": "bench_profile",
+                "bench": self.bench,
+                "stage": stage,
+                "mode": self.mode,
+                "pstats_path": str(pstats_path),
+                "profiled_seconds": elapsed,
+                "overhead_pct": overhead_pct,
+                "top_function": (top[0]["function"] if top else None),
+                "identical": entry.get("identical"),
+            })
+        return result
+
+    # -- artifact plumbing -----------------------------------------------
+    def entry(self) -> dict[str, Any]:
+        """The ``profile`` section embedded in the bench artifact."""
+        return {
+            "mode": self.mode,
+            "requested_mode": self.requested_mode,
+            "out_dir": str(self.out_dir),
+            "top_n": self.top_n,
+            "warnings": list(self.warnings),
+            "stages": list(self.stages),
+        }
+
+    def finalize(self, echo: Callable[[str], None] | None = None) -> Path:
+        """Write the ``profile.json`` index into ``out_dir``; return it.
+
+        The index duplicates the artifact's ``profile`` entry so a
+        profile directory is self-describing even for bench targets that
+        write no JSON artifact (the table/figure regenerations).
+        """
+        import json
+
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        index = self.out_dir / "profile.json"
+        atomic_write_text(
+            index, json.dumps(self.entry(), indent=2) + "\n")
+        if echo is not None:
+            for warning in self.warnings:
+                echo(f"warning: {warning}")
+            for stage in self.stages:
+                note = ""
+                if stage["overhead_pct"] is not None:
+                    note = f" (overhead {stage['overhead_pct']:+.0f}%)"
+                echo(f"profile [{stage['mode']}] {stage['stage']}: "
+                     f"{stage['profiled_s']:.4f}s{note} -> "
+                     f"{stage['pstats_path']}")
+            echo(f"profile index -> {index}")
+        return index

@@ -11,7 +11,9 @@ Subcommands
 ``evaluate``
     Score an existing route table against its graph (ECR, δ_v, δ_e).
 ``bench``
-    Regenerate one of the paper's tables/figures on the stand-ins.
+    Regenerate one of the paper's tables/figures on the stand-ins, run
+    a microbench (optionally under ``--profile``), compare/promote
+    artifacts, or ``export``/``dashboard`` the perf history.
 ``info``
     Print dataset statistics for a graph file or named stand-in.
 ``serve``
@@ -468,129 +470,245 @@ def _cmd_bench_promote(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def _cmd_bench_export(args: argparse.Namespace) -> int:
+    """``bench export``: artifacts + baselines -> tidy time series."""
+    import json
+
+    from .bench.export import export_history, rows_to_csv
+    from .recovery.atomic import atomic_write_text
+
+    history = export_history(
+        args.artifacts if args.artifacts else None,
+        args.baselines_dir,
+        warn=lambda msg: print(f"warning: {msg}", file=sys.stderr))
+    payload = json.dumps(history, indent=2) + "\n"
+    out = args.out or "-"
+    if out == "-":
+        sys.stdout.write(payload)
+    else:
+        atomic_write_text(Path(out), payload)
+        print(f"history -> {out} ({len(history['rows'])} rows, "
+              f"{len(history['skipped'])} skipped)")
+    if args.csv is not None:
+        atomic_write_text(Path(args.csv), rows_to_csv(history["rows"]))
+        print(f"csv -> {args.csv}")
+    return 0
+
+
+def _cmd_bench_dashboard(args: argparse.Namespace) -> int:
+    """``bench dashboard``: render the history export as static HTML."""
+    import json
+
+    from .bench.dashboard import build_dashboard
+    from .bench.export import HISTORY_FORMAT, export_history
+
+    if args.history is not None:
+        path = Path(args.history)
+        if not path.is_file():
+            raise SystemExit(f"error: no history export at {args.history}")
+        try:
+            history = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"error: {args.history} is not valid JSON: {exc}")
+        if not isinstance(history, dict) \
+                or history.get("format") != HISTORY_FORMAT:
+            raise SystemExit(
+                f"error: {args.history} is not a bench-history export "
+                f"(expected format {HISTORY_FORMAT!r}; run "
+                "'bench export' first)")
+    else:
+        history = export_history(
+            args.artifacts if args.artifacts else None,
+            args.baselines_dir,
+            warn=lambda msg: print(f"warning: {msg}", file=sys.stderr))
+    out = args.out or "dashboard.html"
+    written = build_dashboard(history, out)
+    series = {(r["bench"], r["metric"], r["fingerprint_key"])
+              for r in history.get("rows", [])}
+    print(f"dashboard -> {written} ({len(series)} series, "
+          f"{len(history.get('rows', []))} rows, "
+          f"{len(history.get('skipped', []))} skipped inputs)")
+    return 0
+
+
+def _simple_bench_targets(args: argparse.Namespace) -> dict:
+    """String-returning thunks for the table/figure regenerations.
+
+    Returning the rendered text (instead of printing inline) lets
+    ``--profile`` wrap any of these targets as a single profiled stage.
+    """
     from .bench import figures, report, tables
+
+    def _multi(bundles) -> str:
+        return "\n".join(report.format_table(fig.as_rows(), title=title)
+                         for title, fig in bundles)
+
+    return {
+        "table2": lambda: report.format_table(
+            tables.table2_datasets(), title="Table II — datasets"),
+        "table3": lambda: report.format_table(
+            [r.as_row() for r in tables.table3_streaming(args.k)],
+            title="Table III — streaming"),
+        "table4": lambda: report.format_table(
+            tables.table4_memory(k=args.k), title="Table IV — memory"),
+        "table5": lambda: report.format_table(
+            [r.as_row() for r in tables.table5_offline(args.k)],
+            title="Table V — offline"),
+        "fig3": lambda: report.format_table(
+            figures.fig3_lambda_sweep(k=args.k).as_rows(),
+            title="Fig. 3 — λ sweep"),
+        "fig7": lambda: _multi(
+            (f"Fig. 7 — window sweep (K={k})", fig)
+            for k, fig in figures.fig7_window_sweep(
+                ks=(args.k,)).items()),
+        "fig8": lambda: _multi(
+            (f"Fig. 8 — {metric} vs K (uk2002)", fig)
+            for metric, fig in figures.fig8_9_k_sweep_streaming(
+                "uk2002").items()),
+        "fig9": lambda: _multi(
+            (f"Fig. 9 — {metric} vs K (indo2004)", fig)
+            for metric, fig in figures.fig8_9_k_sweep_streaming(
+                "indo2004").items()),
+        "fig10": lambda: _multi(
+            (f"Fig. 10 — {metric} vs K (indo2004)", fig)
+            for metric, fig in figures.fig10_11_k_sweep_offline(
+                "indo2004").items()),
+        "fig11": lambda: _multi(
+            (f"Fig. 11 — {metric} vs K (eu2015)", fig)
+            for metric, fig in figures.fig10_11_k_sweep_offline(
+                "eu2015").items()),
+        "fig12": lambda: report.format_table(
+            figures.fig12_thread_sweep(k=args.k).as_rows(),
+            title="Fig. 12 — thread sweep"),
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import report
 
     target = args.target
     if target == "compare":
         return _cmd_bench_compare(args)
-    elif target == "promote":
+    if target == "promote":
         return _cmd_bench_promote(args)
-    elif target == "all":
-        from .bench.suite import run_full_suite
-        run_full_suite(args.output, k=args.k, quick=args.quick)
-    elif target == "table2":
-        print(report.format_table(tables.table2_datasets(),
-                                  title="Table II — datasets"))
-    elif target == "table3":
-        rows = [r.as_row() for r in tables.table3_streaming(args.k)]
-        print(report.format_table(rows, title="Table III — streaming"))
-    elif target == "table4":
-        print(report.format_table(tables.table4_memory(k=args.k),
-                                  title="Table IV — memory"))
-    elif target == "table5":
-        rows = [r.as_row() for r in tables.table5_offline(args.k)]
-        print(report.format_table(rows, title="Table V — offline"))
-    elif target == "fig3":
-        fig = figures.fig3_lambda_sweep(k=args.k)
-        print(report.format_table(fig.as_rows(), title="Fig. 3 — λ sweep"))
-    elif target == "fig7":
-        for k, fig in figures.fig7_window_sweep(ks=(args.k,)).items():
+    if target == "export":
+        return _cmd_bench_export(args)
+    if target == "dashboard":
+        return _cmd_bench_dashboard(args)
+
+    out = args.bench_out
+    if out == "BENCH_streaming.json":  # targeted defaults
+        out = {"ingest": "BENCH_ingest.json",
+               "parallel-scaling": "BENCH_parallel.json"}.get(target, out)
+
+    instrumentation = None
+    profiler = None
+    if getattr(args, "profile", None):
+        from .bench.profile import BenchProfiler, default_profile_dir
+        if args.trace is not None:
+            from .observability import Instrumentation, JsonlSink
+            instrumentation = Instrumentation([JsonlSink(args.trace)])
+        profile_dir = args.profile_dir
+        if profile_dir is None:
+            if target in ("streaming", "ingest", "parallel-scaling"):
+                profile_dir = default_profile_dir(out)
+            elif target == "all":
+                profile_dir = Path(args.output) / "suite.profile"
+            else:
+                profile_dir = Path(f"BENCH_{target}.profile")
+        profiler = BenchProfiler(args.profile, profile_dir, bench=target,
+                                 instrumentation=instrumentation)
+
+    try:
+        if target == "all":
+            from .bench.suite import run_full_suite
+            run_full_suite(args.output, k=args.k, quick=args.quick,
+                           profile=profiler)
+        elif target == "streaming":
+            from .bench.micro import run_streaming_microbench
+            if args.quick:
+                artifact = run_streaming_microbench(
+                    n=4000, k=args.k, warmup=1, repeats=3,
+                    out_path=out, profile=profiler)
+            else:
+                artifact = run_streaming_microbench(
+                    k=args.k, out_path=out, profile=profiler)
+            rows = [{
+                "method": r["method"],
+                "fast median (s)": f"{r['fast']['median_s']:.4f}",
+                "seed median (s)": f"{r['seed']['median_s']:.4f}",
+                "speedup": f"{r['speedup_median']:.2f}x",
+                "identical": r["identical"],
+            } for r in artifact["results"]]
             print(report.format_table(
-                fig.as_rows(), title=f"Fig. 7 — window sweep (K={k})"))
-    elif target == "fig8":
-        for metric, fig in figures.fig8_9_k_sweep_streaming(
-                "uk2002").items():
+                rows, title="Streaming hot path — fast vs seed"))
+            print(f"artifact written to {out}")
+        elif target == "ingest":
+            from .bench.ingest import run_ingest_microbench
+            if args.quick:
+                artifact = run_ingest_microbench(
+                    n=4000, k=args.k, warmup=0, repeats=2, out_path=out,
+                    profile=profiler)
+            else:
+                artifact = run_ingest_microbench(k=args.k, out_path=out,
+                                                 profile=profiler)
+            rows = [{
+                "stage": r["stage"],
+                "baseline median (s)": f"{r['baseline']['median_s']:.4f}",
+                "optimized median (s)":
+                    f"{r['optimized']['median_s']:.4f}",
+                "speedup": f"{r['speedup_median']:.2f}x",
+                "identical": r["identical"],
+            } for r in artifact["results"]]
             print(report.format_table(
-                fig.as_rows(), title=f"Fig. 8 — {metric} vs K (uk2002)"))
-    elif target == "fig9":
-        for metric, fig in figures.fig8_9_k_sweep_streaming(
-                "indo2004").items():
+                rows, title="Ingest pipeline — optimized vs baseline"))
+            print(f"artifact written to {out}")
+        elif target == "parallel-scaling":
+            from .bench.parallel import run_parallel_scaling_bench
+            if args.quick:
+                artifact = run_parallel_scaling_bench(
+                    n=4000, k=args.k, warmup=1, repeats=3, out_path=out,
+                    profile=profiler)
+            else:
+                artifact = run_parallel_scaling_bench(
+                    k=args.k, out_path=out, profile=profiler)
+            rows = [{
+                "method": r["method"],
+                "sequential median (s)":
+                    f"{r['sequential']['median_s']:.4f}",
+                "parallel median (s)": f"{r['parallel']['median_s']:.4f}",
+                "speedup": f"{r['speedup_median']:.2f}x",
+                "ECR delta": f"{r['ecr_delta_pct']:+.2f}%",
+                "identical": r["identical"],
+            } for r in artifact["results"]]
+            cfg = artifact["config"]
             print(report.format_table(
-                fig.as_rows(), title=f"Fig. 9 — {metric} vs K (indo2004)"))
-    elif target == "fig10":
-        for metric, fig in figures.fig10_11_k_sweep_offline(
-                "indo2004").items():
-            print(report.format_table(
-                fig.as_rows(), title=f"Fig. 10 — {metric} vs K (indo2004)"))
-    elif target == "fig11":
-        for metric, fig in figures.fig10_11_k_sweep_offline(
-                "eu2015").items():
-            print(report.format_table(
-                fig.as_rows(), title=f"Fig. 11 — {metric} vs K (eu2015)"))
-    elif target == "fig12":
-        fig = figures.fig12_thread_sweep(k=args.k)
-        print(report.format_table(fig.as_rows(),
-                                  title="Fig. 12 — thread sweep"))
-    elif target == "ingest":
-        from .bench.ingest import run_ingest_microbench
-        out = args.bench_out
-        if out == "BENCH_streaming.json":  # targeted default
-            out = "BENCH_ingest.json"
-        if args.quick:
-            artifact = run_ingest_microbench(
-                n=4000, k=args.k, warmup=0, repeats=2, out_path=out)
+                rows, title=f"Parallel scaling — sequential vs "
+                            f"{cfg['num_workers']}-worker sharded "
+                            f"(M={cfg['parallelism']})"))
+            if not cfg["scaling_expected"]:
+                print(f"note: only {artifact['machine']['cpu_count']} "
+                      f"usable CPU(s) for {cfg['num_workers']} "
+                      "worker(s); no speedup expected on this host",
+                      file=sys.stderr)
+            print(f"artifact written to {out}")
         else:
-            artifact = run_ingest_microbench(k=args.k, out_path=out)
-        rows = [{
-            "stage": r["stage"],
-            "baseline median (s)": f"{r['baseline']['median_s']:.4f}",
-            "optimized median (s)": f"{r['optimized']['median_s']:.4f}",
-            "speedup": f"{r['speedup_median']:.2f}x",
-            "identical": r["identical"],
-        } for r in artifact["results"]]
-        print(report.format_table(
-            rows, title="Ingest pipeline — optimized vs baseline"))
-        print(f"artifact written to {out}")
-    elif target == "parallel-scaling":
-        from .bench.parallel import run_parallel_scaling_bench
-        out = args.bench_out
-        if out == "BENCH_streaming.json":  # targeted default
-            out = "BENCH_parallel.json"
-        if args.quick:
-            artifact = run_parallel_scaling_bench(
-                n=4000, k=args.k, warmup=1, repeats=3, out_path=out)
-        else:
-            artifact = run_parallel_scaling_bench(k=args.k, out_path=out)
-        rows = [{
-            "method": r["method"],
-            "sequential median (s)": f"{r['sequential']['median_s']:.4f}",
-            "parallel median (s)": f"{r['parallel']['median_s']:.4f}",
-            "speedup": f"{r['speedup_median']:.2f}x",
-            "ECR delta": f"{r['ecr_delta_pct']:+.2f}%",
-            "identical": r["identical"],
-        } for r in artifact["results"]]
-        cfg = artifact["config"]
-        print(report.format_table(
-            rows, title=f"Parallel scaling — sequential vs "
-                        f"{cfg['num_workers']}-worker sharded "
-                        f"(M={cfg['parallelism']})"))
-        if not cfg["scaling_expected"]:
-            print(f"note: only {artifact['machine']['cpu_count']} usable "
-                  f"CPU(s) for {cfg['num_workers']} worker(s); no speedup "
-                  "expected on this host", file=sys.stderr)
-        print(f"artifact written to {out}")
-    elif target == "streaming":
-        from .bench.micro import run_streaming_microbench
-        if args.quick:
-            artifact = run_streaming_microbench(
-                n=4000, k=args.k, warmup=1, repeats=3,
-                out_path=args.bench_out)
-        else:
-            artifact = run_streaming_microbench(
-                k=args.k, out_path=args.bench_out)
-        rows = [{
-            "method": r["method"],
-            "fast median (s)": f"{r['fast']['median_s']:.4f}",
-            "seed median (s)": f"{r['seed']['median_s']:.4f}",
-            "speedup": f"{r['speedup_median']:.2f}x",
-            "identical": r["identical"],
-        } for r in artifact["results"]]
-        print(report.format_table(
-            rows, title="Streaming hot path — fast vs seed"))
-        print(f"artifact written to {args.bench_out}")
-    else:
-        raise SystemExit(f"unknown bench target {target!r}")
+            thunk = _simple_bench_targets(args).get(target)
+            if thunk is None:
+                raise SystemExit(f"unknown bench target {target!r}")
+            # Table/figure regenerations have no per-stage harness, so
+            # --profile wraps the whole target as one stage.
+            if profiler is not None:
+                print(profiler.profile_stage(target, thunk))
+            else:
+                print(thunk())
+        if profiler is not None:
+            profiler.finalize(
+                echo=lambda line: print(line, file=sys.stderr))
+    finally:
+        if instrumentation is not None:
+            instrumentation.close()
     return 0
 
 
@@ -672,6 +790,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.quick:
         num_vertices = min(num_vertices, 4000)
         repeats, warmup, lookups = min(repeats, 2), min(warmup, 1), 200
+    profiler = None
+    if getattr(args, "profile", None):
+        from .bench.profile import BenchProfiler, default_profile_dir
+        bench_kind = ("service-bench-sharded" if args.processes > 1
+                      else "service-bench")
+        profiler = BenchProfiler(
+            args.profile,
+            args.profile_dir or default_profile_dir(args.bench_out),
+            bench=bench_kind)
     try:
         artifact = run_service_bench(
             graph, num_vertices=num_vertices, seed=args.seed,
@@ -686,9 +813,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             overload_queue_depth=args.overload_queue_depth,
             overload_throttle=args.overload_throttle,
             out_path=args.bench_out,
-            verbose=True)
+            verbose=True, profile=profiler)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    if profiler is not None:
+        profiler.finalize(echo=lambda line: print(line, file=sys.stderr))
     rows = []
     for rec in artifact["results"]:
         row = {
@@ -900,7 +1029,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "fig7", "fig8", "fig9", "fig10", "fig11",
                             "fig12", "streaming", "ingest",
                             "parallel-scaling", "all", "compare",
-                            "promote"])
+                            "promote", "export", "dashboard"])
     p.add_argument("-k", type=int, default=32)
     p.add_argument("--output", default="reports",
                    help="output directory for 'all'")
@@ -937,7 +1066,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[compare] also write the machine-readable "
                         "verdict here")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
-                   help="[compare] emit the bench_compare trace record")
+                   help="[compare] emit the bench_compare trace record; "
+                        "with --profile, emit bench_profile records")
+    p.add_argument("--profile", default=None,
+                   choices=["cprofile", "pyspy"],
+                   help="run each bench stage once more under a profiler "
+                        "after the timed repeats; writes per-stage pstats "
+                        "(+ collapsed stacks when py-spy is installed) "
+                        "and records the profile in the artifact")
+    p.add_argument("--profile-dir", default=None, metavar="DIR",
+                   help="profile artifact directory (default: "
+                        "<bench-out stem>.profile/ next to the BENCH "
+                        "json)")
+    p.add_argument("--artifacts", nargs="*", default=None, metavar="FILE",
+                   help="[export/dashboard] BENCH_*.json files to walk "
+                        "(default: ./BENCH_*.json plus --baselines-dir)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="[export/dashboard] output path; '-' streams the "
+                        "history JSON to stdout (export default: -, "
+                        "dashboard default: dashboard.html)")
+    p.add_argument("--csv", default=None, metavar="OUT.CSV",
+                   help="[export] also write the rows as tidy CSV")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="[dashboard] render an existing 'bench export' "
+                        "JSON instead of re-walking artifacts")
     p.set_defaults(func=_cmd_bench)
 
     from .partitioning.registry import resolve
@@ -1059,6 +1211,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "phase (default 0.002)")
     p.add_argument("--quick", action="store_true",
                    help="small graph, 2 repeats (CI smoke)")
+    p.add_argument("--profile", default=None,
+                   choices=["cprofile", "pyspy"],
+                   help="profile extra single-connection driver passes "
+                        "after the timed phases; writes per-stage pstats "
+                        "next to the artifact")
+    p.add_argument("--profile-dir", default=None, metavar="DIR",
+                   help="profile artifact directory (default: "
+                        "<bench-out stem>.profile/)")
     p.add_argument("--bench-out", default="BENCH_service.json",
                    help="artifact path (default BENCH_service.json)")
     p.add_argument("--graph-cache", nargs="?", const=True, default=None,

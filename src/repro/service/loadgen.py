@@ -371,7 +371,8 @@ def run_service_bench(graph: DiGraph | None = None, *,
                       overload_queue_depth: int = 4,
                       overload_throttle: float = 0.002,
                       out_path: str | Path | None = DEFAULT_ARTIFACT,
-                      verbose: bool = False) -> dict[str, Any]:
+                      verbose: bool = False,
+                      profile=None) -> dict[str, Any]:
     """Bench the service end to end; returns (and writes) the artifact.
 
     Each repeat boots a fresh server on an ephemeral port (durable into
@@ -396,6 +397,19 @@ def run_service_bench(graph: DiGraph | None = None, *,
     p50/p95/p99-under-overload of the accepted requests plus the
     observed ``shed_rate`` — the graceful-degradation half of the
     latency story the healthy-path percentiles cannot show.
+
+    ``profile`` (a :class:`repro.bench.profile.BenchProfiler`) appends
+    two *extra* single-connection driver passes against fresh servers
+    after the timed repeats — one ``place_batch/driver`` and one
+    ``lookup/driver`` stage.  The timed repeats (and the artifact's
+    latency samples) are untouched.  cProfile sees the calling thread
+    only, so these stages profile the client driver's protocol path
+    (encode/decode, socket waits) with server time showing up as
+    ``readline`` wait; the profiled place pass's final route table is
+    still parity-checked against the deterministic reference.  The
+    overhead reference is a matching unprofiled single-connection pass,
+    not the multi-client repeats, so ``overhead_pct`` compares like
+    with like.
     """
     if graph is None:
         graph = community_web_graph(num_vertices, seed=seed)
@@ -625,6 +639,73 @@ def run_service_bench(graph: DiGraph | None = None, *,
                 },
             }
 
+    if profile is not None:
+        def _boot(tmp: str) -> PlacementService:
+            return PlacementService.start(
+                graph, config=config, port=0,
+                snapshot_dir=Path(tmp) / "state" if durable else None,
+                queue_depth=queue_depth, batch_max=batch_max,
+                processes=processes, parallelism=parallelism)
+
+        def _place_pass(service: PlacementService) -> _ConnStats:
+            feed = _ChunkFeed(graph.num_vertices, batch_size)
+            stats_ = _ConnStats()
+            errs: list[str] = []
+            _place_worker(service.address, feed, window, pause, stats_,
+                          errs)
+            if errs:
+                raise RuntimeError(f"profiled place pass failed: "
+                                   f"{errs[0]}")
+            return stats_
+
+        def _lookup_pass(service: PlacementService) -> _ConnStats:
+            rng = np.random.default_rng(seed)
+            stats_ = _ConnStats()
+            errs: list[str] = []
+            _lookup_worker(service.address,
+                           rng.integers(0, graph.num_vertices,
+                                        size=lookups_per_client),
+                           window, stats_, errs)
+            if errs:
+                raise RuntimeError(f"profiled lookup pass failed: "
+                                   f"{errs[0]}")
+            return stats_
+
+        # Unprofiled single-connection reference timings first, so the
+        # recorded overhead compares the same workload shape.
+        with tempfile.TemporaryDirectory(
+                prefix="repro-serve-bench-") as tmp:
+            ref_service = _boot(tmp)
+            try:
+                t0 = time.perf_counter()
+                _place_pass(ref_service)
+                place_ref_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                _lookup_pass(ref_service)
+                lookup_ref_s = time.perf_counter() - t0
+            finally:
+                ref_service.close()
+        with tempfile.TemporaryDirectory(
+                prefix="repro-serve-bench-") as tmp:
+            prof_service = _boot(tmp)
+            try:
+                profile.profile_stage(
+                    "place_batch/driver",
+                    lambda: _place_pass(prof_service),
+                    reference_s=place_ref_s,
+                    check=lambda _res: bool(
+                        prof_service._arrival_ordered
+                        and (resolved_m == 1
+                             or prof_service._m_aligned)
+                        and np.array_equal(prof_service._state.route,
+                                           reference)))
+                profile.profile_stage(
+                    "lookup/driver",
+                    lambda: _lookup_pass(prof_service),
+                    reference_s=lookup_ref_s)
+            finally:
+                prof_service.close()
+
     # Sharded runs are their own benchmark kind: a sharded artifact
     # gating against a sequential baseline (or vice versa) would be a
     # cross-regime comparison, and the compare module's kind check
@@ -668,6 +749,8 @@ def run_service_bench(graph: DiGraph | None = None, *,
     }
     if overload_rec is not None:
         artifact["results"].append(overload_rec)
+    if profile is not None:
+        artifact["profile"] = profile.entry()
     if out_path is not None:
         atomic_write_text(Path(out_path),
                           json.dumps(artifact, indent=2) + "\n")

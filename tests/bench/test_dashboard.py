@@ -1,0 +1,164 @@
+"""Tests for the static perf dashboard (``bench dashboard``).
+
+Pinned behaviors: the rendered HTML references every exported metric,
+is fully self-contained (no scripts, no network fetches), never merges
+series across machine-fingerprint keys, marks baseline points and
+``scaling_expected`` regime boundaries, and surfaces quarantined
+inputs instead of hiding them.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.dashboard import build_dashboard, render_dashboard
+from repro.bench.export import default_artifact_paths, export_history
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _row(**over):
+    base = {
+        "bench": "streaming-hot-path", "metric": "ldg/fast",
+        "unit": "s", "value": 0.2, "n": 3, "min": 0.19, "max": 0.21,
+        "commit": "abc1234", "dirty": False,
+        "fingerprint_key": "aaaaaaaaaaaa",
+        "created_unix": 1700000000.0, "scaling_expected": None,
+        "source": "artifact", "path": "BENCH_streaming.json",
+    }
+    base.update(over)
+    return base
+
+
+def _history(rows, profiles=(), skipped=()):
+    return {"format": "repro-bench-history", "version": 1,
+            "rows": list(rows), "profiles": list(profiles),
+            "skipped": list(skipped)}
+
+
+@pytest.fixture(scope="module")
+def committed_html(tmp_path_factory):
+    history = export_history(default_artifact_paths(REPO),
+                             REPO / "benchmarks" / "baselines")
+    out = tmp_path_factory.mktemp("dash") / "dashboard.html"
+    build_dashboard(history, out)
+    return history, out.read_text(encoding="utf-8")
+
+
+class TestCommittedDashboard:
+    def test_every_exported_metric_is_referenced(self, committed_html):
+        history, html = committed_html
+        for row in history["rows"]:
+            assert row["metric"] in html
+        for bench in {r["bench"] for r in history["rows"]}:
+            assert f"<h2 id='{bench}'>" in html
+
+    def test_self_contained_no_scripts_no_network(self, committed_html):
+        _history_, html = committed_html
+        lowered = html.lower()
+        assert "<script" not in lowered
+        assert "http://" not in lowered
+        assert "https://" not in lowered
+        assert "<style>" in lowered  # CSS is inline
+
+    def test_baseline_points_are_ringed(self, committed_html):
+        _history_, html = committed_html
+        assert "pt-baseline" in html
+
+
+class TestSeriesDiscipline:
+    def test_fingerprint_keys_are_never_merged(self):
+        rows = [_row(fingerprint_key="aaaaaaaaaaaa"),
+                _row(fingerprint_key="bbbbbbbbbbbb", value=0.4,
+                     path="BENCH_other.json")]
+        html = render_dashboard(_history(rows))
+        assert "2 series over 2 rows" in html
+        assert "aaaaaaaaaaaa" in html and "bbbbbbbbbbbb" in html
+
+    def test_regime_boundary_is_annotated(self):
+        rows = [_row(bench="parallel-scaling", metric="spnl/parallel",
+                     scaling_expected=False, created_unix=1.0),
+                _row(bench="parallel-scaling", metric="spnl/parallel",
+                     scaling_expected=True, created_unix=2.0,
+                     value=0.1, path="BENCH_parallel2.json")]
+        html = render_dashboard(_history(rows))
+        assert "REGIME BOUNDARY" in html
+        assert "class='regime'" in html
+
+    def test_lost_identity_flag_is_called_out(self):
+        rows = [_row(metric="ldg/identical", unit="bool", value=0.0)]
+        html = render_dashboard(_history(rows))
+        assert "identity lost" in html
+
+    def test_skipped_inputs_are_listed(self):
+        html = render_dashboard(_history(
+            [_row()],
+            skipped=[{"path": "BENCH_torn.json",
+                      "reason": "not valid JSON (torn or partial "
+                                "write)"}]))
+        assert "BENCH_torn.json" in html
+        assert "torn or partial write" in html
+
+    def test_profile_links_are_relative_to_out_dir(self, tmp_path):
+        profdir = tmp_path / "BENCH_streaming.profile"
+        history = _history(
+            [_row()],
+            profiles=[{"bench": "streaming-hot-path",
+                       "artifact_path": str(tmp_path /
+                                            "BENCH_streaming.json"),
+                       "mode": "cprofile", "out_dir": str(profdir),
+                       "stages": [{"stage": "ldg/fast",
+                                   "mode": "cprofile",
+                                   "pstats_path": str(
+                                       profdir / "ldg-fast.pstats"),
+                                   "top_path": str(
+                                       profdir / "ldg-fast.top.txt"),
+                                   "collapsed_path": None,
+                                   "overhead_pct": 12.0}]}])
+        out = tmp_path / "dashboard.html"
+        build_dashboard(history, out)
+        html = out.read_text(encoding="utf-8")
+        assert "href='BENCH_streaming.profile/ldg-fast.pstats'" in html
+        assert "+12%" in html
+
+    def test_empty_history_still_renders(self, tmp_path):
+        out = tmp_path / "dashboard.html"
+        build_dashboard(_history([]), out)
+        html = out.read_text(encoding="utf-8")
+        assert "Every input parsed cleanly" in html
+        assert "No profiled runs" in html
+
+
+class TestDashboardCLI:
+    def test_dashboard_from_history_file_and_in_process_agree(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        artifact_dir = tmp_path / "arts"
+        artifact_dir.mkdir()
+        from tests.bench.test_compare import make_streaming_artifact
+        (artifact_dir / "BENCH_streaming.json").write_text(
+            json.dumps(make_streaming_artifact()))
+        monkeypatch.chdir(artifact_dir)
+        assert main(["bench", "export", "--out", "history.json",
+                     "--csv", "history.csv",
+                     "--baselines-dir", "baselines"]) == 0
+        assert main(["bench", "dashboard", "--history", "history.json",
+                     "--out", "via_history.html"]) == 0
+        assert main(["bench", "dashboard", "--out", "direct.html",
+                     "--baselines-dir", "baselines"]) == 0
+        via = (artifact_dir / "via_history.html").read_text()
+        direct = (artifact_dir / "direct.html").read_text()
+        assert via == direct
+        assert "ldg/fast" in via
+
+    def test_dashboard_rejects_non_history_json(self, tmp_path,
+                                                monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "not_history.json").write_text("{\"rows\": []}")
+        with pytest.raises(SystemExit, match="not a bench-history"):
+            main(["bench", "dashboard", "--history",
+                  "not_history.json"])

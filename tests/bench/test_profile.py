@@ -1,0 +1,158 @@
+"""Tests for the opt-in bench profiler (``--profile``).
+
+The acceptance bar from the issue: ``--profile cprofile`` on a quick
+streaming bench produces per-stage profile artifacts with loadable
+pstats dumps and a measured overhead, and the profiled run's outputs
+are byte-identical to an unprofiled run — profiling must observe, never
+perturb.
+"""
+
+import json
+import pstats
+
+import numpy as np
+import pytest
+
+from repro.bench.micro import run_streaming_microbench
+from repro.bench.profile import (
+    PROFILE_MODES,
+    BenchProfiler,
+    default_profile_dir,
+)
+from repro.graph.generators import community_web_graph
+from repro.graph.stream import GraphStream
+from repro.observability import Instrumentation, JsonlSink
+from repro.observability.schema import validate_record
+from repro.partitioning.registry import make_partitioner
+
+QUICK = dict(n=600, k=8, warmup=0, repeats=2, methods=("ldg",))
+
+
+@pytest.fixture(scope="module")
+def profiled(tmp_path_factory):
+    """One quick profiled streaming bench shared by the assertions."""
+    tmp = tmp_path_factory.mktemp("profiled")
+    out = tmp / "BENCH_streaming.json"
+    profiler = BenchProfiler("cprofile", default_profile_dir(out),
+                             bench="streaming-hot-path")
+    artifact = run_streaming_microbench(out_path=out, profile=profiler,
+                                        **QUICK)
+    profiler.finalize()
+    return artifact, profiler
+
+
+class TestBenchProfiler:
+    def test_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown profile mode"):
+            BenchProfiler("perf", tmp_path)
+
+    def test_modes_constant_matches_cli(self):
+        assert PROFILE_MODES == ("cprofile", "pyspy")
+
+    def test_default_dir_sits_next_to_artifact(self, tmp_path):
+        out = tmp_path / "sub" / "BENCH_ingest.json"
+        assert default_profile_dir(out) == \
+            tmp_path / "sub" / "BENCH_ingest.profile"
+
+    def test_pstats_dump_is_loadable(self, profiled):
+        artifact, _profiler = profiled
+        (stage,) = artifact["profile"]["stages"]
+        stats = pstats.Stats(stage["pstats_path"])
+        assert stats.total_calls > 0
+        top = stage["top_functions"]
+        assert top and all(
+            set(row) == {"function", "ncalls", "tottime_s", "cumtime_s"}
+            for row in top)
+
+    def test_overhead_is_measured_against_unprofiled_median(
+            self, profiled):
+        artifact, _profiler = profiled
+        (stage,) = artifact["profile"]["stages"]
+        (rec,) = artifact["results"]
+        assert stage["reference_median_s"] == rec["fast"]["median_s"]
+        expected = (stage["profiled_s"] - stage["reference_median_s"]) \
+            / stage["reference_median_s"] * 100.0
+        assert stage["overhead_pct"] == pytest.approx(expected)
+
+    def test_profiled_pass_route_checked_identical(self, profiled):
+        artifact, _profiler = profiled
+        (stage,) = artifact["profile"]["stages"]
+        assert stage["identical"] is True
+
+    def test_index_written_and_matches_artifact_entry(self, profiled):
+        artifact, profiler = profiled
+        index = json.loads(
+            (profiler.out_dir / "profile.json").read_text())
+        assert index == artifact["profile"]
+        assert index["mode"] == index["requested_mode"] == "cprofile"
+
+    def test_top_listing_is_human_readable(self, profiled):
+        artifact, _profiler = profiled
+        (stage,) = artifact["profile"]["stages"]
+        from pathlib import Path
+        assert "cumulative" in Path(stage["top_path"]).read_text()
+
+
+class TestByteIdentity:
+    def test_profiled_partition_result_is_byte_identical(self, tmp_path):
+        """profile_stage returns fn()'s result unperturbed."""
+        graph = community_web_graph(400, seed=3)
+        reference = make_partitioner("ldg", 4).partition(
+            GraphStream(graph)).assignment.route
+        profiler = BenchProfiler("cprofile", tmp_path)
+        result = profiler.profile_stage(
+            "ldg/fast",
+            lambda: make_partitioner("ldg", 4).partition(
+                GraphStream(graph)))
+        assert np.array_equal(result.assignment.route, reference)
+
+    def test_timed_samples_do_not_change_shape_under_profile(
+            self, profiled):
+        """The timed repeats run exactly as unprofiled (extra-pass
+        discipline): same result schema, same sample counts."""
+        artifact, _profiler = profiled
+        plain = run_streaming_microbench(out_path=None, **QUICK)
+        (prof_rec,) = artifact["results"]
+        (plain_rec,) = plain["results"]
+        assert set(prof_rec) == set(plain_rec)
+        assert len(prof_rec["fast"]["runs_s"]) == \
+            len(plain_rec["fast"]["runs_s"])
+        assert prof_rec["identical"] and plain_rec["identical"]
+
+
+class TestPyspyFallback:
+    def test_missing_pyspy_degrades_to_cprofile(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setattr("repro.bench.profile.shutil.which",
+                            lambda _name: None)
+        profiler = BenchProfiler("pyspy", tmp_path)
+        assert profiler.mode == "cprofile"
+        assert profiler.requested_mode == "pyspy"
+        assert any("py-spy not found" in w for w in profiler.warnings)
+        profiler.profile_stage("noop", lambda: 1 + 1)
+        (stage,) = profiler.stages
+        assert stage["mode"] == "cprofile"
+        assert stage["collapsed_path"] is None
+        assert pstats.Stats(stage["pstats_path"]).total_calls > 0
+
+
+class TestTraceRecords:
+    def test_bench_profile_records_validate_against_schema(
+            self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        hub = Instrumentation([JsonlSink(trace)])
+        profiler = BenchProfiler("cprofile", tmp_path / "prof",
+                                 bench="streaming-hot-path",
+                                 instrumentation=hub)
+        profiler.profile_stage("ldg/fast", lambda: sum(range(100)),
+                               reference_s=0.01,
+                               check=lambda result: result == 4950)
+        hub.close()
+        (record,) = [json.loads(line)
+                     for line in trace.read_text().splitlines()]
+        validate_record(record)
+        assert record["type"] == "bench_profile"
+        assert record["bench"] == "streaming-hot-path"
+        assert record["stage"] == "ldg/fast"
+        assert record["identical"] is True
+        assert record["overhead_pct"] is not None
